@@ -1,0 +1,195 @@
+// Command quq regenerates the QUQ paper's tables and figures on this
+// repository's substrates.
+//
+// Usage:
+//
+//	quq table1|table2|table3|table4|fig2|fig3|fig7|ablation|all [flags]
+//
+// Flags:
+//
+//	-quick     shrink the workloads (fewer models, fewer images)
+//	-seed N    override the experiment seed
+//	-bits N    bit-width for fig2/ablation (default 6)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"quq/internal/experiments"
+	"quq/internal/vit"
+)
+
+func main() {
+	flag.Usage = usage
+	quick := flag.Bool("quick", false, "run reduced workloads")
+	seed := flag.Uint64("seed", 2024, "experiment seed")
+	bits := flag.Int("bits", 6, "bit-width for fig2/ablation")
+	csvDir := flag.String("csv", "", "also write machine-readable CSV files into this directory")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	cmd := flag.Arg(0)
+	writeCSV := func(name, content string) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			return
+		}
+		path := filepath.Join(*csvDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			return
+		}
+		fmt.Printf("(wrote %s)\n", path)
+	}
+	run := func(name string, fn func()) {
+		start := time.Now()
+		fmt.Printf("### %s\n\n", name)
+		fn()
+		fmt.Printf("\n(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	zooOpts := experiments.ZooOptions{Seed: *seed}
+	if *quick {
+		zooOpts.Configs = []vit.Config{vit.ViTSmall, vit.SwinTiny}
+		zooOpts.TrainImages = 120
+		zooOpts.EvalImages = 60
+		zooOpts.CalibImages = 16
+	}
+
+	var zoo []*experiments.ZooModel
+	loadZoo := func() []*experiments.ZooModel {
+		if zoo == nil {
+			fmt.Println("(preparing model zoo: synthetic backbones + fitted heads...)")
+			zoo = experiments.BuildZoo(zooOpts)
+			for _, zm := range zoo {
+				fmt.Printf("  %-8s FP32 top-1 = %s\n", zm.Cfg.Name, experiments.Pct(zm.FP32Acc))
+			}
+			fmt.Println()
+		}
+		return zoo
+	}
+
+	table1 := func() {
+		n := 1 << 18
+		if *quick {
+			n = 1 << 14
+		}
+		rows := experiments.Table1(n, *seed)
+		fmt.Print(experiments.FormatTable1(rows))
+		writeCSV("table1.csv", experiments.CSVTable1(rows))
+	}
+	table2 := func() {
+		z := loadZoo()
+		rows := experiments.Table2(z)
+		fmt.Print(experiments.FormatAccuracy(z, rows))
+		writeCSV("table2.csv", experiments.CSVAccuracy(z, rows))
+	}
+	table3 := func() {
+		z := loadZoo()
+		rows := experiments.Table3(z)
+		fmt.Print(experiments.FormatAccuracy(z, rows))
+		writeCSV("table3.csv", experiments.CSVAccuracy(z, rows))
+	}
+	table4 := func() { fmt.Print(experiments.FormatTable4(experiments.Table4())) }
+	fig2 := func() {
+		rows := experiments.Fig2(*bits, nil)
+		fmt.Print(experiments.FormatFig2(rows))
+		writeCSV("fig2.csv", experiments.CSVFig2(rows))
+	}
+	fig3 := func() {
+		n := 1 << 16
+		if *quick {
+			n = 1 << 13
+		}
+		panels := experiments.Fig3(n, 4, *seed)
+		fmt.Print(experiments.FormatFig3(panels))
+		for i, p := range panels {
+			writeCSV(fmt.Sprintf("fig3_%d.csv", i), experiments.CSVFig3(p))
+		}
+	}
+	fig7 := func() {
+		opts := experiments.Fig7Options{Seed: *seed}
+		if *quick {
+			opts.Images = 3
+		}
+		res := experiments.Fig7(opts)
+		fmt.Print(experiments.FormatFig7(res))
+		writeCSV("fig7.csv", experiments.CSVFig7(res))
+	}
+	ablationAcc := func() {
+		z := loadZoo()
+		zm := z[0]
+		fmt.Print(experiments.FormatAblationAcc(zm.Cfg.Name, *bits, experiments.AblationAccuracy(zm, *bits)))
+	}
+	ablation := func() {
+		n := 1 << 16
+		if *quick {
+			n = 1 << 13
+		}
+		fmt.Print(experiments.FormatAblations(experiments.Ablations(n, *bits, *seed)))
+	}
+
+	switch cmd {
+	case "table1":
+		run("Table 1: quantization MSE (BaseQ vs QUQ)", table1)
+	case "table2":
+		run("Table 2: partially quantized top-1", table2)
+	case "table3":
+		run("Table 3: fully quantized top-1", table3)
+	case "table4":
+		run("Table 4: accelerator area and power", table4)
+	case "fig2":
+		run("Figure 2: peak on-chip memory (PQ vs FQ)", fig2)
+	case "fig3":
+		run("Figure 3: distributions and QUQ quantization points", fig3)
+	case "fig7":
+		run("Figure 7: attention-map retention", fig7)
+	case "ablation":
+		run("Ablations: PRA design choices", ablation)
+	case "ablation-acc":
+		run("Ablations: end accuracy under QUQ variants", ablationAcc)
+	case "all":
+		run("Table 1: quantization MSE (BaseQ vs QUQ)", table1)
+		run("Table 2: partially quantized top-1", table2)
+		run("Table 3: fully quantized top-1", table3)
+		run("Table 4: accelerator area and power", table4)
+		run("Figure 2: peak on-chip memory (PQ vs FQ)", fig2)
+		run("Figure 3: distributions and QUQ quantization points", fig3)
+		run("Figure 7: attention-map retention", fig7)
+		run("Ablations: PRA design choices", ablation)
+		run("Ablations: end accuracy under QUQ variants", ablationAcc)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: quq [flags] <experiment>
+
+experiments:
+  table1    quantization MSE of BaseQ vs QUQ on the four data families
+  table2    partially quantized top-1 accuracy comparison (W6/A6)
+  table3    fully quantized top-1 accuracy comparison (6- and 8-bit)
+  table4    accelerator area/power (BaseQ vs QUQ, 16x16 and 64x64 arrays)
+  fig2      peak on-chip memory of a ViT block, PQ vs FQ, batch sweep
+  fig3      data distributions with 4-bit QUQ quantization points
+  fig7      attention-map retention under quantization
+  ablation  PRA design-choice sweeps (mode switch, grid search, lambda_A, q)
+  ablation-acc  fully-quantized accuracy under QUQ design variants
+  all       everything above
+
+flags:
+`)
+	flag.PrintDefaults()
+}

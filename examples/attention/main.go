@@ -1,0 +1,19 @@
+// Attention: the paper's Figure 7 in miniature — visualize how much of a
+// ViT's attention structure survives full quantization, comparing uniform
+// quantization against QUQ at 8 and 6 bits.
+package main
+
+import (
+	"fmt"
+
+	"quq/internal/experiments"
+)
+
+func main() {
+	res := experiments.Fig7(experiments.Fig7Options{Images: 4, Seed: 11})
+	fmt.Print(experiments.FormatFig7(res))
+	fmt.Println("\nReading the maps: each cell is one image patch; darker glyphs mean")
+	fmt.Println("more class-token attention (rollout across all blocks). At 6 bits the")
+	fmt.Println("uniform map loses the FP32 structure while QUQ's stays close — the")
+	fmt.Println("retention scores above quantify it.")
+}

@@ -1,0 +1,61 @@
+// Quickstart: calibrate a quadruplet uniform quantizer on a long-tailed
+// tensor with the progressive relaxation algorithm, compare it against
+// symmetric uniform quantization, and round-trip values through the QUB
+// hardware encoding.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"quq/internal/dist"
+	"quq/internal/quant"
+	"quq/internal/qub"
+	"quq/internal/rng"
+)
+
+func main() {
+	// A post-GELU-shaped tensor: bounded negatives, long positive tail —
+	// the asymmetric case QUQ's mode system exists for.
+	xs := dist.Sample(dist.PostGELU, 1<<15, rng.New(42))
+
+	// Calibrate 6-bit QUQ with the paper's hyperparameters
+	// (λ_A=4, q=0.99, q_A=0.95).
+	p := quant.PRA(xs, 6, quant.DefaultPRAOptions())
+	fmt.Println("calibrated quantizer:", p)
+	fmt.Println("selected mode:       ", p.Mode)
+	fmt.Println("base Δ (Eq. 4):      ", p.BaseDelta())
+	for _, s := range []quant.Slot{quant.FNeg, quant.FPos, quant.CNeg, quant.CPos} {
+		if sp := p.Slot(s); sp.Enabled {
+			fmt.Printf("  subrange %v: Δ=%.5g (shift %d), magnitudes up to %d\n",
+				s, sp.Delta, p.Shift(s), sp.MaxMag)
+		}
+	}
+
+	// MSE against the uniform baseline.
+	absmax := 0.0
+	for _, v := range xs {
+		if a := math.Abs(v); a > absmax {
+			absmax = a
+		}
+	}
+	uni := quant.UniformMSE(xs, quant.UniformDelta(absmax, 6), 6)
+	fmt.Printf("\nMSE: uniform %.3e  quq %.3e  (%.1fx lower)\n", uni, p.MSE(xs), uni/p.MSE(xs))
+
+	// QUB encoding: every value becomes one byte-sized code word plus
+	// two per-tensor FC registers.
+	regs, err := qub.RegistersFor(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fp, _ := regs.F.Pack()
+	cp, _ := regs.C.Pack()
+	fmt.Printf("\nFC registers: F=%08b C=%08b\n", fp, cp)
+	for _, x := range []float64{0.01, -0.1, 0.4, 3.0} {
+		w := qub.EncodeValue(p, x)
+		d := qub.Decode(w, regs)
+		fmt.Printf("  x=%+.3f -> word %06b -> D=%+d << %d -> %+.4f\n",
+			x, w, d.D, d.Nsh, d.Value(regs.BaseDelta))
+	}
+}

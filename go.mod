@@ -1,0 +1,3 @@
+module quq
+
+go 1.22

@@ -1,0 +1,243 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"quq/internal/dist"
+	"quq/internal/quant"
+	"quq/internal/qub"
+	"quq/internal/rng"
+	"quq/internal/tensor"
+)
+
+func TestCyclesBasic(t *testing.T) {
+	c := ArrayConfig{N: 16, Bits: 8}
+	s := c.Cycles(16, 100, 16)
+	// One tile, K=100 plus 2N fill.
+	if s.Tiles != 1 || s.Cycles != 132 {
+		t.Fatalf("tiles=%d cycles=%d", s.Tiles, s.Cycles)
+	}
+	if s.MACs != 16*100*16 {
+		t.Fatalf("MACs=%d", s.MACs)
+	}
+}
+
+func TestCyclesTiling(t *testing.T) {
+	c := ArrayConfig{N: 16, Bits: 8}
+	s := c.Cycles(33, 64, 17) // 3 x 2 tiles
+	if s.Tiles != 6 {
+		t.Fatalf("tiles=%d, want 6", s.Tiles)
+	}
+	if s.Cycles != 6*(64+32) {
+		t.Fatalf("cycles=%d", s.Cycles)
+	}
+	if s.Utilization <= 0 || s.Utilization > 1 {
+		t.Fatalf("utilization=%v", s.Utilization)
+	}
+}
+
+func TestCyclesUtilizationImprovesWithAlignment(t *testing.T) {
+	c := ArrayConfig{N: 16, Bits: 8}
+	aligned := c.Cycles(64, 256, 64)
+	ragged := c.Cycles(65, 256, 65)
+	if aligned.Utilization <= ragged.Utilization {
+		t.Fatalf("aligned %v should beat ragged %v", aligned.Utilization, ragged.Utilization)
+	}
+}
+
+func TestRescaleAccuracy(t *testing.T) {
+	src := rng.New(1)
+	for i := 0; i < 2000; i++ {
+		scale := math.Exp(src.Uniform(-12, 6))
+		r, err := NewRescale(scale)
+		if err != nil {
+			t.Fatalf("scale %v: %v", scale, err)
+		}
+		acc := int64(src.Intn(1<<20)) - 1<<19
+		got := float64(r.Apply(acc))
+		want := float64(acc) * scale
+		// M is 15-bit normalized: relative error below 2^-14 plus the
+		// final rounding.
+		if math.Abs(got-want) > math.Abs(want)/8192+0.75 {
+			t.Fatalf("scale=%v acc=%d: got %v want %v", scale, acc, got, want)
+		}
+	}
+}
+
+func TestRescaleRejectsInvalid(t *testing.T) {
+	for _, s := range []float64{0, -1, math.Inf(1)} {
+		if _, err := NewRescale(s); err == nil {
+			t.Fatalf("NewRescale(%v) accepted", s)
+		}
+	}
+}
+
+func calibrate(t *testing.T, fam dist.Family, bits int, seed uint64) (*quant.Params, []float64) {
+	t.Helper()
+	xs := dist.Sample(fam, 4096, rng.New(seed))
+	return quant.PRA(xs, bits, quant.DefaultPRAOptions()), xs
+}
+
+// TestGEMMMatchesFloatReference is the central integration check: the
+// integer QUB datapath (decode, shifted multiply-accumulate) must equal
+// the fake-quantization reference exactly up to float rounding of the
+// final scale.
+func TestGEMMMatchesFloatReference(t *testing.T) {
+	for _, bits := range []int{4, 6, 8} {
+		px, xs := calibrate(t, dist.PostGELU, bits, 11)
+		pw, ws := calibrate(t, dist.QueryWeight, bits, 12)
+		m, k, n := 7, 64, 9
+
+		x := tensor.FromSlice(append([]float64(nil), xs[:m*k]...), m, k)
+		w := tensor.FromSlice(append([]float64(nil), ws[:k*n]...), k, n)
+
+		ql, err := NewQuantizedLinear(px, pw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := DefaultArray(bits).GEMM(
+			qub.EncodeTensor(px, x.Data()), ql.XRegs,
+			qub.EncodeTensor(pw, w.Data()), ql.WRegs,
+			m, k, n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Float reference: fake-quantize operands, exact dot product.
+		xq := x.Clone()
+		px.QuantizeSlice(xq.Data(), xq.Data())
+		wq := w.Clone()
+		pw.QuantizeSlice(wq.Data(), wq.Data())
+		want := tensor.MatMul(xq, wq)
+
+		unit := ql.AccUnit()
+		for i, acc := range out.Acc {
+			got := float64(acc) * unit
+			if math.Abs(got-want.Data()[i]) > 1e-9*(1+math.Abs(want.Data()[i])) {
+				t.Fatalf("bits=%d elem %d: integer %v != reference %v", bits, i, got, want.Data()[i])
+			}
+		}
+		if out.Stats.MACs != int64(m*k*n) {
+			t.Fatal("stats wrong")
+		}
+	}
+}
+
+func TestGEMMAccumulatorWidth(t *testing.T) {
+	// The paper's QUA uses bounded-width accumulators; verify the worst
+	// case for our sizes stays within 32 bits (b-bit operands shifted by
+	// up to 14, K up to 1024).
+	px, xs := calibrate(t, dist.PreAddition, 8, 21)
+	pw, ws := calibrate(t, dist.QueryWeight, 8, 22)
+	k := 512
+	x := tensor.FromSlice(append([]float64(nil), xs[:2*k]...), 2, k)
+	w := tensor.FromSlice(append([]float64(nil), ws[:k*2]...), k, 2)
+	ql, err := NewQuantizedLinear(px, pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := ql.Run(DefaultArray(8), x, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxAbsAcc >= 1<<31 {
+		t.Fatalf("accumulator overflowed 32 bits: %d", res.MaxAbsAcc)
+	}
+}
+
+func TestGEMMSizeMismatch(t *testing.T) {
+	c := DefaultArray(8)
+	if _, err := c.GEMM(make([]qub.Word, 3), qub.Registers{Bits: 8}, make([]qub.Word, 4), qub.Registers{Bits: 8}, 2, 2, 2, nil); err == nil {
+		t.Fatal("accepted mismatched operands")
+	}
+}
+
+// TestQuantizeUnitMatchesFakeQuant: the QU's integer requantization must
+// agree with the float fake-quantizer on the same accumulator values,
+// within one output LSB (the M/2^N rescale carries 2^-14 relative error).
+func TestQuantizeUnitMatchesFakeQuant(t *testing.T) {
+	src := rng.New(31)
+	ys := make([]float64, 4096)
+	for i := range ys {
+		ys[i] = src.Laplace(2)
+		if src.Float64() < 0.01 {
+			ys[i] *= 15
+		}
+	}
+	pout := quant.PRA(ys, 6, quant.DefaultPRAOptions())
+	const accUnit = 1e-3
+	qu, err := NewQuantizeUnit(pout, accUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseDelta := pout.BaseDelta()
+	for i := 0; i < 5000; i++ {
+		v := src.Laplace(2)
+		acc := int64(math.Round(v / accUnit))
+		got := pout.Dequantize(qu.Requantize(acc))
+		want := pout.Value(float64(acc) * accUnit)
+		if math.Abs(got-want) > baseDelta+1e-12 {
+			t.Fatalf("acc=%d: integer requant %v, fake-quant %v (Δ=%v)", acc, got, want, baseDelta)
+		}
+	}
+}
+
+func TestQuantizeUnitClipsAtBounds(t *testing.T) {
+	pout := quant.ParamsForUniform(0.5, 6)
+	qu, err := NewQuantizeUnit(pout, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hugely positive accumulator must clip to the max code.
+	c := qu.Requantize(1 << 30)
+	if got, want := pout.Dequantize(c), 0.5*31; got != want {
+		t.Fatalf("positive clip = %v, want %v", got, want)
+	}
+	c = qu.Requantize(-(1 << 30))
+	if got, want := pout.Dequantize(c), -0.5*32; got != want {
+		t.Fatalf("negative clip = %v, want %v", got, want)
+	}
+}
+
+// TestEndToEndLinearLayer runs a full quantized linear layer through the
+// array with requantized output and checks the decoded output against
+// the float pipeline within one output LSB per element.
+func TestEndToEndLinearLayer(t *testing.T) {
+	px, xs := calibrate(t, dist.PreAddition, 6, 41)
+	pw, ws := calibrate(t, dist.QueryWeight, 6, 42)
+	m, k, n := 8, 96, 12
+	x := tensor.FromSlice(append([]float64(nil), xs[:m*k]...), m, k)
+	w := tensor.FromSlice(append([]float64(nil), ws[:k*n]...), k, n)
+
+	// Output quantizer calibrated on the float product.
+	xq := x.Clone()
+	px.QuantizeSlice(xq.Data(), xq.Data())
+	wq := w.Clone()
+	pw.QuantizeSlice(wq.Data(), wq.Data())
+	ref := tensor.MatMul(xq, wq)
+	pout := quant.PRA(ref.Data(), 6, quant.DefaultPRAOptions())
+
+	ql, err := NewQuantizedLinear(px, pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qu, err := NewQuantizeUnit(pout, ql.AccUnit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, res, err := ql.Run(DefaultArray(6), x, w, qu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cycles <= 0 {
+		t.Fatal("no cycles accounted")
+	}
+	tol := pout.BaseDelta() * math.Pow(2, 7) // one LSB of the coarsest subrange
+	for i := range out.Data() {
+		want := pout.Value(ref.Data()[i])
+		if math.Abs(out.Data()[i]-want) > tol {
+			t.Fatalf("elem %d: accel %v, reference %v", i, out.Data()[i], want)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+
+	"quq/internal/quant"
+	"quq/internal/qub"
+	"quq/internal/sfu"
+	"quq/internal/tensor"
+	"quq/internal/vit"
+)
+
+// BlockParams holds the calibrated QUQ parameter sets for every
+// quantization point of one transformer block — the Figure 1 sites — plus
+// the weight quantizers. CalibrateBlock builds them from sample inputs.
+type BlockParams struct {
+	Bits int
+
+	In         *quant.Params // block input (residual stream)
+	LN1Out     *quant.Params
+	Q, K, V    *quant.Params
+	SoftmaxIn  *quant.Params
+	SoftmaxOut *quant.Params
+	ProjIn     *quant.Params
+	ProjOut    *quant.Params
+	Resid1     *quant.Params
+	LN2Out     *quant.Params
+	GeluIn     *quant.Params
+	GeluOut    *quant.Params
+	FC2Out     *quant.Params
+	Resid2     *quant.Params
+
+	WQKV, WProj, WFC1, WFC2 *quant.Params
+}
+
+// CalibrateBlock runs the block in floating point over the sample inputs
+// (each [T, dim]), collects every site's values, and calibrates QUQ
+// parameters for all of them with the paper's defaults.
+func CalibrateBlock(b *vit.Block, inputs []*tensor.Tensor, bits int) (*BlockParams, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("accel: no calibration inputs")
+	}
+	acc := map[string][]float64{}
+	tap := func(site vit.Site, x *tensor.Tensor) *tensor.Tensor {
+		acc[site.Name] = append(acc[site.Name], x.Data()...)
+		return x
+	}
+	for _, in := range inputs {
+		acc["block.in"] = append(acc["block.in"], in.Data()...)
+		b.Forward(in, 1, 0, vit.ForwardOpts{Tap: tap})
+	}
+	cal := func(name string) (*quant.Params, error) {
+		xs, ok := acc[name]
+		if !ok {
+			return nil, fmt.Errorf("accel: site %q not observed during calibration", name)
+		}
+		return quant.CalibrateRefined(xs, bits, quant.DefaultPRAOptions(), quant.DefaultRefineOptions()), nil
+	}
+	p := &BlockParams{Bits: bits}
+	var err error
+	assign := func(dst **quant.Params, site string) {
+		if err != nil {
+			return
+		}
+		*dst, err = cal(site)
+	}
+	assign(&p.In, "block.in")
+	assign(&p.LN1Out, "ln1.out")
+	assign(&p.Q, "attn.q")
+	assign(&p.K, "attn.k")
+	assign(&p.V, "attn.v")
+	assign(&p.SoftmaxIn, "attn.softmax_in")
+	assign(&p.SoftmaxOut, "attn.softmax_out")
+	assign(&p.ProjIn, "attn.proj_in")
+	assign(&p.ProjOut, "attn.proj_out")
+	assign(&p.Resid1, "resid1.out")
+	assign(&p.LN2Out, "ln2.out")
+	assign(&p.GeluIn, "mlp.gelu_in")
+	assign(&p.GeluOut, "mlp.gelu_out")
+	assign(&p.FC2Out, "mlp.fc2_out")
+	assign(&p.Resid2, "resid2.out")
+	if err != nil {
+		return nil, err
+	}
+	calW := func(w *tensor.Tensor) *quant.Params {
+		return quant.CalibrateRefined(w.Data(), bits, quant.DefaultPRAOptions(), quant.DefaultRefineOptions())
+	}
+	p.WQKV = calW(b.QKV.W)
+	p.WProj = calW(b.Proj.W)
+	p.WFC1 = calW(b.FC1.W)
+	p.WFC2 = calW(b.FC2.W)
+	return p, nil
+}
+
+// BlockRunner executes one transformer block entirely on the QUA
+// datapath: every GEMM runs as a QUB integer matrix multiply with
+// integer requantization, and LayerNorm/Softmax/GELU/residual-add run on
+// the integer SFUs. No floating-point value enters the data path between
+// the input encoding and the output decoding.
+type BlockRunner struct {
+	blk *vit.Block
+	p   *BlockParams
+	arr ArrayConfig
+
+	ln1, ln2      *sfu.LayerNormUnit
+	softmax       *sfu.Unit
+	gelu          *sfu.Unit
+	add1, add2    *sfu.AddUnit
+	wQKV, wProj   []qub.Word
+	wFC1, wFC2    []qub.Word
+	rWQKV, rWProj qub.Registers
+	rWFC1, rWFC2  qub.Registers
+}
+
+// RunStats aggregates the cycle accounting of one block execution.
+type RunStats struct {
+	GEMMCycles int64
+	MACs       int64
+}
+
+// NewBlockRunner prepares the units and pre-encodes the weights.
+func NewBlockRunner(blk *vit.Block, p *BlockParams, arr ArrayConfig) (*BlockRunner, error) {
+	r := &BlockRunner{blk: blk, p: p, arr: arr}
+	var err error
+	if r.ln1, err = sfu.NewLayerNormUnit(p.In, p.LN1Out, blk.LN1.Gamma, blk.LN1.Beta); err != nil {
+		return nil, fmt.Errorf("accel: ln1 unit: %w", err)
+	}
+	if r.ln2, err = sfu.NewLayerNormUnit(p.Resid1, p.LN2Out, blk.LN2.Gamma, blk.LN2.Beta); err != nil {
+		return nil, fmt.Errorf("accel: ln2 unit: %w", err)
+	}
+	if r.softmax, err = sfu.NewUnit(p.SoftmaxIn, p.SoftmaxOut); err != nil {
+		return nil, fmt.Errorf("accel: softmax unit: %w", err)
+	}
+	if r.gelu, err = sfu.NewUnit(p.GeluIn, p.GeluOut); err != nil {
+		return nil, fmt.Errorf("accel: gelu unit: %w", err)
+	}
+	if r.add1, err = sfu.NewAddUnit(p.In, p.ProjOut, p.Resid1); err != nil {
+		return nil, fmt.Errorf("accel: residual adder 1: %w", err)
+	}
+	if r.add2, err = sfu.NewAddUnit(p.Resid1, p.FC2Out, p.Resid2); err != nil {
+		return nil, fmt.Errorf("accel: residual adder 2: %w", err)
+	}
+	enc := func(p *quant.Params, w *tensor.Tensor) ([]qub.Word, qub.Registers, error) {
+		regs, err := qub.RegistersFor(p)
+		if err != nil {
+			return nil, qub.Registers{}, err
+		}
+		return qub.EncodeTensor(p, w.Data()), regs, nil
+	}
+	if r.wQKV, r.rWQKV, err = enc(p.WQKV, blk.QKV.W); err != nil {
+		return nil, err
+	}
+	if r.wProj, r.rWProj, err = enc(p.WProj, blk.Proj.W); err != nil {
+		return nil, err
+	}
+	if r.wFC1, r.rWFC1, err = enc(p.WFC1, blk.FC1.W); err != nil {
+		return nil, err
+	}
+	if r.wFC2, r.rWFC2, err = enc(p.WFC2, blk.FC2.W); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// gemmQ runs x ([m,k] QUB with regs rx) against pre-encoded weights,
+// adds the layer bias in accumulator units, and requantizes into pout.
+// scale is an extra factor folded into the accumulator unit (1 except
+// for attention's 1/√d_h).
+func (r *BlockRunner) gemmQ(x []qub.Word, rx qub.Registers, w []qub.Word, rw qub.Registers,
+	m, k, n int, bias []float64, scale float64, pout *quant.Params, stats *RunStats) ([]qub.Word, error) {
+
+	res, err := r.arr.GEMM(x, rx, w, rw, m, k, n, nil)
+	if err != nil {
+		return nil, err
+	}
+	stats.GEMMCycles += res.Stats.Cycles
+	stats.MACs += res.Stats.MACs
+
+	accUnit := rx.BaseDelta * rw.BaseDelta * scale
+	qu, err := NewQuantizeUnit(pout, accUnit)
+	if err != nil {
+		return nil, err
+	}
+	// Bias in accumulator units (a constant per output column, added to
+	// the accumulator before requantization — standard practice).
+	var biasAcc []int64
+	if bias != nil {
+		biasAcc = make([]int64, n)
+		for j, b := range bias {
+			biasAcc[j] = int64(math.RoundToEven(b / accUnit))
+		}
+	}
+	out := make([]qub.Word, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			acc := res.Acc[i*n+j]
+			if biasAcc != nil {
+				acc += biasAcc[j]
+			}
+			out[i*n+j] = qub.Encode(pout, qu.Requantize(acc))
+		}
+	}
+	return out, nil
+}
+
+// Run executes the block on input x ([T, dim], floating point at the
+// boundary) and returns the decoded output together with the float
+// values of every intermediate. The input is encoded with the block-input
+// quantizer; everything in between stays integer.
+func (r *BlockRunner) Run(x *tensor.Tensor) (*tensor.Tensor, *RunStats, error) {
+	t := x.Dim(0)
+	dim := x.Dim(1)
+	heads := r.blk.Heads
+	dh := dim / heads
+	stats := &RunStats{}
+
+	xw := qub.EncodeTensor(r.p.In, x.Data())
+
+	// LayerNorm 1 (row-wise SFU).
+	h1 := make([]qub.Word, len(xw))
+	for row := 0; row < t; row++ {
+		copy(h1[row*dim:(row+1)*dim], r.ln1.Row(xw[row*dim:(row+1)*dim]))
+	}
+	regsLN1, err := qub.RegistersFor(r.p.LN1Out)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// QKV projection: q, k and v carry separate quantizers, so the GEMM
+	// runs as three column groups, each fanned into its own quantization
+	// unit (hardware shares the accumulators; the cycle model charges
+	// each group's tile schedule).
+	qkvCols := 3 * dim
+	qWords, err := r.gemmQ(h1, regsLN1, sliceCols(r.wQKV, dim, qkvCols, 0, dim), r.rWQKV, t, dim, dim, r.blk.QKV.B[:dim], 1, r.p.Q, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	kW, err := r.gemmQ(h1, regsLN1, sliceCols(r.wQKV, dim, qkvCols, dim, 2*dim), r.rWQKV, t, dim, dim, r.blk.QKV.B[dim:2*dim], 1, r.p.K, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	vW, err := r.gemmQ(h1, regsLN1, sliceCols(r.wQKV, dim, qkvCols, 2*dim, 3*dim), r.rWQKV, t, dim, dim, r.blk.QKV.B[2*dim:], 1, r.p.V, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	regsQ, _ := qub.RegistersFor(r.p.Q)
+	regsK, _ := qub.RegistersFor(r.p.K)
+	regsV, _ := qub.RegistersFor(r.p.V)
+	regsP, err := qub.RegistersFor(r.p.SoftmaxOut)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Attention per head: scores = Q·Kᵀ/√dh -> softmax SFU -> ·V.
+	ctx := make([]qub.Word, t*dim)
+	scale := 1 / math.Sqrt(float64(dh))
+	for hd := 0; hd < heads; hd++ {
+		qh := sliceCols(qWords, t, dim, hd*dh, (hd+1)*dh)                     // [t, dh]
+		khT := transposeWords(sliceCols(kW, t, dim, hd*dh, (hd+1)*dh), t, dh) // [dh, t]
+		scores, err := r.gemmQ(qh, regsQ, khT, regsK, t, dh, t, nil, scale, r.p.SoftmaxIn, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		probs := make([]qub.Word, t*t)
+		for row := 0; row < t; row++ {
+			copy(probs[row*t:(row+1)*t], r.softmax.Softmax(scores[row*t:(row+1)*t]))
+		}
+		vh := sliceCols(vW, t, dim, hd*dh, (hd+1)*dh) // [t, dh]
+		ctxH, err := r.gemmQ(probs, regsP, vh, regsV, t, t, dh, nil, 1, r.p.ProjIn, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Scatter head context into [t, dim].
+		for row := 0; row < t; row++ {
+			copy(ctx[row*dim+hd*dh:row*dim+(hd+1)*dh], ctxH[row*dh:(row+1)*dh])
+		}
+	}
+
+	regsProjIn, _ := qub.RegistersFor(r.p.ProjIn)
+	projOut, err := r.gemmQ(ctx, regsProjIn, r.wProj, r.rWProj, t, dim, dim, r.blk.Proj.B, 1, r.p.ProjOut, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Residual 1.
+	x1 := r.add1.Add(xw, projOut)
+
+	// LayerNorm 2 + MLP.
+	h2 := make([]qub.Word, len(x1))
+	for row := 0; row < t; row++ {
+		copy(h2[row*dim:(row+1)*dim], r.ln2.Row(x1[row*dim:(row+1)*dim]))
+	}
+	regsLN2, _ := qub.RegistersFor(r.p.LN2Out)
+	hidden := r.blk.FC1.Out()
+	hid, err := r.gemmQ(h2, regsLN2, r.wFC1, r.rWFC1, t, dim, hidden, r.blk.FC1.B, 1, r.p.GeluIn, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	act := r.gelu.GELU(hid)
+	regsAct, _ := qub.RegistersFor(r.p.GeluOut)
+	mlpOut, err := r.gemmQ(act, regsAct, r.wFC2, r.rWFC2, t, hidden, dim, r.blk.FC2.B, 1, r.p.FC2Out, stats)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Residual 2.
+	x2 := r.add2.Add(x1, mlpOut)
+	regsOut, err := r.add2.OutRegisters()
+	if err != nil {
+		return nil, nil, err
+	}
+	out := tensor.FromSlice(qub.DecodeTensor(x2, regsOut), t, dim)
+	return out, stats, nil
+}
+
+// sliceCols extracts columns [lo, hi) of a row-major [rows, cols] word
+// matrix into a new [rows, hi-lo] matrix.
+func sliceCols(w []qub.Word, rows, cols, lo, hi int) []qub.Word {
+	out := make([]qub.Word, rows*(hi-lo))
+	for r := 0; r < rows; r++ {
+		copy(out[r*(hi-lo):(r+1)*(hi-lo)], w[r*cols+lo:r*cols+hi])
+	}
+	return out
+}
+
+// transposeWords transposes a row-major [rows, cols] word matrix.
+func transposeWords(w []qub.Word, rows, cols int) []qub.Word {
+	out := make([]qub.Word, len(w))
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out[c*rows+r] = w[r*cols+c]
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package accel
+
+import (
+	"testing"
+
+	"quq/internal/data"
+	"quq/internal/nn"
+	"quq/internal/ptq"
+	"quq/internal/tensor"
+	"quq/internal/vit"
+)
+
+// TestModelRunnerClassifiesLikeQuantizedModel is the whole-system
+// integration check: a trained-head ViT-Nano executed entirely on the
+// integer QUA datapath must reach nearly the same top-1 accuracy as the
+// floating-point fake-quantization executor at the same bit-width, and
+// stay close to FP32 at 8 bits.
+func TestModelRunnerClassifiesLikeQuantizedModel(t *testing.T) {
+	cfg := vit.ViTNano
+	m, _ := nn.PretrainedZoo(cfg, 31, 80)
+	calib := data.CalibrationSet(cfg, 8, 5)
+	test := data.PatternSamples(cfg.Channels, cfg.ImageSize, 60, 606)
+	images := make([]*tensor.Tensor, len(test))
+	labels := make([]int, len(test))
+	for i, s := range test {
+		images[i] = s.Image
+		labels[i] = s.Label
+	}
+	fp32 := ptq.Accuracy(ptq.ModelClassifier{M: m}, images, labels)
+	if fp32 < 0.7 {
+		t.Skipf("reference model too weak (%v) for an accuracy comparison", fp32)
+	}
+
+	runner, err := NewModelRunner(m, calib, 8, DefaultArray(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := 0
+	var totalMACs int64
+	for i, img := range images {
+		logits, stats, err := runner.Run(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if logits.Len() != cfg.Classes {
+			t.Fatalf("got %d logits", logits.Len())
+		}
+		if logits.ArgMax() == labels[i] {
+			hit++
+		}
+		totalMACs = stats.MACs
+	}
+	acc := float64(hit) / float64(len(images))
+	if acc < fp32-0.10 {
+		t.Fatalf("integer datapath top-1 %v too far below FP32 %v", acc, fp32)
+	}
+	if totalMACs <= 0 {
+		t.Fatal("no MACs accounted")
+	}
+}
+
+func TestModelRunnerRejectsUnsupported(t *testing.T) {
+	calib := data.CalibrationSet(vit.SwinTiny, 2, 1)
+	if _, err := NewModelRunner(vit.New(vit.SwinTiny, 1), calib, 8, DefaultArray(8)); err == nil {
+		t.Fatal("accepted a Swin model")
+	}
+	m := vit.New(vit.ViTNano, 1)
+	if _, err := NewModelRunner(m, nil, 8, DefaultArray(8)); err == nil {
+		t.Fatal("accepted empty calibration")
+	}
+}
+
+func TestModelRunnerCycleAccountingScales(t *testing.T) {
+	cfg := vit.ViTNano
+	m := vit.New(cfg, 33)
+	calib := data.CalibrationSet(cfg, 4, 7)
+	img := data.Images(cfg, 1, 8)[0]
+
+	big, err := NewModelRunner(m, calib, 6, ArrayConfig{N: 16, Bits: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := NewModelRunner(m, calib, 6, ArrayConfig{N: 4, Bits: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sBig, err := big.Run(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sSmall, err := small.Run(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sBig.MACs != sSmall.MACs {
+		t.Fatalf("MACs depend on array size: %d vs %d", sBig.MACs, sSmall.MACs)
+	}
+	if sSmall.GEMMCycles <= sBig.GEMMCycles {
+		t.Fatalf("4x4 array not slower than 16x16: %d vs %d", sSmall.GEMMCycles, sBig.GEMMCycles)
+	}
+}

@@ -1,0 +1,184 @@
+// Package dist generates synthetic tensors whose distributions match the
+// four families the QUQ paper characterizes in Figure 3: query-projection
+// weights, post-Softmax activations, pre-addition (residual input)
+// activations and post-GELU activations.
+//
+// The generators reproduce the *mechanism* that shapes each family rather
+// than fitting histograms: post-Softmax data really is the softmax of
+// synthetic attention logits, post-GELU data really is GELU applied to
+// Gaussian pre-activations, and so on. This is the substitution this repo
+// makes for the paper's ImageNet-derived activations (see DESIGN.md): the
+// traits QUQ exploits — long tails, sign asymmetry, zero-clustered mass —
+// arise structurally from these operators, not from the image content.
+package dist
+
+import (
+	"fmt"
+
+	"quq/internal/mathx"
+	"quq/internal/rng"
+)
+
+// Family identifies one of the four Figure 3 data families.
+type Family int
+
+const (
+	// QueryWeight mimics the weights of the query projection in MSA:
+	// near-Gaussian, zero-mean, with a mild heavy tail from a small
+	// population of large-magnitude weights.
+	QueryWeight Family = iota
+	// PostSoftmax mimics attention probabilities: non-negative, almost
+	// all mass near zero, rare values approaching one.
+	PostSoftmax
+	// PreAddition mimics residual-connection inputs: symmetric about
+	// zero with a very wide outlier range produced by accumulation
+	// through the residual stream.
+	PreAddition
+	// PostGELU mimics GELU outputs: the negative side is bounded near
+	// −0.17 while the positive side has a long tail — the strongly
+	// asymmetric case motivating QUQ's mode merging.
+	PostGELU
+	numFamilies
+)
+
+// Families lists all four families in Figure 3's order.
+var Families = []Family{QueryWeight, PostSoftmax, PreAddition, PostGELU}
+
+// String returns the paper's column label for the family (Table 1).
+func (f Family) String() string {
+	switch f {
+	case QueryWeight:
+		return "Query W"
+	case PostSoftmax:
+		return "Post-Softmax A"
+	case PreAddition:
+		return "Pre-Addition A"
+	case PostGELU:
+		return "Post-GELU A"
+	}
+	return fmt.Sprintf("Family(%d)", int(f))
+}
+
+// Sample draws n values from the family using src.
+func Sample(f Family, n int, src *rng.Source) []float64 {
+	switch f {
+	case QueryWeight:
+		return sampleQueryWeight(n, src)
+	case PostSoftmax:
+		return samplePostSoftmax(n, src)
+	case PreAddition:
+		return samplePreAddition(n, src)
+	case PostGELU:
+		return samplePostGELU(n, src)
+	}
+	panic(fmt.Sprintf("dist: unknown family %d", int(f)))
+}
+
+// sampleQueryWeight draws from a two-component Gaussian scale mixture:
+// the bulk at fan-in-initialization scale plus ~1.5% of weights at 4× the
+// scale, which reproduces the mild heavy tail of trained ViT query
+// weights.
+func sampleQueryWeight(n int, src *rng.Source) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		sd := 0.045
+		if src.Float64() < 0.015 {
+			sd = 0.18
+		}
+		xs[i] = src.Gauss(0, sd)
+	}
+	return xs
+}
+
+// samplePostSoftmax builds rows of attention logits (Gaussian with a
+// temperature that yields a few dominant keys per row), applies a real
+// softmax to each row, and concatenates the rows. The result is
+// non-negative with most mass far below 1/rowLen and occasional values
+// close to one — the Figure 3(b) shape.
+func samplePostSoftmax(n int, src *rng.Source) []float64 {
+	const rowLen = 64
+	xs := make([]float64, 0, n+rowLen)
+	row := make([]float64, rowLen)
+	for len(xs) < n {
+		// Per-row sharpness varies: some heads attend broadly, some
+		// collapse onto one token.
+		temp := 1.0 + 3.0*src.Float64()
+		for i := range row {
+			row[i] = src.Gauss(0, temp)
+		}
+		mathx.SoftmaxInPlace(row)
+		xs = append(xs, row...)
+	}
+	return xs[:n]
+}
+
+// samplePreAddition draws from a Laplace bulk plus sparse large outliers,
+// modelling the residual stream where a handful of channels accumulate
+// magnitudes tens of standard deviations above the bulk (the well-known
+// ViT outlier-channel effect the paper's Figure 3(c) shows).
+func samplePreAddition(n int, src *rng.Source) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		switch {
+		case src.Float64() < 0.003:
+			// Outlier channel: wide, both signs.
+			xs[i] = src.Gauss(0, 9)
+		default:
+			xs[i] = src.Laplace(0.55)
+		}
+	}
+	return xs
+}
+
+// samplePostGELU applies the exact GELU to Gaussian pre-activations with
+// a mild outlier mixture. Negative outputs are structurally bounded in
+// (−0.17, 0] while positive outputs inherit the pre-activation tail.
+func samplePostGELU(n int, src *rng.Source) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		sd := 0.9
+		if src.Float64() < 0.01 {
+			sd = 4.0
+		}
+		xs[i] = mathx.Gelu(src.Gauss(0, sd))
+	}
+	return xs
+}
+
+// Histogram bins xs into nbins equal-width buckets over [min, max] and
+// returns the bin edges (nbins+1 values) and counts. It is used by the
+// Figure 3 regeneration to emit plottable CSV.
+func Histogram(xs []float64, nbins int) (edges []float64, counts []int) {
+	if len(xs) == 0 || nbins <= 0 {
+		return nil, nil
+	}
+	lo, hi := xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	edges = make([]float64, nbins+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(nbins)
+	}
+	counts = make([]int, nbins)
+	w := (hi - lo) / float64(nbins)
+	for _, v := range xs {
+		b := int((v - lo) / w)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	return edges, counts
+}

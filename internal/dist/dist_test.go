@@ -1,0 +1,182 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"quq/internal/rng"
+)
+
+func sample(f Family, n int) []float64 {
+	return Sample(f, n, rng.New(7))
+}
+
+func TestSampleLengths(t *testing.T) {
+	for _, f := range Families {
+		for _, n := range []int{1, 63, 64, 1000} {
+			if got := len(Sample(f, n, rng.New(1))); got != n {
+				t.Errorf("%v: len = %d, want %d", f, got, n)
+			}
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	for _, f := range Families {
+		a := Sample(f, 500, rng.New(3))
+		b := Sample(f, 500, rng.New(3))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: sample not deterministic at %d", f, i)
+			}
+		}
+	}
+}
+
+func TestQueryWeightShape(t *testing.T) {
+	xs := sample(QueryWeight, 1<<16)
+	var sum, absmax float64
+	for _, v := range xs {
+		sum += v
+		if a := math.Abs(v); a > absmax {
+			absmax = a
+		}
+	}
+	if mean := sum / float64(len(xs)); math.Abs(mean) > 0.005 {
+		t.Errorf("query weight mean = %v, want ~0", mean)
+	}
+	// Heavy tail: the max must far exceed the bulk scale.
+	if absmax < 0.3 {
+		t.Errorf("query weight absmax = %v, expected heavy tail > 0.3", absmax)
+	}
+}
+
+func TestPostSoftmaxShape(t *testing.T) {
+	xs := sample(PostSoftmax, 1<<16)
+	var maxV float64
+	small := 0
+	for _, v := range xs {
+		if v < 0 || v > 1 {
+			t.Fatalf("post-softmax value %v outside [0,1]", v)
+		}
+		if v > maxV {
+			maxV = v
+		}
+		if v < 1.0/64 {
+			small++
+		}
+	}
+	if maxV < 0.5 {
+		t.Errorf("post-softmax max = %v, expected near-one peaks", maxV)
+	}
+	if frac := float64(small) / float64(len(xs)); frac < 0.6 {
+		t.Errorf("only %.2f of post-softmax mass below uniform level, want most", frac)
+	}
+	// Rows sum to one: check the first row.
+	row := xs[:64]
+	var s float64
+	for _, v := range row {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("first softmax row sums to %v", s)
+	}
+}
+
+func TestPreAdditionShape(t *testing.T) {
+	xs := sample(PreAddition, 1<<16)
+	var absmax, sumAbs float64
+	neg, pos := 0, 0
+	for _, v := range xs {
+		if a := math.Abs(v); a > absmax {
+			absmax = a
+		}
+		sumAbs += math.Abs(v)
+		if v < 0 {
+			neg++
+		} else if v > 0 {
+			pos++
+		}
+	}
+	meanAbs := sumAbs / float64(len(xs))
+	if ratio := absmax / meanAbs; ratio < 10 {
+		t.Errorf("pre-addition max/mean|x| = %v, expected a wide outlier range", ratio)
+	}
+	balance := float64(neg) / float64(neg+pos)
+	if balance < 0.45 || balance > 0.55 {
+		t.Errorf("pre-addition sign balance = %v, expected symmetric", balance)
+	}
+}
+
+func TestPostGELUShape(t *testing.T) {
+	xs := sample(PostGELU, 1<<16)
+	var minV, maxV float64
+	for _, v := range xs {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	// GELU's negative side is structurally bounded at ≈ −0.17.
+	if minV < -0.18 {
+		t.Errorf("post-GELU min = %v, below the GELU lower bound", minV)
+	}
+	if maxV < 1 {
+		t.Errorf("post-GELU max = %v, expected a long positive tail", maxV)
+	}
+	if maxV/(-minV) < 5 {
+		t.Errorf("post-GELU asymmetry %v too small", maxV/(-minV))
+	}
+}
+
+func TestFamilyStrings(t *testing.T) {
+	want := []string{"Query W", "Post-Softmax A", "Pre-Addition A", "Post-GELU A"}
+	for i, f := range Families {
+		if f.String() != want[i] {
+			t.Errorf("family %d string = %q, want %q", i, f.String(), want[i])
+		}
+	}
+	if Family(99).String() == "" {
+		t.Error("unknown family should still render")
+	}
+}
+
+func TestSampleUnknownFamilyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Sample(Family(99), 10, rng.New(1))
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.1, 0.2, 0.9, 1.0}
+	edges, counts := Histogram(xs, 2)
+	if len(edges) != 3 || len(counts) != 2 {
+		t.Fatalf("histogram geometry: %d edges, %d counts", len(edges), len(counts))
+	}
+	if counts[0] != 3 || counts[1] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram loses mass: %d != %d", total, len(xs))
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if e, c := Histogram(nil, 4); e != nil || c != nil {
+		t.Fatal("empty histogram should be nil")
+	}
+	// Constant data must not divide by zero.
+	edges, counts := Histogram([]float64{2, 2, 2}, 3)
+	if len(edges) != 4 || counts[0] != 3 {
+		t.Fatalf("constant-data histogram: edges=%v counts=%v", edges, counts)
+	}
+}

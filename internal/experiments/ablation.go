@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"quq/internal/dist"
+	"quq/internal/quant"
+	"quq/internal/rng"
+)
+
+// AblationRow reports the per-family quantization MSE of one PRA
+// configuration, for the design-choice ablations DESIGN.md calls out:
+// mode switching, grid-search refinement, and the λ_A / q hyperparameters
+// of Algorithm 2.
+type AblationRow struct {
+	Name string
+	Bits int
+	MSE  [4]float64
+	// Modes records which QUQ mode each family's quantizer selected.
+	Modes [4]quant.Mode
+}
+
+// Ablations runs the PRA design-choice sweeps at the given bit-width.
+func Ablations(n, bits int, seed uint64) []AblationRow {
+	if n <= 0 {
+		n = 1 << 16
+	}
+	if bits == 0 {
+		bits = 6
+	}
+
+	type variant struct {
+		name   string
+		opts   quant.PRAOptions
+		refine bool
+	}
+	base := quant.DefaultPRAOptions()
+	variants := []variant{
+		{"default (λ_A=4, q=0.99)", base, false},
+		{"default + grid search", base, true},
+	}
+	noSwitch := base
+	noSwitch.DisableModeSwitch = true
+	variants = append(variants, variant{"mode switching disabled", noSwitch, false})
+	for _, lam := range []float64{2, 8, 16} {
+		o := base
+		o.LambdaA = lam
+		variants = append(variants, variant{fmt.Sprintf("λ_A=%g", lam), o, false})
+	}
+	for _, q := range []float64{0.90, 0.95, 0.999} {
+		o := base
+		o.QInit = q
+		if o.QAccept > q {
+			o.QAccept = q - 0.02
+		}
+		variants = append(variants, variant{fmt.Sprintf("q=%g", q), o, false})
+	}
+
+	var rows []AblationRow
+	for _, v := range variants {
+		row := AblationRow{Name: v.name, Bits: bits}
+		for fi, fam := range dist.Families {
+			xs := dist.Sample(fam, n, rng.New(seed))
+			p := quant.PRA(xs, bits, v.opts)
+			if v.refine {
+				p = quant.Refine(xs, p, quant.DefaultRefineOptions())
+			}
+			row.MSE[fi] = p.MSE(xs)
+			row.Modes[fi] = p.Mode
+		}
+		rows = append(rows, row)
+	}
+
+	// Uniform reference row.
+	ref := AblationRow{Name: "uniform (BaseQ)", Bits: bits}
+	for fi, fam := range dist.Families {
+		xs := dist.Sample(fam, n, rng.New(seed))
+		absmax := 0.0
+		for _, v := range xs {
+			if a := math.Abs(v); a > absmax {
+				absmax = a
+			}
+		}
+		ref.MSE[fi] = quant.UniformMSE(xs, quant.UniformDelta(absmax, bits), bits)
+		ref.Modes[fi] = quant.ModeD
+	}
+	rows = append(rows, ref)
+	return rows
+}
+
+// FormatAblations renders the sweep.
+func FormatAblations(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s", "Variant")
+	for _, fam := range dist.Families {
+		fmt.Fprintf(&b, " %-17s", fam)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s", r.Name)
+		for i := range r.MSE {
+			fmt.Fprintf(&b, " %-10.2e mode=%v", r.MSE[i], r.Modes[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quq/internal/ptq"
+	"quq/internal/quant"
+)
+
+// AblationAccRow reports fully-quantized top-1 for one QUQ configuration
+// variant — the accuracy-level counterpart of the MSE ablations, run on
+// one model.
+type AblationAccRow struct {
+	Name string
+	Acc  float64
+}
+
+// AblationAccuracy quantizes the given zoo model at the given bit-width
+// (full quantization) under several PRA/refinement variants and reports
+// top-1 for each. It isolates how much each design choice of §3.3
+// contributes to end accuracy.
+func AblationAccuracy(zm *ZooModel, bits int) []AblationAccRow {
+	type variant struct {
+		name string
+		meth ptq.Method
+	}
+	mk := func(mod func(*ptq.QUQMethod)) *ptq.QUQMethod {
+		m := ptq.NewQUQ()
+		mod(m)
+		return m
+	}
+	variants := []variant{
+		{"QUQ (paper defaults)", ptq.NewQUQ()},
+		{"mode switching disabled", mk(func(m *ptq.QUQMethod) { m.PRA.DisableModeSwitch = true })},
+		{"grid search disabled", mk(func(m *ptq.QUQMethod) { m.Refine = quant.RefineOptions{} })},
+		{"λ_A=16", mk(func(m *ptq.QUQMethod) { m.PRA.LambdaA = 16 })},
+		{"q=0.9", mk(func(m *ptq.QUQMethod) { m.PRA.QInit = 0.9; m.PRA.QAccept = 0.88 })},
+	}
+	var rows []AblationAccRow
+	for _, v := range variants {
+		qm, err := ptq.Quantize(zm.Model, v.meth, ptq.CalibOptions{
+			Bits:   bits,
+			Regime: ptq.Full,
+			Images: zm.Calib,
+		})
+		if err != nil {
+			panic("experiments: ablation accuracy: " + err.Error())
+		}
+		rows = append(rows, AblationAccRow{
+			Name: v.name,
+			Acc:  ptq.Accuracy(qm, zm.Images, zm.Labels),
+		})
+	}
+	return rows
+}
+
+// FormatAblationAcc renders the rows.
+func FormatAblationAcc(model string, bits int, rows []AblationAccRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fully quantized %d-bit top-1 on %s under QUQ variants:\n", bits, model)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-26s %s\n", r.Name, Pct(r.Acc))
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quq/internal/baselines"
+	"quq/internal/ptq"
+)
+
+// AccuracyRow is one method row of Table 2 or Table 3: top-1 accuracy
+// (percent, on the synthetic pattern task — see DESIGN.md for the
+// ImageNet substitution) per model, in ZooConfigs order.
+type AccuracyRow struct {
+	Method string
+	WA     string
+	Acc    map[string]float64
+}
+
+// Table2 regenerates the partially quantized comparison at W6/A6:
+// Original, BaseQ, PTQ4ViT, APQ-ViT, QUQ.
+func Table2(zoo []*ZooModel) []AccuracyRow {
+	methods := []ptq.Method{
+		baselines.BaseQ{},
+		baselines.PTQ4ViT{},
+		baselines.APQViT{},
+		ptq.NewQUQ(),
+	}
+	rows := []AccuracyRow{originalRow(zoo)}
+	for _, meth := range methods {
+		rows = append(rows, accuracyRow(zoo, meth, 6, ptq.Partial))
+	}
+	return rows
+}
+
+// Table3 regenerates the fully quantized comparison at W6/A6 and W8/A8:
+// Original, then BaseQ, BiScaled-FxP, FQ-ViT, QUQ per bit-width.
+func Table3(zoo []*ZooModel) []AccuracyRow {
+	methods := []ptq.Method{
+		baselines.BaseQ{},
+		baselines.BiScaled{},
+		baselines.FQViT{},
+		ptq.NewQUQ(),
+	}
+	rows := []AccuracyRow{originalRow(zoo)}
+	for _, bits := range []int{6, 8} {
+		for _, meth := range methods {
+			rows = append(rows, accuracyRow(zoo, meth, bits, ptq.Full))
+		}
+	}
+	return rows
+}
+
+func originalRow(zoo []*ZooModel) AccuracyRow {
+	row := AccuracyRow{Method: "Original", WA: "32/32", Acc: map[string]float64{}}
+	for _, zm := range zoo {
+		row.Acc[zm.Cfg.Name] = zm.FP32Acc
+	}
+	return row
+}
+
+func accuracyRow(zoo []*ZooModel, meth ptq.Method, bits int, regime ptq.Regime) AccuracyRow {
+	row := AccuracyRow{
+		Method: meth.Name(),
+		WA:     fmt.Sprintf("%d/%d", bits, bits),
+		Acc:    map[string]float64{},
+	}
+	for _, zm := range zoo {
+		qm, err := ptq.Quantize(zm.Model, meth, ptq.CalibOptions{
+			Bits:   bits,
+			Regime: regime,
+			Images: zm.Calib,
+		})
+		if err != nil {
+			// Calibration of a valid model with valid options cannot
+			// fail; surface loudly if it ever does.
+			panic(fmt.Sprintf("experiments: %s on %s: %v", meth.Name(), zm.Cfg.Name, err))
+		}
+		row.Acc[zm.Cfg.Name] = ptq.Accuracy(qm, zm.Images, zm.Labels)
+	}
+	return row
+}
+
+// FormatAccuracy renders accuracy rows in the paper's table layout.
+func FormatAccuracy(zoo []*ZooModel, rows []AccuracyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-13s %-6s", "Method", "W/A")
+	for _, zm := range zoo {
+		fmt.Fprintf(&b, " %-8s", zm.Cfg.Name)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-13s %-6s", r.Method, r.WA)
+		for _, zm := range zoo {
+			fmt.Fprintf(&b, " %-8s", Pct(r.Acc[zm.Cfg.Name]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

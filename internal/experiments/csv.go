@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quq/internal/dist"
+)
+
+// The CSV emitters produce plotting-friendly files for the figures (and
+// Table 1), so the paper's plots can be regenerated with any tool.
+// cmd/quq writes them next to the text output when -csv is set.
+
+// CSVTable1 renders the MSE rows as CSV.
+func CSVTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("method,bits")
+	for _, fam := range dist.Families {
+		fmt.Fprintf(&b, ",%s", csvEscape(fam.String()))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d", r.Method, r.Bits)
+		for _, m := range r.MSE {
+			fmt.Fprintf(&b, ",%e", m)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSVAccuracy renders Table 2/3 rows as CSV.
+func CSVAccuracy(zoo []*ZooModel, rows []AccuracyRow) string {
+	var b strings.Builder
+	b.WriteString("method,wa")
+	for _, zm := range zoo {
+		fmt.Fprintf(&b, ",%s", csvEscape(zm.Cfg.Name))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s", csvEscape(r.Method), r.WA)
+		for _, zm := range zoo {
+			fmt.Fprintf(&b, ",%.4f", 100*r.Acc[zm.Cfg.Name])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSVFig2 renders the memory sweep as CSV.
+func CSVFig2(rows []Fig2Row) string {
+	var b strings.Builder
+	b.WriteString("model,batch,pq_bytes,fq_bytes,overhead_pct\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%.2f\n", csvEscape(r.Model), r.Batch, r.PQBytes, r.FQBytes, 100*r.Overhead)
+	}
+	return b.String()
+}
+
+// CSVFig3 renders one panel's histogram and quantization points: two
+// sections, "bin_center,count" then "point".
+func CSVFig3(p Fig3Data) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# family=%s mode=%v\n", p.Family, p.Mode)
+	b.WriteString("bin_center,count\n")
+	for i, c := range p.Counts {
+		center := (p.Edges[i] + p.Edges[i+1]) / 2
+		fmt.Fprintf(&b, "%g,%d\n", center, c)
+	}
+	b.WriteString("point\n")
+	for _, pt := range p.Points {
+		fmt.Fprintf(&b, "%g\n", pt)
+	}
+	return b.String()
+}
+
+// CSVFig7 renders the retention rows as CSV.
+func CSVFig7(r Fig7Result) string {
+	var b strings.Builder
+	b.WriteString("method,wa,retention\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%s,%.6f\n", csvEscape(row.Method), row.WA, row.Retention)
+	}
+	return b.String()
+}
+
+// csvEscape guards names containing commas or quotes (none of ours do,
+// but the emitters should not silently corrupt output if that changes).
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"quq/internal/dist"
+	"quq/internal/quant"
+	"quq/internal/vit"
+)
+
+// quickZoo builds a minimal zoo once for the accuracy-table tests.
+var quickZooCache []*ZooModel
+
+func quickZoo(t *testing.T) []*ZooModel {
+	t.Helper()
+	if quickZooCache == nil {
+		quickZooCache = BuildZoo(ZooOptions{
+			Configs:     []vit.Config{vit.ViTNano},
+			TrainImages: 60,
+			EvalImages:  20,
+			CalibImages: 4,
+			Seed:        5,
+		})
+	}
+	return quickZooCache
+}
+
+func TestTable1Structure(t *testing.T) {
+	rows := Table1(1<<12, 42)
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6 (2 methods × 3 bit-widths)", len(rows))
+	}
+	// QUQ must beat BaseQ on every family at every bit-width, and MSE
+	// must fall with bit-width.
+	for i := 0; i < len(rows); i += 2 {
+		base, quqRow := rows[i], rows[i+1]
+		if base.Method != "BaseQ" || quqRow.Method != "QUQ" || base.Bits != quqRow.Bits {
+			t.Fatalf("row order broken: %+v %+v", base, quqRow)
+		}
+		for f := range base.MSE {
+			// Never worse (the uniform special case is always scored);
+			// at full sample sizes QUQ is strictly better everywhere.
+			if quqRow.MSE[f] > base.MSE[f]+1e-18 {
+				t.Errorf("bits=%d family %v: QUQ %v above BaseQ %v",
+					base.Bits, dist.Families[f], quqRow.MSE[f], base.MSE[f])
+			}
+		}
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "Post-GELU") || !strings.Contains(out, "QUQ") {
+		t.Fatal("formatted table incomplete")
+	}
+}
+
+func TestBuildZooProducesWorkingClassifier(t *testing.T) {
+	zoo := quickZoo(t)
+	if len(zoo) != 1 {
+		t.Fatalf("zoo size %d", len(zoo))
+	}
+	zm := zoo[0]
+	if zm.FP32Acc < 0.5 {
+		t.Fatalf("FP32 accuracy %v too low for a fitted model", zm.FP32Acc)
+	}
+	if len(zm.Calib) != 4 || len(zm.Images) != 20 || len(zm.Labels) != 20 {
+		t.Fatal("workload sizes wrong")
+	}
+}
+
+func TestTable2Structure(t *testing.T) {
+	zoo := quickZoo(t)
+	rows := Table2(zoo)
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want Original + 4 methods", len(rows))
+	}
+	if rows[0].Method != "Original" || rows[0].WA != "32/32" {
+		t.Fatalf("first row %+v", rows[0])
+	}
+	names := map[string]bool{}
+	for _, r := range rows[1:] {
+		names[r.Method] = true
+		if r.WA != "6/6" {
+			t.Fatalf("partial rows must be 6/6, got %s", r.WA)
+		}
+		acc := r.Acc["ViT-Nano"]
+		if acc < 0 || acc > 1 {
+			t.Fatalf("accuracy %v out of range", acc)
+		}
+	}
+	for _, want := range []string{"BaseQ", "PTQ4ViT", "APQ-ViT", "QUQ"} {
+		if !names[want] {
+			t.Fatalf("missing method %s", want)
+		}
+	}
+	out := FormatAccuracy(zoo, rows)
+	if !strings.Contains(out, "ViT-Nano") {
+		t.Fatal("format missing model column")
+	}
+}
+
+func TestTable3Structure(t *testing.T) {
+	zoo := quickZoo(t)
+	rows := Table3(zoo)
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows, want Original + 4 methods × 2 bit-widths", len(rows))
+	}
+	sixes, eights := 0, 0
+	for _, r := range rows[1:] {
+		switch r.WA {
+		case "6/6":
+			sixes++
+		case "8/8":
+			eights++
+		default:
+			t.Fatalf("unexpected W/A %s", r.WA)
+		}
+	}
+	if sixes != 4 || eights != 4 {
+		t.Fatalf("bit-width split %d/%d", sixes, eights)
+	}
+}
+
+func TestTable4AndFormat(t *testing.T) {
+	rows := Table4()
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	out := FormatTable4(rows)
+	for _, frag := range []string{"BaseQ", "QUQ", "mm2", "mW", "overhead", "6-bit QUQ vs 8-bit BaseQ"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("format missing %q", frag)
+		}
+	}
+}
+
+func TestFig2Rows(t *testing.T) {
+	rows := Fig2(6, []int{1, 4})
+	if len(rows) != 6 { // 2 batches × 3 models
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.FQBytes >= r.PQBytes {
+			t.Fatalf("%s batch %d: FQ %d not below PQ %d", r.Model, r.Batch, r.FQBytes, r.PQBytes)
+		}
+		if r.Overhead <= 0 {
+			t.Fatalf("overhead %v not positive", r.Overhead)
+		}
+	}
+	if !strings.Contains(FormatFig2(rows), "ViT-L") {
+		t.Fatal("format missing models")
+	}
+}
+
+func TestFig3Panels(t *testing.T) {
+	panels := Fig3(1<<12, 4, 42)
+	if len(panels) != 4 {
+		t.Fatalf("got %d panels", len(panels))
+	}
+	for _, p := range panels {
+		if len(p.Points) < 8 {
+			t.Fatalf("%v: only %d quantization points at 4 bits", p.Family, len(p.Points))
+		}
+		for i := 1; i < len(p.Points); i++ {
+			if p.Points[i] <= p.Points[i-1] {
+				t.Fatalf("%v: points not strictly ascending", p.Family)
+			}
+		}
+		if len(p.Edges) != len(p.Counts)+1 {
+			t.Fatalf("%v: histogram geometry broken", p.Family)
+		}
+	}
+	out := FormatFig3(panels)
+	if !strings.Contains(out, "mode") || !strings.Contains(out, "points:") {
+		t.Fatal("format incomplete")
+	}
+}
+
+func TestQuantPointsUniformCase(t *testing.T) {
+	p := quant.ParamsForUniform(1, 4)
+	pts := QuantPoints(p)
+	// Codes −8..7 → 16 distinct values.
+	if len(pts) != 16 {
+		t.Fatalf("got %d points, want 16", len(pts))
+	}
+	if pts[0] != -8 || pts[len(pts)-1] != 7 {
+		t.Fatalf("range [%v, %v]", pts[0], pts[len(pts)-1])
+	}
+}
+
+func TestFig7SmallScale(t *testing.T) {
+	res := Fig7(Fig7Options{Config: vit.ViTNano, Images: 2, Seed: 3})
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Retention < -1 || r.Retention > 1.0000001 {
+			t.Fatalf("%s %s retention %v outside [-1,1]", r.Method, r.WA, r.Retention)
+		}
+	}
+	// 8-bit must retain at least as much attention as 6-bit for the
+	// same method.
+	byKey := map[string]float64{}
+	for _, r := range res.Rows {
+		byKey[r.Method+r.WA] = r.Retention
+	}
+	if byKey["QUQ8/8"] < byKey["QUQ6/6"]-0.05 {
+		t.Fatalf("QUQ retention not improving with bits: %v vs %v", byKey["QUQ8/8"], byKey["QUQ6/6"])
+	}
+	if res.Reference == "" || len(res.Maps) != 4 {
+		t.Fatal("maps missing")
+	}
+	if !strings.Contains(FormatFig7(res), "retention") {
+		t.Fatal("format incomplete")
+	}
+}
+
+func TestAblationsStructure(t *testing.T) {
+	rows := Ablations(1<<11, 6, 42)
+	if len(rows) < 8 {
+		t.Fatalf("got %d ablation rows", len(rows))
+	}
+	var def, noSwitch, uniform *AblationRow
+	for i := range rows {
+		switch {
+		case strings.HasPrefix(rows[i].Name, "default ("):
+			def = &rows[i]
+		case rows[i].Name == "mode switching disabled":
+			noSwitch = &rows[i]
+		case rows[i].Name == "uniform (BaseQ)":
+			uniform = &rows[i]
+		}
+	}
+	if def == nil || noSwitch == nil || uniform == nil {
+		t.Fatal("expected variants missing")
+	}
+	// Mode switching must matter for the one-signed family
+	// (post-softmax): with it disabled, PRA still handles the data via
+	// the symmetric construction, but the default must be no worse.
+	for f := range def.MSE {
+		if def.MSE[f] > uniform.MSE[f] {
+			t.Errorf("default PRA worse than uniform on %v", dist.Families[f])
+		}
+	}
+	if !strings.Contains(FormatAblations(rows), "λ_A") {
+		t.Fatal("format incomplete")
+	}
+}
+
+func TestCSVEmitters(t *testing.T) {
+	t1 := CSVTable1(Table1(1<<10, 1))
+	if !strings.HasPrefix(t1, "method,bits,") || strings.Count(t1, "\n") != 7 {
+		t.Fatalf("table1 csv malformed:\n%s", t1)
+	}
+	f2 := CSVFig2(Fig2(6, []int{1}))
+	if !strings.HasPrefix(f2, "model,batch,") || strings.Count(f2, "\n") != 4 {
+		t.Fatalf("fig2 csv malformed:\n%s", f2)
+	}
+	panels := Fig3(1<<10, 4, 1)
+	f3 := CSVFig3(panels[0])
+	if !strings.Contains(f3, "bin_center,count") || !strings.Contains(f3, "point\n") {
+		t.Fatalf("fig3 csv malformed:\n%s", f3)
+	}
+	zoo := quickZoo(t)
+	acc := CSVAccuracy(zoo, Table2(zoo))
+	if !strings.HasPrefix(acc, "method,wa,ViT-Nano") {
+		t.Fatalf("accuracy csv malformed:\n%s", acc)
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if got := csvEscape(`a,b`); got != `"a,b"` {
+		t.Fatalf("escape = %q", got)
+	}
+	if got := csvEscape(`a"b`); got != `"a""b"` {
+		t.Fatalf("escape = %q", got)
+	}
+	if got := csvEscape("plain"); got != "plain" {
+		t.Fatalf("escape = %q", got)
+	}
+}
+
+func TestAblationAccuracyStructure(t *testing.T) {
+	zoo := quickZoo(t)
+	rows := AblationAccuracy(zoo[0], 6)
+	if len(rows) != 5 {
+		t.Fatalf("got %d variant rows", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		if r.Acc < 0 || r.Acc > 1 {
+			t.Fatalf("%s accuracy %v out of range", r.Name, r.Acc)
+		}
+		names[r.Name] = true
+	}
+	if !names["QUQ (paper defaults)"] || !names["mode switching disabled"] {
+		t.Fatal("expected variants missing")
+	}
+	if !strings.Contains(FormatAblationAcc("x", 6, rows), "mode switching") {
+		t.Fatal("format incomplete")
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"quq/internal/dist"
+	"quq/internal/quant"
+	"quq/internal/rng"
+)
+
+// Fig3Data describes one panel of Figure 3: a data family's histogram and
+// the QUQ quantization points PRA generates for it at 4 bits.
+type Fig3Data struct {
+	Family dist.Family
+	Mode   quant.Mode
+	Edges  []float64
+	Counts []int
+	// Points are the representable values of the calibrated quantizer,
+	// ascending (the vertical lines of Figure 3).
+	Points []float64
+}
+
+// Fig3 regenerates the distribution/quantization-point panels. bits is 4
+// in the paper's figure.
+func Fig3(n, bits int, seed uint64) []Fig3Data {
+	if n <= 0 {
+		n = 1 << 16
+	}
+	if bits == 0 {
+		bits = 4
+	}
+	var out []Fig3Data
+	for _, fam := range dist.Families {
+		xs := dist.Sample(fam, n, rng.New(seed))
+		p := quant.PRA(xs, bits, quant.DefaultPRAOptions())
+		edges, counts := dist.Histogram(xs, 80)
+		out = append(out, Fig3Data{
+			Family: fam,
+			Mode:   p.Mode,
+			Edges:  edges,
+			Counts: counts,
+			Points: QuantPoints(p),
+		})
+	}
+	return out
+}
+
+// QuantPoints enumerates the distinct representable values of a QUQ
+// parameter set, ascending.
+func QuantPoints(p *quant.Params) []float64 {
+	seen := map[float64]bool{0: true}
+	for _, s := range []quant.Slot{quant.FNeg, quant.FPos, quant.CNeg, quant.CPos} {
+		sp := p.Slot(s)
+		if !sp.Enabled {
+			continue
+		}
+		for m := int64(1); m <= sp.MaxMag; m++ {
+			v := float64(m) * sp.Delta
+			if s.Negative() {
+				v = -v
+			}
+			seen[v] = true
+		}
+	}
+	points := make([]float64, 0, len(seen))
+	for v := range seen {
+		points = append(points, v)
+	}
+	sort.Float64s(points)
+	return points
+}
+
+// FormatFig3 renders each panel as an ASCII histogram with the
+// quantization points marked beneath, plus a CSV block for plotting.
+func FormatFig3(panels []Fig3Data) string {
+	var b strings.Builder
+	for _, p := range panels {
+		fmt.Fprintf(&b, "== %s (mode %v, %d quantization points) ==\n", p.Family, p.Mode, len(p.Points))
+		maxC := 1
+		for _, c := range p.Counts {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		const height = 8
+		for row := height; row >= 1; row-- {
+			for _, c := range p.Counts {
+				// Log-ish scaling so the long tails stay visible.
+				level := 0
+				if c > 0 {
+					level = 1 + (height-1)*c/maxC
+				}
+				if level >= row {
+					b.WriteByte('#')
+				} else {
+					b.WriteByte(' ')
+				}
+			}
+			b.WriteByte('\n')
+		}
+		// Mark quantization points along the same axis.
+		lo, hi := p.Edges[0], p.Edges[len(p.Edges)-1]
+		marks := make([]byte, len(p.Counts))
+		for i := range marks {
+			marks[i] = '-'
+		}
+		for _, pt := range p.Points {
+			if pt < lo || pt > hi {
+				continue
+			}
+			idx := int(float64(len(marks)-1) * (pt - lo) / (hi - lo))
+			marks[idx] = '|'
+		}
+		b.Write(marks)
+		fmt.Fprintf(&b, "\n[%.4g .. %.4g]\n", lo, hi)
+		fmt.Fprintf(&b, "points: ")
+		for i, pt := range p.Points {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.4g", pt)
+		}
+		b.WriteString("\n\n")
+	}
+	return b.String()
+}

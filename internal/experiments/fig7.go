@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quq/internal/baselines"
+	"quq/internal/data"
+	"quq/internal/nn"
+	"quq/internal/ptq"
+	"quq/internal/tensor"
+	"quq/internal/vit"
+)
+
+// Fig7Row reports, for one quantization setting, how much of the FP32
+// attention structure survives: the mean cosine similarity between the
+// quantized and FP32 attention-rollout maps over the evaluation images.
+// This quantifies what the paper's Figure 7 shows visually — at 6 bits
+// uniform quantization's attention "is no longer activated" while QUQ
+// "still effectively maintains attention in crucial regions".
+type Fig7Row struct {
+	Method    string
+	WA        string
+	Retention float64
+}
+
+// Fig7Result bundles the retention scores with a rendered example map
+// per setting.
+type Fig7Result struct {
+	Rows []Fig7Row
+	// Maps holds one ASCII heatmap per row (same order), of the first
+	// evaluation image, plus the FP32 reference in Reference.
+	Reference string
+	Maps      []string
+}
+
+// Fig7Options scales the experiment.
+type Fig7Options struct {
+	Config vit.Config // default ViT-S
+	Images int        // default 8
+	Seed   uint64
+}
+
+// Fig7 regenerates the attention-map experiment: FP32 versus BaseQ and
+// QUQ under full quantization at 8 and 6 bits.
+func Fig7(opts Fig7Options) Fig7Result {
+	if opts.Config.Name == "" {
+		opts.Config = vit.ViTSmall
+	}
+	if opts.Images == 0 {
+		opts.Images = 8
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 2024
+	}
+	cfg := opts.Config
+	m, _ := nn.PretrainedZoo(cfg, opts.Seed, 120)
+	calib := data.CalibrationSet(cfg, 16, opts.Seed)
+	images := data.Images(cfg, opts.Images, opts.Seed^0xF16)
+
+	refMaps := make([]*tensor.Tensor, len(images))
+	for i, img := range images {
+		refMaps[i] = rolloutMap(cfg, img, func(img *tensor.Tensor, o vit.ForwardOpts) {
+			m.Forward(img, o)
+		})
+	}
+
+	res := Fig7Result{Reference: renderMap(refMaps[0])}
+	for _, bits := range []int{8, 6} {
+		for _, meth := range []ptq.Method{baselines.BaseQ{}, ptq.NewQUQ()} {
+			qm, err := ptq.Quantize(m, meth, ptq.CalibOptions{Bits: bits, Regime: ptq.Full, Images: calib})
+			if err != nil {
+				panic("experiments: fig7 quantize: " + err.Error())
+			}
+			var sum float64
+			var first *tensor.Tensor
+			for i, img := range images {
+				qmap := rolloutMap(cfg, img, func(img *tensor.Tensor, o vit.ForwardOpts) {
+					qm.ForwardOpts(img, o)
+				})
+				if i == 0 {
+					first = qmap
+				}
+				sum += tensor.CosineSimilarity(refMaps[i], qmap)
+			}
+			res.Rows = append(res.Rows, Fig7Row{
+				Method:    meth.Name(),
+				WA:        fmt.Sprintf("%d/%d", bits, bits),
+				Retention: sum / float64(len(images)),
+			})
+			res.Maps = append(res.Maps, renderMap(first))
+		}
+	}
+	return res
+}
+
+// rolloutMap computes the attention-rollout saliency of the class token
+// over the patch grid: per block, average the heads, mix with identity
+// (Ā = (A+I)/2, row-normalized), multiply through the blocks, and read
+// the class-token row restricted to patch tokens.
+func rolloutMap(cfg vit.Config, img *tensor.Tensor, forward func(*tensor.Tensor, vit.ForwardOpts)) *tensor.Tensor {
+	t := cfg.Tokens()
+	rollout := identity(t)
+	forward(img, vit.ForwardOpts{
+		Attn: func(_ int, attn *tensor.Tensor) {
+			heads := attn.Dim(0) / t
+			avg := tensor.New(t, t)
+			for h := 0; h < heads; h++ {
+				for i := 0; i < t; i++ {
+					row := attn.Row(h*t + i)
+					arow := avg.Row(i)
+					for j := 0; j < t; j++ {
+						arow[j] += row[j] / float64(heads)
+					}
+				}
+			}
+			// Ā = (A + I)/2, rows renormalized.
+			for i := 0; i < t; i++ {
+				row := avg.Row(i)
+				row[i] += 1
+				var s float64
+				for _, v := range row {
+					s += v
+				}
+				for j := range row {
+					row[j] /= s
+				}
+			}
+			rollout = tensor.MatMul(avg, rollout)
+		},
+	})
+	// Class-token attention over patch tokens (skip cls/dist/register).
+	skip := t - cfg.ImageSize/cfg.PatchSize*cfg.ImageSize/cfg.PatchSize
+	g := cfg.ImageSize / cfg.PatchSize
+	out := tensor.New(g, g)
+	clsRow := rollout.Row(0)
+	for i := 0; i < g*g; i++ {
+		out.Data()[i] = clsRow[skip+i]
+	}
+	// Normalize to unit sum so maps are comparable.
+	if s := out.Sum(); s > 0 {
+		out.Scale(1 / s)
+	}
+	return out
+}
+
+func identity(n int) *tensor.Tensor {
+	t := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		t.Set(1, i, i)
+	}
+	return t
+}
+
+// renderMap draws an ASCII heatmap of a [g,g] saliency map.
+func renderMap(m *tensor.Tensor) string {
+	shades := []byte(" .:-=+*#%@")
+	maxV := m.Max()
+	if maxV <= 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	g := m.Dim(0)
+	for y := 0; y < g; y++ {
+		for x := 0; x < g; x++ {
+			level := int(m.At(y, x) / maxV * float64(len(shades)-1))
+			if level < 0 {
+				level = 0
+			}
+			if level >= len(shades) {
+				level = len(shades) - 1
+			}
+			b.WriteByte(shades[level])
+			b.WriteByte(shades[level]) // double width for aspect ratio
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatFig7 renders the retention table and the example maps.
+func FormatFig7(r Fig7Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-5s %s\n", "Method", "W/A", "Attention retention (cosine vs FP32)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %-5s %.4f\n", row.Method, row.WA, row.Retention)
+	}
+	b.WriteString("\nFP32 attention rollout (example):\n")
+	b.WriteString(r.Reference)
+	for i, row := range r.Rows {
+		fmt.Fprintf(&b, "\n%s %s:\n%s", row.Method, row.WA, r.Maps[i])
+	}
+	return b.String()
+}

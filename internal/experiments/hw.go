@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quq/internal/hweval"
+	"quq/internal/memsim"
+)
+
+// Table4 returns the accelerator area/power reports in the paper's row
+// order.
+func Table4() []hweval.Report { return hweval.Table4() }
+
+// FormatTable4 renders the reports in the paper's layout, followed by
+// the derived relative-overhead and cross-bit-width comparisons.
+func FormatTable4(reports []hweval.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s %-5s %-22s %-22s\n", "Method", "W/A", "16x16 PE Array", "64x64 PE Array")
+	byKey := map[string]hweval.Report{}
+	for _, r := range reports {
+		byKey[fmt.Sprintf("%v/%d/%d", r.Config.Design, r.Config.Bits, r.Config.N)] = r
+	}
+	for _, bits := range []int{6, 8} {
+		for _, d := range []hweval.Design{hweval.BaseQDesign, hweval.QUADesign} {
+			r16 := byKey[fmt.Sprintf("%v/%d/16", d, bits)]
+			r64 := byKey[fmt.Sprintf("%v/%d/64", d, bits)]
+			fmt.Fprintf(&b, "%-7v %d/%-3d %7.3f mm2 %7.1f mW %7.3f mm2 %7.1f mW\n",
+				d, bits, bits, r16.AreaMM2, r16.PowerMW, r64.AreaMM2, r64.PowerMW)
+		}
+	}
+	for _, bits := range []int{6, 8} {
+		for _, n := range []int{16, 64} {
+			a, p := hweval.RelativeOverhead(bits, n)
+			fmt.Fprintf(&b, "QUQ overhead @%d-bit %dx%d: area %+.1f%%, power %+.1f%%\n", bits, n, n, a, p)
+		}
+	}
+	for _, n := range []int{16, 64} {
+		a, p := hweval.CrossBitSavings(n)
+		fmt.Fprintf(&b, "6-bit QUQ vs 8-bit BaseQ @%dx%d: area -%.1f%%, power -%.1f%%\n", n, n, a, p)
+	}
+	return b.String()
+}
+
+// Fig2Row is one point of the Figure 2 sweep.
+type Fig2Row struct {
+	Model    string
+	Batch    int
+	PQBytes  int64
+	FQBytes  int64
+	Overhead float64 // PQ/FQ − 1
+}
+
+// Fig2 regenerates the peak-memory comparison at the given bit-width
+// over the paper's real ViT-S/B/L block geometries and a batch sweep.
+func Fig2(bits int, batches []int) []Fig2Row {
+	if bits == 0 {
+		bits = 6
+	}
+	if len(batches) == 0 {
+		batches = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	var rows []Fig2Row
+	for _, batch := range batches {
+		for _, blk := range memsim.PaperBlocks(batch) {
+			pq, _ := memsim.Peak(blk, memsim.PartialQuant(bits))
+			fq, _ := memsim.Peak(blk, memsim.FullQuant(bits))
+			rows = append(rows, Fig2Row{
+				Model:    blk.Name,
+				Batch:    batch,
+				PQBytes:  pq,
+				FQBytes:  fq,
+				Overhead: float64(pq)/float64(fq) - 1,
+			})
+		}
+	}
+	return rows
+}
+
+// FormatFig2 renders the sweep.
+func FormatFig2(rows []Fig2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s %-6s %-12s %-12s %s\n", "Model", "Batch", "PQ peak", "FQ peak", "PQ overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-7s %-6d %-12s %-12s %.1f%%\n",
+			r.Model, r.Batch, memsim.FormatBytes(r.PQBytes), memsim.FormatBytes(r.FQBytes), 100*r.Overhead)
+	}
+	return b.String()
+}

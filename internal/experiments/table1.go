@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"quq/internal/dist"
+	"quq/internal/quant"
+	"quq/internal/rng"
+)
+
+// Table1Row is one row of the paper's Table 1: the mean squared
+// quantization error of a method at one bit-width over the four Figure 3
+// data families.
+type Table1Row struct {
+	Method string
+	Bits   int
+	// MSE holds one entry per dist.Families member, in order.
+	MSE [4]float64
+}
+
+// Table1 regenerates the MSE comparison. n is the sample count per
+// family (the paper uses full calibration tensors; 1<<18 reproduces the
+// reported magnitudes).
+func Table1(n int, seed uint64) []Table1Row {
+	if n <= 0 {
+		n = 1 << 18
+	}
+	var rows []Table1Row
+	for _, bits := range []int{4, 6, 8} {
+		base := Table1Row{Method: "BaseQ", Bits: bits}
+		quqRow := Table1Row{Method: "QUQ", Bits: bits}
+		for fi, fam := range dist.Families {
+			xs := dist.Sample(fam, n, rng.New(seed))
+			absmax := 0.0
+			for _, v := range xs {
+				if a := math.Abs(v); a > absmax {
+					absmax = a
+				}
+			}
+			base.MSE[fi] = quant.UniformMSE(xs, quant.UniformDelta(absmax, bits), bits)
+			// Calibrate = PRA plus the uniform-special-case comparison,
+			// realizing the paper's "not inferior to uniform" guarantee.
+			p := quant.Calibrate(xs, bits, quant.DefaultPRAOptions())
+			quqRow.MSE[fi] = p.MSE(xs)
+		}
+		rows = append(rows, base, quqRow)
+	}
+	return rows
+}
+
+// FormatTable1 renders the rows in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s %-4s", "Method", "Bit")
+	for _, fam := range dist.Families {
+		fmt.Fprintf(&b, " %-15s", fam)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-7s %-4d", r.Method, r.Bits)
+		for _, m := range r.MSE {
+			fmt.Fprintf(&b, " %-15.2e", m)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+// Package experiments regenerates every table and figure of the QUQ
+// paper's evaluation (§6) on this repository's substrates: Table 1
+// (quantization MSE), Tables 2–3 (partially/fully quantized accuracy),
+// Table 4 (accelerator area/power), Figure 2 (peak memory), Figure 3
+// (distributions and quantization points) and Figure 7 (attention-map
+// retention), plus the ablations DESIGN.md calls out.
+//
+// Each experiment is a function returning typed rows; cmd/quq renders
+// them as tables, and the root-level benchmarks time them.
+package experiments
+
+import (
+	"fmt"
+
+	"quq/internal/data"
+	"quq/internal/nn"
+	"quq/internal/ptq"
+	"quq/internal/tensor"
+	"quq/internal/vit"
+)
+
+// ZooOptions scales the model-zoo experiments: the full settings
+// regenerate the paper tables, the quick settings keep unit tests and
+// benchmarks fast.
+type ZooOptions struct {
+	// Configs to evaluate (default: the six paper models).
+	Configs []vit.Config
+	// TrainImages per model for head fitting (default 300).
+	TrainImages int
+	// EvalImages for top-1 accuracy (default 200).
+	EvalImages int
+	// CalibImages for PTQ calibration (default 32, as in the paper).
+	CalibImages int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (o *ZooOptions) defaults() {
+	if len(o.Configs) == 0 {
+		o.Configs = vit.ZooConfigs
+	}
+	if o.TrainImages == 0 {
+		o.TrainImages = 300
+	}
+	if o.EvalImages == 0 {
+		o.EvalImages = 150
+	}
+	if o.CalibImages == 0 {
+		o.CalibImages = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 2024
+	}
+}
+
+// ZooModel is one prepared ("pretrained") proxy model with its evaluation
+// and calibration workloads.
+type ZooModel struct {
+	Cfg    vit.Config
+	Model  vit.Model
+	Calib  []*tensor.Tensor
+	Images []*tensor.Tensor
+	Labels []int
+	// FP32Acc is the unquantized model's top-1 on the eval set — the
+	// "Original" row of Tables 2–3.
+	FP32Acc float64
+}
+
+// BuildZoo prepares the models: synthetic backbone with trained-ViT
+// activation statistics, head fitted on the pattern task (the repo's
+// substitution for pretrained ImageNet checkpoints — DESIGN.md).
+func BuildZoo(opts ZooOptions) []*ZooModel {
+	opts.defaults()
+	var out []*ZooModel
+	for i, cfg := range opts.Configs {
+		seed := opts.Seed + uint64(i)*1000
+		m, _ := nn.PretrainedZoo(cfg, seed, opts.TrainImages)
+		test := data.PatternSamples(cfg.Channels, cfg.ImageSize, opts.EvalImages, seed^0x7E57)
+		images := make([]*tensor.Tensor, len(test))
+		labels := make([]int, len(test))
+		for j, s := range test {
+			images[j] = s.Image
+			labels[j] = s.Label
+		}
+		zm := &ZooModel{
+			Cfg:    cfg,
+			Model:  m,
+			Calib:  data.CalibrationSet(cfg, opts.CalibImages, seed),
+			Images: images,
+			Labels: labels,
+		}
+		zm.FP32Acc = ptq.Accuracy(ptq.ModelClassifier{M: m}, images, labels)
+		out = append(out, zm)
+	}
+	return out
+}
+
+// Pct renders a [0,1] accuracy as the paper's percentage convention.
+func Pct(v float64) string { return fmt.Sprintf("%.2f", 100*v) }

@@ -1,0 +1,162 @@
+package hweval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnchorCalibration(t *testing.T) {
+	// The model is calibrated to the paper's BaseQ 6-bit 16×16 point:
+	// 0.148 mm², 52.4 mW. Guard the calibration within 3%.
+	r := Evaluate(DefaultConfig(BaseQDesign, 6, 16))
+	if math.Abs(r.AreaMM2-0.148)/0.148 > 0.03 {
+		t.Fatalf("anchor area %v drifted from 0.148", r.AreaMM2)
+	}
+	if math.Abs(r.PowerMW-52.4)/52.4 > 0.03 {
+		t.Fatalf("anchor power %v drifted from 52.4", r.PowerMW)
+	}
+}
+
+func TestPaperAbsolutesWithinBand(t *testing.T) {
+	// The uncalibrated points must land near the paper's values (±12%):
+	// the model derives them from component counts, not fits.
+	want := []struct {
+		d    Design
+		bits int
+		n    int
+		area float64
+	}{
+		{BaseQDesign, 6, 64, 2.205},
+		{BaseQDesign, 8, 16, 0.175},
+		{BaseQDesign, 8, 64, 2.702},
+		{QUADesign, 6, 16, 0.153},
+		{QUADesign, 6, 64, 2.247},
+		{QUADesign, 8, 16, 0.182},
+		{QUADesign, 8, 64, 2.714},
+	}
+	for _, w := range want {
+		r := Evaluate(DefaultConfig(w.d, w.bits, w.n))
+		if math.Abs(r.AreaMM2-w.area)/w.area > 0.12 {
+			t.Errorf("%v %d-bit %dx%d area %v, paper %v (off by %.1f%%)",
+				w.d, w.bits, w.n, w.n, r.AreaMM2, w.area, 100*math.Abs(r.AreaMM2-w.area)/w.area)
+		}
+	}
+}
+
+func TestQUQOverheadBounds(t *testing.T) {
+	// Paper: "less than 5% and 10% overheads in area and power,
+	// respectively, for the considered cases."
+	for _, bits := range []int{6, 8} {
+		for _, n := range []int{16, 64} {
+			a, p := RelativeOverhead(bits, n)
+			if a <= 0 || a >= 5 {
+				t.Errorf("area overhead %v%% at b=%d n=%d outside (0,5)", a, bits, n)
+			}
+			if p <= 0 || p >= 10 {
+				t.Errorf("power overhead %v%% at b=%d n=%d outside (0,10)", p, bits, n)
+			}
+		}
+	}
+}
+
+func TestOverheadShrinksWithArraySize(t *testing.T) {
+	// "Increasing the size of the PE array reduces the relative area
+	// overhead" — periphery amortizes against n² PEs.
+	a16, _ := RelativeOverhead(6, 16)
+	a64, _ := RelativeOverhead(6, 64)
+	if a64 >= a16 {
+		t.Fatalf("area overhead did not shrink: 16x16 %v%%, 64x64 %v%%", a16, a64)
+	}
+}
+
+func TestCrossBitSavings(t *testing.T) {
+	// Paper headline: 6-bit QUQ achieves higher accuracy than 8-bit
+	// BaseQ at 12.6–16.8% less area and 3.7–5.6% less power. Our band is
+	// close; guard that both savings are clearly positive and the area
+	// saving is in the paper's neighbourhood.
+	for _, n := range []int{16, 64} {
+		a, p := CrossBitSavings(n)
+		if a < 10 || a > 22 {
+			t.Errorf("area saving %v%% at %dx%d outside the paper neighbourhood", a, n, n)
+		}
+		if p <= 0 {
+			t.Errorf("power saving %v%% at %dx%d not positive", p, n, n)
+		}
+	}
+}
+
+func TestAreaGrowsWithEverything(t *testing.T) {
+	base := Evaluate(DefaultConfig(BaseQDesign, 6, 16))
+	bigger := Evaluate(DefaultConfig(BaseQDesign, 6, 32))
+	wider := Evaluate(DefaultConfig(BaseQDesign, 8, 16))
+	qua := Evaluate(DefaultConfig(QUADesign, 6, 16))
+	if bigger.AreaMM2 <= base.AreaMM2 || wider.AreaMM2 <= base.AreaMM2 || qua.AreaMM2 <= base.AreaMM2 {
+		t.Fatal("area not monotone in array size / bit-width / design")
+	}
+}
+
+func TestQuadraticPEScaling(t *testing.T) {
+	// 64×64 has 16× the PEs of 16×16; total area grows slightly less
+	// than 16× because the periphery is linear in n.
+	a16 := Evaluate(DefaultConfig(BaseQDesign, 6, 16)).AreaMM2
+	a64 := Evaluate(DefaultConfig(BaseQDesign, 6, 64)).AreaMM2
+	ratio := a64 / a16
+	if ratio >= 16 || ratio < 14 {
+		t.Fatalf("area scaling ratio %v, want just below 16", ratio)
+	}
+}
+
+func TestBreakdownAccountsForTotal(t *testing.T) {
+	r := Evaluate(DefaultConfig(QUADesign, 8, 16))
+	var gates float64
+	for _, g := range r.Breakdown {
+		gates += g
+	}
+	if got := gates * AreaPerGate / 1e6; math.Abs(got-r.AreaMM2) > 1e-9 {
+		t.Fatalf("breakdown %v mm2 != total %v mm2", got, r.AreaMM2)
+	}
+	if _, ok := r.Breakdown["decode-units"]; !ok {
+		t.Fatal("QUA breakdown missing decode units")
+	}
+	if r.ExtraRegBits == 0 {
+		t.Fatal("QUA must report extra clocked bits (the n_sh pipeline)")
+	}
+	if Evaluate(DefaultConfig(BaseQDesign, 8, 16)).ExtraRegBits != 0 {
+		t.Fatal("BaseQ must have no extra register bits")
+	}
+}
+
+func TestDefaultsFilledIn(t *testing.T) {
+	r := Evaluate(Config{Design: BaseQDesign, Bits: 6, N: 16})
+	if r.AreaMM2 <= 0 || r.PowerMW <= 0 {
+		t.Fatal("zero-value AccBits/clock not defaulted")
+	}
+}
+
+func TestClockScalesPower(t *testing.T) {
+	c := DefaultConfig(BaseQDesign, 6, 16)
+	c.ClockMHz = 1000
+	fast := Evaluate(c)
+	slow := Evaluate(DefaultConfig(BaseQDesign, 6, 16))
+	if math.Abs(fast.PowerMW-2*slow.PowerMW) > 1e-9 {
+		t.Fatalf("power did not scale with clock: %v vs %v", fast.PowerMW, slow.PowerMW)
+	}
+	if fast.AreaMM2 != slow.AreaMM2 {
+		t.Fatal("area must not depend on clock")
+	}
+}
+
+func TestTable4RowCount(t *testing.T) {
+	rows := Table4()
+	if len(rows) != 8 {
+		t.Fatalf("Table4 has %d rows, want 8", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		key := r.Config.Design.String() + string(rune('0'+r.Config.Bits)) + string(rune('a'+r.Config.N/16))
+		if seen[key] {
+			t.Fatal("duplicate Table 4 row")
+		}
+		seen[key] = true
+	}
+}

@@ -1,0 +1,82 @@
+// Package mathx collects the small numerical helpers shared by the model
+// stack, the synthetic data generators and the quantizers: activation
+// functions, stable softmax, and power-of-two utilities.
+package mathx
+
+import "math"
+
+// Gelu is the Gaussian error linear unit, x·Φ(x), computed with the exact
+// erf formulation (the paper's ViTs use exact GELU, not the tanh
+// approximation).
+func Gelu(x float64) float64 {
+	return 0.5 * x * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// SoftmaxInPlace replaces xs with softmax(xs), using the max-subtraction
+// trick for numerical stability. An empty slice is left unchanged.
+func SoftmaxInPlace(xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	var sum float64
+	for i, v := range xs {
+		e := math.Exp(v - m)
+		xs[i] = e
+		sum += e
+	}
+	for i := range xs {
+		xs[i] /= sum
+	}
+}
+
+// IsPow2Ratio reports whether a/b equals 2^k for some integer k ≥ 0,
+// within floating-point tolerance.
+func IsPow2Ratio(a, b float64) bool {
+	if a <= 0 || b <= 0 {
+		return false
+	}
+	k := math.Log2(a / b)
+	return k > -1e-9 && math.Abs(k-math.Round(k)) < 1e-9
+}
+
+// Log2Int returns log2(v) for a positive power-of-two integer, and -1
+// otherwise.
+func Log2Int(v int64) int {
+	if v <= 0 || v&(v-1) != 0 {
+		return -1
+	}
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ClampInt limits v to [lo, hi].
+func ClampInt(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

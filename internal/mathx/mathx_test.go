@@ -1,0 +1,101 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeluKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0},
+		{1, 0.841345},
+		{-1, -0.158655},
+		{3, 2.995950},
+		{-3, -0.004050},
+	}
+	for _, c := range cases {
+		if got := Gelu(c.x); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("Gelu(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestGeluLowerBound(t *testing.T) {
+	// min GELU ≈ −0.17 at x ≈ −0.7518.
+	for x := -6.0; x <= 6.0; x += 0.001 {
+		if g := Gelu(x); g < -0.17001 {
+			t.Fatalf("Gelu(%v) = %v below the analytic minimum", x, g)
+		}
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	SoftmaxInPlace(xs)
+	var sum float64
+	for i, v := range xs {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("softmax[%d] = %v outside (0,1)", i, v)
+		}
+		sum += v
+		if i > 0 && xs[i] <= xs[i-1] {
+			t.Fatal("softmax not monotone in its inputs")
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("softmax sums to %v", sum)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	xs := []float64{1000, 1001, 1002}
+	SoftmaxInPlace(xs)
+	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax overflowed: %v", xs)
+		}
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	a := []float64{0.3, -1.2, 2.5}
+	b := []float64{0.3 + 7, -1.2 + 7, 2.5 + 7}
+	SoftmaxInPlace(a)
+	SoftmaxInPlace(b)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("softmax not shift invariant at %d", i)
+		}
+	}
+}
+
+func TestSoftmaxEmpty(t *testing.T) {
+	SoftmaxInPlace(nil) // must not panic
+}
+
+func TestIsPow2Ratio(t *testing.T) {
+	if !IsPow2Ratio(8, 2) || !IsPow2Ratio(0.25, 0.25) || !IsPow2Ratio(1, 0.125) {
+		t.Error("valid power-of-two ratios rejected")
+	}
+	if IsPow2Ratio(3, 2) || IsPow2Ratio(0, 1) || IsPow2Ratio(-4, 2) {
+		t.Error("invalid ratios accepted")
+	}
+}
+
+func TestLog2Int(t *testing.T) {
+	cases := map[int64]int{1: 0, 2: 1, 1024: 10, 3: -1, 0: -1, -8: -1, 6: -1}
+	for v, want := range cases {
+		if got := Log2Int(v); got != want {
+			t.Errorf("Log2Int(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-5, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp wrong")
+	}
+	if ClampInt(5, -2, 3) != 3 || ClampInt(-5, -2, 3) != -2 || ClampInt(1, -2, 3) != 1 {
+		t.Error("ClampInt wrong")
+	}
+}

@@ -1,0 +1,163 @@
+// Package memsim reproduces the paper's Figure 2: the peak on-chip
+// memory a ViT block needs during inference, under partial versus full
+// quantization.
+//
+// The accounting follows §2 of the paper exactly: only the weights of the
+// currently executing operation are resident (loading whole models
+// on-chip is impractical at the edge), while *all* live activations stay
+// on-chip to avoid off-chip round trips. The walker below executes the
+// block's operation sequence symbolically, tracking the live activation
+// set and the current operation's weights, and reports the peak.
+//
+// Under partial quantization the GEMM inputs are b-bit but the remaining
+// activations (residual stream, attention logits, GELU input) stay in
+// FP32; under full quantization every activation is b-bit. Weights are
+// b-bit in both regimes.
+package memsim
+
+import "fmt"
+
+// BlockShape describes one transformer block workload.
+type BlockShape struct {
+	Name     string
+	Batch    int
+	Tokens   int
+	Dim      int
+	Heads    int
+	MLPRatio int
+}
+
+// Precision gives the bit-widths of each tensor class.
+type Precision struct {
+	// GEMMBits applies to GEMM input activations (green points).
+	GEMMBits int
+	// OtherBits applies to the remaining activations (red points):
+	// equal to GEMMBits under full quantization, 32 under partial.
+	OtherBits int
+	// WeightBits applies to weights.
+	WeightBits int
+}
+
+// PartialQuant returns the partial-quantization precision at b bits.
+func PartialQuant(b int) Precision { return Precision{GEMMBits: b, OtherBits: 32, WeightBits: b} }
+
+// FullQuant returns the full-quantization precision at b bits.
+func FullQuant(b int) Precision { return Precision{GEMMBits: b, OtherBits: b, WeightBits: b} }
+
+// Step is one operation of the block walk, with the memory resident while
+// it executes.
+type Step struct {
+	Op              string
+	WeightBytes     int64
+	ActivationBytes int64
+}
+
+// Total returns the step's resident bytes.
+func (s Step) Total() int64 { return s.WeightBytes + s.ActivationBytes }
+
+// tensorBytes returns the storage for n elements at the given bit-width,
+// rounded up to whole bytes per tensor.
+func tensorBytes(n int64, bits int) int64 {
+	return (n*int64(bits) + 7) / 8
+}
+
+// Peak walks one block and returns the peak resident bytes and the step
+// trace. The operation sequence and liveness follow the Figure 1 data
+// flow; comments note which tensors die at each step.
+func Peak(s BlockShape, p Precision) (int64, []Step) {
+	b := int64(s.Batch)
+	t := int64(s.Tokens)
+	d := int64(s.Dim)
+	h := int64(s.Heads)
+	m := int64(s.MLPRatio) * d
+
+	green := func(n int64) int64 { return tensorBytes(n, p.GEMMBits) }
+	red := func(n int64) int64 { return tensorBytes(n, p.OtherBits) }
+	weight := func(n int64) int64 { return tensorBytes(n, p.WeightBits) }
+
+	var steps []Step
+	add := func(op string, w int64, acts ...int64) {
+		var a int64
+		for _, v := range acts {
+			a += v
+		}
+		steps = append(steps, Step{Op: op, WeightBytes: w, ActivationBytes: a})
+	}
+
+	x := red(b * t * d)     // residual stream (red: LN/residual input)
+	ln1 := green(b * t * d) // LN1 output (GEMM input)
+	qkv := green(3 * b * t * d)
+	logits := red(b * h * t * t)
+	probs := green(b * h * t * t)
+	ctx := green(b * t * d)
+	projOut := red(b * t * d)
+	resid1 := red(b * t * d)
+	ln2 := green(b * t * d)
+	hid := red(b * t * m) // GELU input
+	gelu := green(b * t * m)
+	fc2Out := red(b * t * d)
+
+	// LayerNorm 1: x live (needed for the residual), producing ln1.
+	add("ln1", 0, x, ln1)
+	// QKV projection: weights D×3D; x stays live, ln1 consumed on the fly
+	// but resident during the GEMM.
+	add("qkv", weight(d*3*d), x, ln1, qkv)
+	// Attention logits Q·Kᵀ: q and k feed the matmul, v stays live.
+	add("attn.logits", 0, x, qkv, logits)
+	// Softmax: logits in, probabilities out; q,k dead, v (1/3 of qkv) live.
+	add("softmax", 0, x, green(b*t*d), logits, probs)
+	// Context P·V.
+	add("attn.ctx", 0, x, green(b*t*d), probs, ctx)
+	// Output projection.
+	add("proj", weight(d*d), x, ctx, projOut)
+	// Residual add 1: x and projOut die into resid1.
+	add("resid1", 0, x, projOut, resid1)
+	// LayerNorm 2: resid1 stays live for the second residual.
+	add("ln2", 0, resid1, ln2)
+	// MLP fc1.
+	add("fc1", weight(d*m), resid1, ln2, hid)
+	// GELU.
+	add("gelu", 0, resid1, hid, gelu)
+	// MLP fc2.
+	add("fc2", weight(m*d), resid1, gelu, fc2Out)
+	// Residual add 2.
+	add("resid2", 0, resid1, fc2Out, red(b*t*d))
+
+	var peak int64
+	for _, st := range steps {
+		if st.Total() > peak {
+			peak = st.Total()
+		}
+	}
+	return peak, steps
+}
+
+// Overhead returns the relative extra peak memory of partial over full
+// quantization at b bits: peak(PQ)/peak(FQ) − 1.
+func Overhead(s BlockShape, bits int) float64 {
+	pq, _ := Peak(s, PartialQuant(bits))
+	fq, _ := Peak(s, FullQuant(bits))
+	return float64(pq)/float64(fq) - 1
+}
+
+// PaperBlocks returns the real (not proxy) block geometries of the
+// paper's Figure 2 sweep: ViT-S/B/L at 224×224 with 16×16 patches
+// (197 tokens).
+func PaperBlocks(batch int) []BlockShape {
+	return []BlockShape{
+		{Name: "ViT-S", Batch: batch, Tokens: 197, Dim: 384, Heads: 6, MLPRatio: 4},
+		{Name: "ViT-B", Batch: batch, Tokens: 197, Dim: 768, Heads: 12, MLPRatio: 4},
+		{Name: "ViT-L", Batch: batch, Tokens: 197, Dim: 1024, Heads: 16, MLPRatio: 4},
+	}
+}
+
+// FormatBytes renders a byte count in KiB/MiB for the Figure 2 report.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

@@ -1,0 +1,184 @@
+// Package nn is the training substrate of the repository: a linear-head
+// fitter used to turn the synthetic-weight proxy models into genuine
+// classifiers of the pattern task, and a full backpropagation trainer
+// for the ViT-Nano model (train.go).
+//
+// The paper quantizes *pretrained* models; this package is what replaces
+// "download the ImageNet checkpoint" in an offline pure-Go reproduction
+// (DESIGN.md documents the substitution).
+package nn
+
+import (
+	"math"
+
+	"quq/internal/data"
+	"quq/internal/rng"
+	"quq/internal/vit"
+)
+
+// HeadFitOptions configures FitHead.
+type HeadFitOptions struct {
+	// Epochs of full-batch gradient descent (default 200).
+	Epochs int
+	// LR is the learning rate (default 0.5, features are LayerNorm-scaled).
+	LR float64
+	// Momentum coefficient (default 0.9).
+	Momentum float64
+	// L2 weight decay (default 1e-4).
+	L2 float64
+	// Seed for the head initialization.
+	Seed uint64
+}
+
+func (o *HeadFitOptions) defaults() {
+	if o.Epochs == 0 {
+		o.Epochs = 200
+	}
+	if o.LR == 0 {
+		o.LR = 0.5
+	}
+	if o.Momentum == 0 {
+		o.Momentum = 0.9
+	}
+	if o.L2 == 0 {
+		o.L2 = 1e-4
+	}
+}
+
+// FitHead trains the model's classification head by multinomial logistic
+// regression on the (frozen) backbone features of the labelled samples,
+// writing the trained weights into the model in place. It returns the
+// final training accuracy.
+//
+// This is the repo's stand-in for a pretrained checkpoint on the proxy
+// zoo: the backbone provides fixed random features with trained-ViT
+// activation statistics, and the fitted head gives the model genuine
+// class structure — real margins, real top-1 — on the synthetic task.
+func FitHead(m vit.Model, samples []data.Sample, opts HeadFitOptions) float64 {
+	opts.defaults()
+	head := headOf(m)
+	dim, classes := head.In(), head.Out()
+
+	feats := make([][]float64, len(samples))
+	labels := make([]int, len(samples))
+	for i, s := range samples {
+		feats[i] = vit.Features(m, s.Image, vit.ForwardOpts{})
+		labels[i] = s.Label
+	}
+
+	src := rng.New(opts.Seed ^ 0xF17)
+	w := make([]float64, dim*classes)
+	b := make([]float64, classes)
+	for i := range w {
+		w[i] = src.Gauss(0, 0.01)
+	}
+	vw := make([]float64, len(w))
+	vb := make([]float64, len(b))
+	gw := make([]float64, len(w))
+	gb := make([]float64, len(b))
+	probs := make([]float64, classes)
+
+	n := float64(len(samples))
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		for i := range gw {
+			gw[i] = opts.L2 * w[i]
+		}
+		for i := range gb {
+			gb[i] = 0
+		}
+		for i, f := range feats {
+			// probs = softmax(fᵀW + b)
+			maxv := math.Inf(-1)
+			for c := 0; c < classes; c++ {
+				s := b[c]
+				for d := 0; d < dim; d++ {
+					s += f[d] * w[d*classes+c]
+				}
+				probs[c] = s
+				if s > maxv {
+					maxv = s
+				}
+			}
+			var sum float64
+			for c := range probs {
+				probs[c] = math.Exp(probs[c] - maxv)
+				sum += probs[c]
+			}
+			for c := range probs {
+				probs[c] /= sum
+			}
+			probs[labels[i]] -= 1
+			for d := 0; d < dim; d++ {
+				fd := f[d] / n
+				if fd == 0 {
+					continue
+				}
+				row := w[d*classes : (d+1)*classes]
+				_ = row
+				for c := 0; c < classes; c++ {
+					gw[d*classes+c] += fd * probs[c]
+				}
+			}
+			for c := 0; c < classes; c++ {
+				gb[c] += probs[c] / n
+			}
+		}
+		for i := range w {
+			vw[i] = opts.Momentum*vw[i] - opts.LR*gw[i]
+			w[i] += vw[i]
+		}
+		for i := range b {
+			vb[i] = opts.Momentum*vb[i] - opts.LR*gb[i]
+			b[i] += vb[i]
+		}
+	}
+
+	copy(head.W.Data(), w)
+	copy(head.B, b)
+
+	hit := 0
+	for i, f := range feats {
+		best, bi := math.Inf(-1), 0
+		for c := 0; c < classes; c++ {
+			s := b[c]
+			for d := 0; d < dim; d++ {
+				s += f[d] * w[d*classes+c]
+			}
+			if s > best {
+				best, bi = s, c
+			}
+		}
+		if bi == labels[i] {
+			hit++
+		}
+	}
+	return float64(hit) / n
+}
+
+// headOf extracts the classification head layer from a model.
+func headOf(m vit.Model) *vit.Linear {
+	var head *vit.Linear
+	m.ForEachWeight(func(s vit.Site, l *vit.Linear) {
+		if s.Block == -1 && s.Name == "head.w" {
+			head = l
+		}
+	})
+	if head == nil {
+		panic("nn: model has no head layer")
+	}
+	return head
+}
+
+// PretrainedZoo builds the proxy model for cfg and fits its head on a
+// deterministic pattern training set, returning the model and its
+// training-set accuracy. This is the standard way the experiments obtain
+// their "pretrained" models.
+func PretrainedZoo(cfg vit.Config, seed uint64, trainN int) (vit.Model, float64) {
+	if trainN <= 0 {
+		trainN = 300
+	}
+	m := vit.New(cfg, seed)
+	train := data.PatternSamples(cfg.Channels, cfg.ImageSize, trainN, seed^0xBEEF)
+	acc := FitHead(m, train, HeadFitOptions{Seed: seed})
+	return m, acc
+}

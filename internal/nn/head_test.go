@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"testing"
+
+	"quq/internal/data"
+	"quq/internal/ptq"
+	"quq/internal/tensor"
+	"quq/internal/vit"
+)
+
+func TestFitHeadLearnsPatternTask(t *testing.T) {
+	cfg := vit.ViTNano
+	m := vit.New(cfg, 5)
+	train := data.PatternSamples(cfg.Channels, cfg.ImageSize, 120, 6)
+	acc := FitHead(m, train, HeadFitOptions{Seed: 5})
+	if acc < 0.9 {
+		t.Fatalf("training accuracy %v, want >= 0.9 (features should be separable)", acc)
+	}
+
+	// Generalization: the fitted head must beat chance by a wide margin
+	// on held-out samples.
+	test := data.PatternSamples(cfg.Channels, cfg.ImageSize, 100, 777)
+	images := make([]*tensor.Tensor, len(test))
+	labels := make([]int, len(test))
+	for i, s := range test {
+		images[i] = s.Image
+		labels[i] = s.Label
+	}
+	testAcc := ptq.Accuracy(ptq.ModelClassifier{M: m}, images, labels)
+	if testAcc < 0.6 {
+		t.Fatalf("test accuracy %v, want >= 0.6 (chance is 0.1)", testAcc)
+	}
+}
+
+func TestFitHeadOnlyTouchesHead(t *testing.T) {
+	cfg := vit.ViTNano
+	m := vit.New(cfg, 7)
+	var before [][]float64
+	m.Params(func(name string, d []float64) {
+		if name != "head.w" && name != "head.b" {
+			before = append(before, append([]float64(nil), d...))
+		}
+	})
+	FitHead(m, data.PatternSamples(cfg.Channels, cfg.ImageSize, 40, 8), HeadFitOptions{Epochs: 5})
+	i := 0
+	m.Params(func(name string, d []float64) {
+		if name == "head.w" || name == "head.b" {
+			return
+		}
+		for j, v := range d {
+			if v != before[i][j] {
+				t.Fatalf("FitHead modified backbone parameter %s", name)
+			}
+		}
+		i++
+	})
+}
+
+func TestFitHeadDeterministic(t *testing.T) {
+	cfg := vit.ViTNano
+	train := data.PatternSamples(cfg.Channels, cfg.ImageSize, 40, 9)
+	a := vit.New(cfg, 10)
+	b := vit.New(cfg, 10)
+	accA := FitHead(a, train, HeadFitOptions{Epochs: 20, Seed: 1})
+	accB := FitHead(b, train, HeadFitOptions{Epochs: 20, Seed: 1})
+	if accA != accB {
+		t.Fatalf("FitHead not deterministic: %v vs %v", accA, accB)
+	}
+	img := train[0].Image
+	la := a.Forward(img, vit.ForwardOpts{})
+	lb := b.Forward(img, vit.ForwardOpts{})
+	if tensor.MSE(la, lb) != 0 {
+		t.Fatal("fitted models disagree")
+	}
+}
+
+func TestPretrainedZooSwin(t *testing.T) {
+	// Swin exercises the pooled-feature path of vit.Features.
+	cfg := vit.SwinTiny
+	m, acc := PretrainedZoo(cfg, 3, 60)
+	if acc < 0.8 {
+		t.Fatalf("Swin head fit accuracy %v too low", acc)
+	}
+	if m.Config().Name != "Swin-T" {
+		t.Fatal("wrong config")
+	}
+}

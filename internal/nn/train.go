@@ -1,0 +1,466 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"quq/internal/data"
+	"quq/internal/mathx"
+	"quq/internal/rng"
+	"quq/internal/tensor"
+	"quq/internal/vit"
+)
+
+// Trainer performs full backpropagation training of a plain ViT (the
+// ViT-Nano configuration): cross-entropy on the class token with Adam.
+// It operates directly on a vit.ViT's parameters — the same model object
+// is used for training and, afterwards, for quantized inference — so
+// there is no weight-conversion step.
+//
+// Only the VariantViT architecture without distillation or register
+// tokens is supported: that is the trained-model configuration the
+// experiments use; the synthetic zoo covers the rest.
+type Trainer struct {
+	M *vit.ViT
+
+	// Adam state, keyed by parameter name in Params order.
+	step   int
+	moment map[string][]float64
+	veloc  map[string][]float64
+	grads  map[string][]float64
+
+	// Hyperparameters.
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	Decay float64
+}
+
+// NewTrainer wraps a freshly initialized model for training.
+func NewTrainer(m vit.Model) (*Trainer, error) {
+	v, ok := m.(*vit.ViT)
+	if !ok {
+		return nil, fmt.Errorf("nn: trainer supports the plain ViT variant only")
+	}
+	cfg := v.Config()
+	if cfg.Variant != vit.VariantViT || cfg.Registers != 0 {
+		return nil, fmt.Errorf("nn: trainer supports plain ViT without register tokens")
+	}
+	t := &Trainer{
+		M:      v,
+		moment: map[string][]float64{},
+		veloc:  map[string][]float64{},
+		grads:  map[string][]float64{},
+		LR:     3e-3, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, Decay: 1e-4,
+	}
+	v.Params(func(name string, d []float64) {
+		t.moment[name] = make([]float64, len(d))
+		t.veloc[name] = make([]float64, len(d))
+		t.grads[name] = make([]float64, len(d))
+	})
+	return t, nil
+}
+
+// blockCache stores the forward intermediates one block needs for its
+// backward pass.
+type blockCache struct {
+	x     *tensor.Tensor // block input
+	ln1   *lnCache
+	h1    *tensor.Tensor // LN1 output
+	qkv   *tensor.Tensor
+	probs *tensor.Tensor // [heads*T, T]
+	ctx   *tensor.Tensor
+	x1    *tensor.Tensor // after first residual
+	ln2   *lnCache
+	h2    *tensor.Tensor // LN2 output
+	hid   *tensor.Tensor // fc1 output (GELU input)
+	gelu  *tensor.Tensor
+}
+
+type lnCache struct {
+	xhat *tensor.Tensor // normalized pre-affine values
+	inv  []float64      // 1/σ̃ per row
+}
+
+// lnForward computes LayerNorm with cache.
+func lnForward(ln *vit.LayerNorm, x *tensor.Tensor) (*tensor.Tensor, *lnCache) {
+	n, d := x.Dim(0), x.Dim(1)
+	out := tensor.New(n, d)
+	c := &lnCache{xhat: tensor.New(n, d), inv: make([]float64, n)}
+	for r := 0; r < n; r++ {
+		row := x.Row(r)
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(d)
+		var ss float64
+		for _, v := range row {
+			dv := v - mean
+			ss += dv * dv
+		}
+		inv := 1 / math.Sqrt(ss/float64(d)+ln.Eps)
+		c.inv[r] = inv
+		xh := c.xhat.Row(r)
+		orow := out.Row(r)
+		for j, v := range row {
+			xh[j] = (v - mean) * inv
+			orow[j] = xh[j]*ln.Gamma[j] + ln.Beta[j]
+		}
+	}
+	return out, c
+}
+
+// lnBackward propagates through LayerNorm, accumulating dGamma/dBeta.
+func lnBackward(ln *vit.LayerNorm, c *lnCache, dy *tensor.Tensor, dGamma, dBeta []float64) *tensor.Tensor {
+	n, d := dy.Dim(0), dy.Dim(1)
+	dx := tensor.New(n, d)
+	for r := 0; r < n; r++ {
+		dyr := dy.Row(r)
+		xh := c.xhat.Row(r)
+		var meanDxh, meanDxhXh float64
+		for j, g := range dyr {
+			dGamma[j] += g * xh[j]
+			dBeta[j] += g
+			dxh := g * ln.Gamma[j]
+			meanDxh += dxh
+			meanDxhXh += dxh * xh[j]
+		}
+		meanDxh /= float64(d)
+		meanDxhXh /= float64(d)
+		dxr := dx.Row(r)
+		for j, g := range dyr {
+			dxh := g * ln.Gamma[j]
+			dxr[j] = c.inv[r] * (dxh - meanDxh - xh[j]*meanDxhXh)
+		}
+	}
+	return dx
+}
+
+// linForward computes y = xW + b (no cache needed beyond x itself).
+func linForward(l *vit.Linear, x *tensor.Tensor) *tensor.Tensor {
+	return tensor.MatMul(x, l.W).AddRowVector(l.B)
+}
+
+// linBackward accumulates dW = xᵀ·dy, dB = Σ dy, and returns dx = dy·Wᵀ.
+func linBackward(l *vit.Linear, x, dy *tensor.Tensor, dW, dB []float64) *tensor.Tensor {
+	n, in := x.Dim(0), x.Dim(1)
+	out := l.Out()
+	for r := 0; r < n; r++ {
+		xr := x.Row(r)
+		dyr := dy.Row(r)
+		for i := 0; i < in; i++ {
+			xi := xr[i]
+			if xi == 0 {
+				continue
+			}
+			row := dW[i*out : (i+1)*out]
+			for j, g := range dyr {
+				row[j] += xi * g
+			}
+		}
+		for j, g := range dyr {
+			dB[j] += g
+		}
+	}
+	// dx = dy·Wᵀ: MatMulT(dy [n,out], W [in,out]) -> [n,in].
+	return tensor.MatMulT(dy, l.W)
+}
+
+// forwardSample runs one image through the model with caches.
+type forwardCache struct {
+	patches *tensor.Tensor
+	tokens  *tensor.Tensor
+	blocks  []*blockCache
+	lnF     *lnCache
+	final   *tensor.Tensor // final LN output
+	cls     *tensor.Tensor // [1, dim]
+	logits  []float64
+	probs   []float64
+}
+
+func (t *Trainer) forward(img *tensor.Tensor) *forwardCache {
+	m := t.M
+	cfg := m.Config()
+	fc := &forwardCache{}
+	fc.patches = vit.Patchify(img, cfg.PatchSize)
+	emb := linForward(m.Patch, fc.patches)
+	tokens := tensor.New(emb.Dim(0)+1, cfg.Dim)
+	copy(tokens.Row(0), m.Cls)
+	for r := 0; r < emb.Dim(0); r++ {
+		copy(tokens.Row(r+1), emb.Row(r))
+	}
+	tokens.AddInPlace(m.Pos)
+	fc.tokens = tokens
+
+	x := tokens
+	for _, b := range m.Blocks {
+		bc := &blockCache{x: x}
+		bc.h1, bc.ln1 = lnForward(b.LN1, x)
+		bc.qkv = linForward(b.QKV, bc.h1)
+		bc.probs, bc.ctx = attnForward(bc.qkv, b.Heads)
+		o := linForward(b.Proj, bc.ctx)
+		bc.x1 = x.Add(o)
+		bc.h2, bc.ln2 = lnForward(b.LN2, bc.x1)
+		bc.hid = linForward(b.FC1, bc.h2)
+		bc.gelu = bc.hid.Map(mathx.Gelu)
+		o2 := linForward(b.FC2, bc.gelu)
+		x = bc.x1.Add(o2)
+		fc.blocks = append(fc.blocks, bc)
+	}
+	fc.final, fc.lnF = lnForward(m.Final, x)
+	fc.cls = tensor.New(1, cfg.Dim)
+	copy(fc.cls.Row(0), fc.final.Row(0))
+	logits := linForward(m.Head, fc.cls)
+	fc.logits = append([]float64(nil), logits.Row(0)...)
+	fc.probs = append([]float64(nil), fc.logits...)
+	mathx.SoftmaxInPlace(fc.probs)
+	return fc
+}
+
+// attnForward computes multi-head attention from a packed qkv tensor,
+// returning the [heads*T, T] probabilities and the [T, dim] context.
+func attnForward(qkv *tensor.Tensor, heads int) (*tensor.Tensor, *tensor.Tensor) {
+	s := qkv.Dim(0)
+	dim := qkv.Dim(1) / 3
+	dh := dim / heads
+	scale := 1 / math.Sqrt(float64(dh))
+	probs := tensor.New(heads*s, s)
+	ctx := tensor.New(s, dim)
+	for hd := 0; hd < heads; hd++ {
+		for i := 0; i < s; i++ {
+			qrow := qkv.Row(i)[hd*dh : (hd+1)*dh]
+			prow := probs.Row(hd*s + i)
+			for j := 0; j < s; j++ {
+				krow := qkv.Row(j)[dim+hd*dh : dim+(hd+1)*dh]
+				var dot float64
+				for e := range qrow {
+					dot += qrow[e] * krow[e]
+				}
+				prow[j] = dot * scale
+			}
+			mathx.SoftmaxInPlace(prow)
+			crow := ctx.Row(i)[hd*dh : (hd+1)*dh]
+			for j := 0; j < s; j++ {
+				p := prow[j]
+				if p == 0 {
+					continue
+				}
+				vrow := qkv.Row(j)[2*dim+hd*dh : 2*dim+(hd+1)*dh]
+				for e := range crow {
+					crow[e] += p * vrow[e]
+				}
+			}
+		}
+	}
+	return probs, ctx
+}
+
+// attnBackward propagates dCtx back to dQKV given the cached qkv and
+// probabilities.
+func attnBackward(qkv, probs, dCtx *tensor.Tensor, heads int) *tensor.Tensor {
+	s := qkv.Dim(0)
+	dim := qkv.Dim(1) / 3
+	dh := dim / heads
+	scale := 1 / math.Sqrt(float64(dh))
+	dQKV := tensor.New(s, 3*dim)
+	for hd := 0; hd < heads; hd++ {
+		for i := 0; i < s; i++ {
+			prow := probs.Row(hd*s + i)
+			dcr := dCtx.Row(i)[hd*dh : (hd+1)*dh]
+			// dP_ij = dCtx_i · V_j ; dV_j += P_ij · dCtx_i
+			dp := make([]float64, s)
+			for j := 0; j < s; j++ {
+				vrow := qkv.Row(j)[2*dim+hd*dh : 2*dim+(hd+1)*dh]
+				var d float64
+				for e := range dcr {
+					d += dcr[e] * vrow[e]
+				}
+				dp[j] = d
+				dvr := dQKV.Row(j)[2*dim+hd*dh : 2*dim+(hd+1)*dh]
+				p := prow[j]
+				for e := range dcr {
+					dvr[e] += p * dcr[e]
+				}
+			}
+			// Softmax backward: dS_j = P_j (dp_j − Σ_k P_k dp_k).
+			var dot float64
+			for j := 0; j < s; j++ {
+				dot += prow[j] * dp[j]
+			}
+			for j := 0; j < s; j++ {
+				ds := prow[j] * (dp[j] - dot) * scale
+				if ds == 0 {
+					continue
+				}
+				// dQ_i += ds · K_j ; dK_j += ds · Q_i
+				qrow := qkv.Row(i)[hd*dh : (hd+1)*dh]
+				krow := qkv.Row(j)[dim+hd*dh : dim+(hd+1)*dh]
+				dqr := dQKV.Row(i)[hd*dh : (hd+1)*dh]
+				dkr := dQKV.Row(j)[dim+hd*dh : dim+(hd+1)*dh]
+				for e := 0; e < dh; e++ {
+					dqr[e] += ds * krow[e]
+					dkr[e] += ds * qrow[e]
+				}
+			}
+		}
+	}
+	return dQKV
+}
+
+// backward accumulates gradients for one sample given its forward cache
+// and label; returns the cross-entropy loss.
+func (t *Trainer) backward(fc *forwardCache, label int) float64 {
+	m := t.M
+	cfg := m.Config()
+	loss := -math.Log(math.Max(fc.probs[label], 1e-12))
+
+	dLogits := tensor.New(1, cfg.Classes)
+	copy(dLogits.Row(0), fc.probs)
+	dLogits.Row(0)[label] -= 1
+
+	dCls := linBackward(m.Head, fc.cls, dLogits, t.grads["head.w"], t.grads["head.b"])
+	dFinal := tensor.New(fc.final.Dim(0), cfg.Dim)
+	copy(dFinal.Row(0), dCls.Row(0))
+	dx := lnBackward(m.Final, fc.lnF, dFinal, t.grads["final.g"], t.grads["final.b"])
+
+	for bi := len(m.Blocks) - 1; bi >= 0; bi-- {
+		b := m.Blocks[bi]
+		bc := fc.blocks[bi]
+		pfx := fmt.Sprintf("block%02d", bi)
+
+		// Second residual: x2 = x1 + FC2(gelu(FC1(LN2(x1)))).
+		dGelu := linBackward(b.FC2, bc.gelu, dx, t.grads[pfx+".fc2.w"], t.grads[pfx+".fc2.b"])
+		dHid := dGelu.Clone()
+		for i, v := range bc.hid.Data() {
+			dHid.Data()[i] *= geluPrime(v)
+		}
+		dH2 := linBackward(b.FC1, bc.h2, dHid, t.grads[pfx+".fc1.w"], t.grads[pfx+".fc1.b"])
+		dx1 := lnBackward(b.LN2, bc.ln2, dH2, t.grads[pfx+".ln2.g"], t.grads[pfx+".ln2.b"])
+		dx1.AddInPlace(dx) // residual path
+
+		// First residual: x1 = x + Proj(Attn(LN1(x))).
+		dCtx := linBackward(b.Proj, bc.ctx, dx1, t.grads[pfx+".proj.w"], t.grads[pfx+".proj.b"])
+		dQKV := attnBackward(bc.qkv, bc.probs, dCtx, b.Heads)
+		dH1 := linBackward(b.QKV, bc.h1, dQKV, t.grads[pfx+".qkv.w"], t.grads[pfx+".qkv.b"])
+		dxPrev := lnBackward(b.LN1, bc.ln1, dH1, t.grads[pfx+".ln1.g"], t.grads[pfx+".ln1.b"])
+		dxPrev.AddInPlace(dx1)
+		dx = dxPrev
+	}
+
+	// Token assembly: dx covers [cls; patches] + pos.
+	for i, v := range dx.Data() {
+		t.grads["pos"][i] += v
+	}
+	for j, v := range dx.Row(0) {
+		t.grads["cls"][j] += v
+	}
+	dEmb := tensor.New(dx.Dim(0)-1, cfg.Dim)
+	for r := 0; r < dEmb.Dim(0); r++ {
+		copy(dEmb.Row(r), dx.Row(r+1))
+	}
+	linBackward(m.Patch, fc.patches, dEmb, t.grads["patch.w"], t.grads["patch.b"])
+	return loss
+}
+
+func geluPrime(x float64) float64 {
+	phi := 0.5 * (1 + math.Erf(x/math.Sqrt2))
+	pdf := math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+	return phi + x*pdf
+}
+
+// Step runs one Adam step over a mini-batch and returns the mean loss.
+func (t *Trainer) Step(batch []data.Sample) float64 {
+	for _, g := range t.grads {
+		for i := range g {
+			g[i] = 0
+		}
+	}
+	var loss float64
+	for _, s := range batch {
+		fc := t.forward(s.Image)
+		loss += t.backward(fc, s.Label)
+	}
+	n := float64(len(batch))
+	loss /= n
+
+	t.step++
+	b1c := 1 - math.Pow(t.Beta1, float64(t.step))
+	b2c := 1 - math.Pow(t.Beta2, float64(t.step))
+	t.M.Params(func(name string, p []float64) {
+		g := t.grads[name]
+		mom := t.moment[name]
+		vel := t.veloc[name]
+		for i := range p {
+			gi := g[i]/n + t.Decay*p[i]
+			mom[i] = t.Beta1*mom[i] + (1-t.Beta1)*gi
+			vel[i] = t.Beta2*vel[i] + (1-t.Beta2)*gi*gi
+			p[i] -= t.LR * (mom[i] / b1c) / (math.Sqrt(vel[i]/b2c) + t.Eps)
+		}
+	})
+	return loss
+}
+
+// TrainOptions configures TrainNano.
+type TrainOptions struct {
+	Epochs    int // default 12
+	BatchSize int // default 16
+	TrainN    int // default 480
+	Seed      uint64
+	// Progress, if non-nil, receives (epoch, loss, trainAcc) per epoch.
+	Progress func(epoch int, loss, acc float64)
+}
+
+// TrainNano trains a fresh ViT-Nano on the pattern task with full
+// backpropagation and returns the trained model with its final training
+// accuracy. This is the repo's genuinely *trained* quantization target
+// (the zoo models get fitted heads only).
+func TrainNano(opts TrainOptions) (vit.Model, float64, error) {
+	if opts.Epochs == 0 {
+		opts.Epochs = 12
+	}
+	if opts.BatchSize == 0 {
+		opts.BatchSize = 16
+	}
+	if opts.TrainN == 0 {
+		opts.TrainN = 480
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 7
+	}
+	cfg := vit.ViTNano
+	m := vit.New(cfg, opts.Seed)
+	tr, err := NewTrainer(m)
+	if err != nil {
+		return nil, 0, err
+	}
+	train := data.PatternSamples(cfg.Channels, cfg.ImageSize, opts.TrainN, opts.Seed^0x7EA1)
+	src := rng.New(opts.Seed ^ 0x57E9)
+
+	acc := 0.0
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		perm := src.Perm(len(train))
+		var loss float64
+		steps := 0
+		for at := 0; at+opts.BatchSize <= len(perm); at += opts.BatchSize {
+			batch := make([]data.Sample, opts.BatchSize)
+			for i := range batch {
+				batch[i] = train[perm[at+i]]
+			}
+			loss += tr.Step(batch)
+			steps++
+		}
+		hit := 0
+		for _, s := range train {
+			if m.Forward(s.Image, vit.ForwardOpts{}).ArgMax() == s.Label {
+				hit++
+			}
+		}
+		acc = float64(hit) / float64(len(train))
+		if opts.Progress != nil {
+			opts.Progress(epoch, loss/float64(steps), acc)
+		}
+	}
+	return m, acc, nil
+}

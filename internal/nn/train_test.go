@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"quq/internal/data"
+	"quq/internal/rng"
+	"quq/internal/vit"
+)
+
+// tinyCfg is a minimal trainable ViT for gradient checking.
+var tinyCfg = vit.Config{
+	Name: "tiny", Variant: vit.VariantViT,
+	ImageSize: 8, PatchSize: 4, Channels: 1, Classes: 5,
+	Dim: 12, Depth: 2, Heads: 2, MLPRatio: 2,
+}
+
+func TestNewTrainerRejectsUnsupported(t *testing.T) {
+	if _, err := NewTrainer(vit.New(vit.SwinTiny, 1)); err == nil {
+		t.Fatal("accepted a Swin model")
+	}
+	if _, err := NewTrainer(vit.New(vit.ViTSmall, 1)); err == nil {
+		t.Fatal("accepted a register-token model")
+	}
+	if _, err := NewTrainer(vit.New(vit.ViTNano, 1)); err != nil {
+		t.Fatalf("rejected ViT-Nano: %v", err)
+	}
+}
+
+// TestGradientCheck compares the analytic gradients against central
+// finite differences for a sample of parameters in every parameter
+// group. This validates the entire backward pass: head, final LN, both
+// residual branches, attention (softmax included), GELU, patch embedding,
+// tokens and position embeddings.
+func TestGradientCheck(t *testing.T) {
+	m := vit.New(tinyCfg, 3).(*vit.ViT)
+	tr, err := NewTrainer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(4)
+	img := data.Image(1, 8, src)
+	label := 2
+
+	// Analytic gradients for one sample.
+	for _, g := range tr.grads {
+		for i := range g {
+			g[i] = 0
+		}
+	}
+	fc := tr.forward(img)
+	tr.backward(fc, label)
+
+	loss := func() float64 {
+		fc := tr.forward(img)
+		return -math.Log(math.Max(fc.probs[label], 1e-12))
+	}
+
+	const eps = 1e-5
+	checked := 0
+	m.Params(func(name string, p []float64) {
+		// Probe up to 4 entries per parameter group, spread out.
+		stride := len(p)/4 + 1
+		for i := 0; i < len(p); i += stride {
+			orig := p[i]
+			p[i] = orig + eps
+			lp := loss()
+			p[i] = orig - eps
+			lm := loss()
+			p[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := tr.grads[name][i]
+			scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(analytic)))
+			if math.Abs(numeric-analytic)/scale > 1e-4 {
+				t.Errorf("%s[%d]: analytic %v vs numeric %v", name, i, analytic, numeric)
+			}
+			checked++
+		}
+	})
+	if checked < 30 {
+		t.Fatalf("only %d gradient entries checked", checked)
+	}
+}
+
+func TestStepReducesLoss(t *testing.T) {
+	m := vit.New(tinyCfg, 5)
+	tr, err := NewTrainer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := data.PatternSamples(1, 8, 8, 6)
+	for i := range batch {
+		batch[i].Label %= tinyCfg.Classes
+	}
+	first := tr.Step(batch)
+	var last float64
+	for i := 0; i < 30; i++ {
+		last = tr.Step(batch)
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestTrainNanoLearns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training is slow")
+	}
+	var lastLoss float64
+	m, acc, err := TrainNano(TrainOptions{
+		Epochs: 3, TrainN: 160, BatchSize: 16, Seed: 11,
+		Progress: func(_ int, loss, _ float64) { lastLoss = loss },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.5 {
+		t.Fatalf("training accuracy %v after 3 epochs, want > 0.5 (chance 0.1)", acc)
+	}
+	if lastLoss > 2.0 {
+		t.Fatalf("loss %v still near ln(10)", lastLoss)
+	}
+	// The trained model must generalize above chance.
+	test := data.PatternSamples(1, 16, 60, 999)
+	hit := 0
+	for _, s := range test {
+		if m.Forward(s.Image, vit.ForwardOpts{}).ArgMax() == s.Label {
+			hit++
+		}
+	}
+	if frac := float64(hit) / float64(len(test)); frac < 0.4 {
+		t.Fatalf("test accuracy %v, want > 0.4", frac)
+	}
+}

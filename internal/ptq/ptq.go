@@ -1,0 +1,305 @@
+// Package ptq implements the post-training-quantization pipeline the QUQ
+// paper's accuracy experiments run on: calibration-statistics collection
+// over a small image set, per-tensor quantizer construction by a
+// pluggable Method, weight quantization on a cloned model, and a
+// quantized executor that rewrites every Figure 1 quantization point
+// during inference.
+//
+// Two regimes mirror the paper's tables: Partial quantizes only GEMM
+// inputs and weights (Table 2), Full additionally quantizes every
+// remaining activation — residual-connection, LayerNorm, Softmax and
+// GELU inputs (Table 3).
+package ptq
+
+import (
+	"fmt"
+	"math"
+
+	"quq/internal/tensor"
+	"quq/internal/vit"
+)
+
+// Regime selects which Figure 1 sites are quantized.
+type Regime int
+
+const (
+	// Partial quantizes GEMM inputs and weights only; the remaining
+	// activations stay in floating point (the paper's Table 2 setting).
+	Partial Regime = iota
+	// Full quantizes every activation in the data flow (Table 3).
+	Full
+)
+
+func (r Regime) String() string {
+	if r == Partial {
+		return "partial"
+	}
+	return "full"
+}
+
+// covers reports whether the regime quantizes the given site kind.
+func (r Regime) covers(k vit.SiteKind) bool {
+	switch k {
+	case vit.KindWeight, vit.KindGEMMIn:
+		return true
+	case vit.KindActivation:
+		return r == Full
+	}
+	return false
+}
+
+// TensorQuantizer fake-quantizes activation tensors at one site.
+type TensorQuantizer interface {
+	// Apply returns the fake-quantized tensor. Implementations may
+	// return a new tensor or mutate and return x.
+	Apply(x *tensor.Tensor) *tensor.Tensor
+}
+
+// Method builds quantizers from calibration statistics. Implementations:
+// QUQ (this package) and the comparison schemes in internal/baselines.
+type Method interface {
+	// Name is the row label used in the experiment tables.
+	Name() string
+	// CalibrateActivation builds the quantizer for one activation site.
+	CalibrateActivation(stats *SiteStats, bits int) TensorQuantizer
+	// QuantizeWeight fake-quantizes a weight tensor in place (the
+	// pipeline passes a cloned model's weights).
+	QuantizeWeight(site vit.Site, w *tensor.Tensor, bits int)
+}
+
+// InputAwareWeightQuantizer is an optional Method extension: when a
+// method implements it, the pipeline supplies the per-input-channel
+// second moments E[x_d²] of the weight's GEMM input — the diagonal-
+// Hessian proxy — so the method can minimize expected output error
+// instead of raw weight error (the paper's layer-wise Hessian-guided
+// grid search).
+type InputAwareWeightQuantizer interface {
+	QuantizeWeightAware(site vit.Site, w *tensor.Tensor, bits int, inputSq []float64)
+}
+
+// weightInputSite maps a weight site to the activation site feeding its
+// GEMM.
+func weightInputSite(s vit.Site) (vit.Site, bool) {
+	switch s.Name {
+	case "attn.qkv.w":
+		return vit.Site{Block: s.Block, Name: "ln1.out", Kind: vit.KindGEMMIn}, true
+	case "attn.proj.w":
+		return vit.Site{Block: s.Block, Name: "attn.proj_in", Kind: vit.KindGEMMIn}, true
+	case "mlp.fc1.w":
+		return vit.Site{Block: s.Block, Name: "ln2.out", Kind: vit.KindGEMMIn}, true
+	case "mlp.fc2.w":
+		return vit.Site{Block: s.Block, Name: "mlp.gelu_out", Kind: vit.KindGEMMIn}, true
+	case "merge.w":
+		return vit.Site{Block: s.Block, Name: "merge.in", Kind: vit.KindGEMMIn}, true
+	case "patch.w":
+		return vit.Site{Block: -1, Name: "patch.in", Kind: vit.KindGEMMIn}, true
+	case "head.w":
+		return vit.Site{Block: -1, Name: "head.in", Kind: vit.KindGEMMIn}, true
+	}
+	return vit.Site{}, false
+}
+
+// CalibOptions configures Quantize.
+type CalibOptions struct {
+	Bits   int
+	Regime Regime
+	// Images is the calibration set; the paper uses 32 images.
+	Images []*tensor.Tensor
+	// MaxSamplesPerSite caps the per-site reservoir (0 = default 32768).
+	MaxSamplesPerSite int
+}
+
+// QuantizedModel is a model prepared for quantized inference: a clone
+// with fake-quantized weights plus per-site activation quantizers.
+type QuantizedModel struct {
+	Model  vit.Model
+	Bits   int
+	Regime Regime
+	Method string
+	// Acts maps site keys to their activation quantizers.
+	Acts map[string]TensorQuantizer
+}
+
+// Quantize calibrates method on m over the given images and returns the
+// quantized model. The input model is not modified.
+func Quantize(m vit.Model, method Method, opts CalibOptions) (*QuantizedModel, error) {
+	if opts.Bits < 3 {
+		return nil, fmt.Errorf("ptq: bit-width %d too small", opts.Bits)
+	}
+	if len(opts.Images) == 0 {
+		return nil, fmt.Errorf("ptq: no calibration images")
+	}
+	stats := Collect(m, opts.Images, opts.MaxSamplesPerSite)
+
+	qm := &QuantizedModel{
+		Model:  m.Clone(),
+		Bits:   opts.Bits,
+		Regime: opts.Regime,
+		Method: method.Name(),
+		Acts:   make(map[string]TensorQuantizer, len(stats)),
+	}
+	for key, st := range stats {
+		if !opts.Regime.covers(st.Site.Kind) {
+			continue
+		}
+		qm.Acts[key] = method.CalibrateActivation(st, opts.Bits)
+	}
+	aware, isAware := method.(InputAwareWeightQuantizer)
+	qm.Model.ForEachWeight(func(site vit.Site, l *vit.Linear) {
+		if isAware {
+			if inSite, ok := weightInputSite(site); ok {
+				if st, ok := stats[inSite.Key()]; ok {
+					if sq := st.ChanMeanSq(); sq != nil {
+						aware.QuantizeWeightAware(site, l.W, opts.Bits, sq)
+						return
+					}
+				}
+			}
+		}
+		method.QuantizeWeight(site, l.W, opts.Bits)
+	})
+	return qm, nil
+}
+
+// Forward runs quantized inference on one image.
+func (q *QuantizedModel) Forward(img *tensor.Tensor) *tensor.Tensor {
+	return q.ForwardOpts(img, vit.ForwardOpts{})
+}
+
+// ForwardOpts runs quantized inference with extra instrumentation (the
+// attention sink for Figure 7). Any Tap in opts is applied after the
+// quantizer at each site.
+func (q *QuantizedModel) ForwardOpts(img *tensor.Tensor, opts vit.ForwardOpts) *tensor.Tensor {
+	outer := opts.Tap
+	opts.Tap = func(site vit.Site, x *tensor.Tensor) *tensor.Tensor {
+		if tq, ok := q.Acts[site.Key()]; ok {
+			x = tq.Apply(x)
+		}
+		if outer != nil {
+			if y := outer(site, x); y != nil {
+				x = y
+			}
+		}
+		return x
+	}
+	return q.Model.Forward(img, opts)
+}
+
+// Classifier is anything that maps an image to logits: both vit.Model
+// (via ModelClassifier) and *QuantizedModel satisfy it.
+type Classifier interface {
+	Forward(img *tensor.Tensor) *tensor.Tensor
+}
+
+// ModelClassifier adapts a plain FP32 model to the Classifier interface.
+type ModelClassifier struct{ M vit.Model }
+
+// Forward implements Classifier.
+func (c ModelClassifier) Forward(img *tensor.Tensor) *tensor.Tensor {
+	return c.M.Forward(img, vit.ForwardOpts{})
+}
+
+// Agreement returns the fraction of images on which the two classifiers
+// produce the same argmax — this repo's substitution for ImageNet top-1
+// when the reference model's own predictions define the labels (see
+// DESIGN.md).
+func Agreement(ref, q Classifier, images []*tensor.Tensor) float64 {
+	if len(images) == 0 {
+		return 0
+	}
+	same := 0
+	for _, img := range images {
+		if ref.Forward(img).ArgMax() == q.Forward(img).ArgMax() {
+			same++
+		}
+	}
+	return float64(same) / float64(len(images))
+}
+
+// Accuracy returns top-1 accuracy of the classifier on labelled samples.
+func Accuracy(c Classifier, images []*tensor.Tensor, labels []int) float64 {
+	if len(images) == 0 || len(images) != len(labels) {
+		return 0
+	}
+	hit := 0
+	for i, img := range images {
+		if c.Forward(img).ArgMax() == labels[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(images))
+}
+
+// UniformQuantizer is the shared symmetric-uniform activation quantizer
+// used by several methods.
+type UniformQuantizer struct {
+	Delta float64
+	Bits  int
+}
+
+// Apply implements TensorQuantizer.
+func (u UniformQuantizer) Apply(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Clone()
+	lo := -(int64(1) << (u.Bits - 1))
+	hi := int64(1)<<(u.Bits-1) - 1
+	d := out.Data()
+	for i, v := range d {
+		q := int64(math.RoundToEven(v / u.Delta))
+		if q < lo {
+			q = lo
+		}
+		if q > hi {
+			q = hi
+		}
+		d[i] = float64(q) * u.Delta
+	}
+	return out
+}
+
+// SearchUniformDelta returns the Δ in {α·absmax/(2^(b−1)−1)} over the
+// grid minimizing MSE on xs — the grid-search step the paper applies to
+// every method ("the optimization techniques used in QUQ are also
+// applied"). An empty grid means {1.0}.
+func SearchUniformDelta(xs []float64, bits int, grid []float64) float64 {
+	absmax := 0.0
+	for _, v := range xs {
+		if a := math.Abs(v); a > absmax {
+			absmax = a
+		}
+	}
+	if absmax == 0 {
+		return 1
+	}
+	if len(grid) == 0 {
+		grid = []float64{1}
+	}
+	base := absmax / float64(int64(1)<<(bits-1)-1)
+	best, bestMSE := base, math.Inf(1)
+	for _, alpha := range grid {
+		if alpha <= 0 {
+			continue
+		}
+		d := base * alpha
+		var mse float64
+		lo := -(int64(1) << (bits - 1))
+		hi := int64(1)<<(bits-1) - 1
+		for _, v := range xs {
+			q := int64(math.RoundToEven(v / d))
+			if q < lo {
+				q = lo
+			}
+			if q > hi {
+				q = hi
+			}
+			e := v - float64(q)*d
+			mse += e * e
+		}
+		if mse < bestMSE {
+			best, bestMSE = d, mse
+		}
+	}
+	return best
+}
+
+// DefaultAlphaGrid is the clipping-search grid shared by the methods.
+var DefaultAlphaGrid = []float64{0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00}

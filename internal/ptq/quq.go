@@ -1,0 +1,87 @@
+package ptq
+
+import (
+	"quq/internal/quant"
+	"quq/internal/tensor"
+	"quq/internal/vit"
+)
+
+// QUQMethod is the paper's proposed scheme plugged into the PTQ pipeline:
+// PRA per tensor, the uniform-special-case comparison, then grid-search
+// refinement (the paper's layer-wise Hessian-guided search, realized as
+// tensor-output-MSE search — see DESIGN.md).
+type QUQMethod struct {
+	PRA    quant.PRAOptions
+	Refine quant.RefineOptions
+}
+
+// NewQUQ returns the method with the paper's hyperparameters
+// (λ_A=4, q=0.99, q_A=0.95).
+func NewQUQ() *QUQMethod {
+	return &QUQMethod{PRA: quant.DefaultPRAOptions(), Refine: quant.DefaultRefineOptions()}
+}
+
+// Name implements Method.
+func (m *QUQMethod) Name() string { return "QUQ" }
+
+// QUQTensorQuantizer wraps a calibrated quant.Params. It is exported so
+// the accelerator simulator can retrieve the exact parameter set (and
+// hence the QUB registers) behind a quantized model's sites.
+type QUQTensorQuantizer struct {
+	Params *quant.Params
+}
+
+// Apply implements TensorQuantizer.
+func (q QUQTensorQuantizer) Apply(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Clone()
+	q.Params.QuantizeSlice(out.Data(), out.Data())
+	return out
+}
+
+// CalibrateActivation implements Method.
+func (m *QUQMethod) CalibrateActivation(stats *SiteStats, bits int) TensorQuantizer {
+	p := quant.CalibrateRefined(stats.Samples, bits, m.PRA, m.Refine)
+	return QUQTensorQuantizer{Params: p}
+}
+
+// QuantizeWeight implements Method: per-tensor QUQ on the weight matrix.
+func (m *QUQMethod) QuantizeWeight(_ vit.Site, w *tensor.Tensor, bits int) {
+	p := quant.CalibrateRefined(w.Data(), bits, m.PRA, m.Refine)
+	p.QuantizeSlice(w.Data(), w.Data())
+}
+
+// QuantizeWeightAware implements InputAwareWeightQuantizer: the grid
+// search is re-scored with a diagonal-Hessian proxy — the squared weight
+// error of input row d is weighted by E[x_d²] of the layer's calibration
+// inputs, so the search minimizes the expected GEMM *output* error
+// rather than the raw weight error. This realizes the paper's layer-wise
+// Hessian-guided optimization.
+func (m *QUQMethod) QuantizeWeightAware(_ vit.Site, w *tensor.Tensor, bits int, inputSq []float64) {
+	if w.Rank() != 2 || len(inputSq) != w.Dim(0) {
+		// No usable input statistics: fall back to the plain search.
+		p := quant.CalibrateRefined(w.Data(), bits, m.PRA, m.Refine)
+		p.QuantizeSlice(w.Data(), w.Data())
+		return
+	}
+	in, out := w.Dim(0), w.Dim(1)
+	d := w.Data()
+	score := func(p *quant.Params) float64 {
+		var s float64
+		for r := 0; r < in; r++ {
+			wgt := inputSq[r]
+			if wgt <= 0 {
+				continue
+			}
+			row := d[r*out : (r+1)*out]
+			var rowErr float64
+			for _, v := range row {
+				e := v - p.Value(v)
+				rowErr += e * e
+			}
+			s += wgt * rowErr
+		}
+		return s
+	}
+	p := quant.RefineScored(quant.Calibrate(d, bits, m.PRA), m.Refine, score)
+	p.QuantizeSlice(d, d)
+}

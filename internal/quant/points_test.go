@@ -1,0 +1,109 @@
+package quant
+
+import (
+	"sort"
+	"testing"
+
+	"quq/internal/dist"
+	"quq/internal/rng"
+)
+
+// enumeratePoints lists the distinct representable values of p.
+func enumeratePoints(p *Params) []float64 {
+	seen := map[float64]bool{0: true}
+	for _, s := range []Slot{FNeg, FPos, CNeg, CPos} {
+		sp := p.Slot(s)
+		if !sp.Enabled {
+			continue
+		}
+		for m := int64(1); m <= sp.MaxMag; m++ {
+			v := float64(m) * sp.Delta
+			if s.Negative() {
+				v = -v
+			}
+			seen[v] = true
+		}
+	}
+	pts := make([]float64, 0, len(seen))
+	for v := range seen {
+		pts = append(pts, v)
+	}
+	sort.Float64s(pts)
+	return pts
+}
+
+// TestEncodingSpaceAccounting verifies the paper's code-space arithmetic:
+// a b-bit QUQ quantizer never has more than 2^b representable points
+// (subrange overlap can only *reduce* the distinct count, the encoding
+// inefficiency §3.2 accepts), and never fewer than 2^(b-1) (each side's
+// space is at least half used for any calibrated tensor).
+func TestEncodingSpaceAccounting(t *testing.T) {
+	for _, fam := range dist.Families {
+		xs := dist.Sample(fam, 1<<13, rng.New(7))
+		for _, bits := range []int{4, 6, 8} {
+			p := PRA(xs, bits, DefaultPRAOptions())
+			pts := enumeratePoints(p)
+			max := 1 << bits
+			if len(pts) > max+1 { // +1: the shared zero
+				t.Errorf("%v b=%d: %d points exceed the %d-code space", fam, bits, len(pts), max)
+			}
+			if len(pts) < max/4 {
+				t.Errorf("%v b=%d: only %d points — encoding space badly wasted", fam, bits, len(pts))
+			}
+		}
+	}
+}
+
+// TestQuantizeMapsToRepresentablePoints: every quantized value must be
+// one of the enumerated points.
+func TestQuantizeMapsToRepresentablePoints(t *testing.T) {
+	src := rng.New(8)
+	for _, fam := range dist.Families {
+		xs := dist.Sample(fam, 1<<12, rng.New(9))
+		p := PRA(xs, 6, DefaultPRAOptions())
+		pts := map[float64]bool{}
+		for _, v := range enumeratePoints(p) {
+			pts[v] = true
+		}
+		for i := 0; i < 3000; i++ {
+			v := p.Value(src.Gauss(0, 3))
+			if !pts[v] {
+				t.Fatalf("%v: quantized value %v is not a representable point", fam, v)
+			}
+		}
+	}
+}
+
+// TestValueIsIdempotent: quantizing an already-quantized value must be a
+// fixed point of the quantizer.
+func TestValueIsIdempotent(t *testing.T) {
+	src := rng.New(10)
+	for _, fam := range dist.Families {
+		xs := dist.Sample(fam, 1<<12, rng.New(11))
+		for _, bits := range []int{4, 6, 8} {
+			p := PRA(xs, bits, DefaultPRAOptions())
+			for i := 0; i < 2000; i++ {
+				v := p.Value(src.Laplace(2))
+				if got := p.Value(v); got != v {
+					t.Fatalf("%v b=%d: Value(Value(x))=%v != Value(x)=%v", fam, bits, got, v)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizeSymmetryOfUniformCase: the uniform special case must treat
+// +x and −x symmetrically apart from the two's-complement extra negative
+// code.
+func TestQuantizeSymmetryOfUniformCase(t *testing.T) {
+	p := ParamsForUniform(0.25, 6)
+	src := rng.New(12)
+	for i := 0; i < 4000; i++ {
+		x := src.Uniform(0, 7) // within the positive range
+		pos := p.Value(x)
+		neg := p.Value(-x)
+		if pos != -neg {
+			t.Fatalf("asymmetry at %v: %v vs %v", x, pos, neg)
+		}
+	}
+}

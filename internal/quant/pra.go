@@ -1,0 +1,220 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PRAOptions are the hyperparameters of the progressive relaxation
+// algorithm (the paper's Algorithm 2). DefaultPRAOptions returns the
+// values used in all of the paper's experiments.
+type PRAOptions struct {
+	// LambdaA is the acceptable ratio λ_A of Δ_C/Δ_F below which a
+	// coarse-fine partition wastes too much encoding space.
+	LambdaA float64
+	// QInit is the initial quantile q that bounds the fine subranges.
+	QInit float64
+	// QAccept is the acceptable quantile q_A at which the recursive
+	// relaxation of q stops.
+	QAccept float64
+	// QStep is the amount q is reduced by per relaxation round; the paper
+	// uses 0.01.
+	QStep float64
+	// DisableModeSwitch, when set, keeps the Mode A parameters even when
+	// a branch of Algorithm 2 would switch to Mode B/C/D. This exists
+	// only for the ablation experiments; the paper always mode-switches.
+	DisableModeSwitch bool
+}
+
+// DefaultPRAOptions returns λ_A=4, q=0.99, q_A=0.95, the paper's settings.
+func DefaultPRAOptions() PRAOptions {
+	return PRAOptions{LambdaA: 4, QInit: 0.99, QAccept: 0.95, QStep: 0.01}
+}
+
+// Relax implements Algorithm 1: adjust one of two positive scale factors
+// so their ratio becomes an exact power of two, rounding the ratio (in the
+// log domain) to the nearest integer and always growing — never shrinking
+// — a factor, so no additional calibration data gets clipped.
+func Relax(d1, d2 float64) (float64, float64) {
+	if d1 <= 0 || d2 <= 0 {
+		panic(fmt.Sprintf("quant: Relax requires positive scale factors, got %v, %v", d1, d2))
+	}
+	l := math.Log2(d2 / d1)
+	r := math.Round(l)
+	if r > l {
+		// Rounding up: make Δ2 larger so Δ2/Δ1 = 2^r exactly.
+		return d1, math.Pow(2, r) * d1
+	}
+	// Rounding down (or exact): make Δ1 larger so Δ2/Δ1 = 2^r exactly.
+	return math.Pow(2, -r) * d2, d2
+}
+
+// PRA runs the progressive relaxation algorithm (Algorithm 2) on the
+// calibration samples xs and returns a validated b-bit QUQ quantizer.
+//
+// One-signed tensors take the paper's Mode B path: the data is mirrored
+// about zero, Algorithm 2 runs on the symmetric tensor, and the mirror
+// side's encoding space is merged into the occupied side (doubling its
+// resolution). An all-zero tensor yields a trivial uniform quantizer.
+func PRA(xs []float64, bits int, opts PRAOptions) *Params {
+	if bits < 3 {
+		panic(fmt.Sprintf("quant: PRA requires at least 3 bits, got %d", bits))
+	}
+	neg, pos := splitMagnitudes(xs)
+	var p *Params
+	switch {
+	case len(neg) == 0 && len(pos) == 0:
+		p = ParamsForUniform(1, bits)
+	case len(neg) == 0:
+		p = praOneSided(pos, bits, opts, false)
+	case len(pos) == 0:
+		p = praOneSided(neg, bits, opts, true)
+	default:
+		p = praCore(neg, pos, bits, opts, opts.QInit)
+	}
+	if err := p.Validate(); err != nil {
+		// PRA constructs parameters that satisfy Eq. (4) by design; a
+		// failure here is a bug, not a data condition.
+		panic("quant: PRA produced invalid parameters: " + err.Error())
+	}
+	return p
+}
+
+// splitMagnitudes separates xs into the magnitudes of its negative
+// elements and its positive elements (Algorithm 2 line 3), sorted
+// ascending so quantiles are cheap.
+func splitMagnitudes(xs []float64) (neg, pos []float64) {
+	for _, v := range xs {
+		switch {
+		case v > 0:
+			pos = append(pos, v)
+		case v < 0:
+			neg = append(neg, -v)
+		}
+	}
+	sort.Float64s(neg)
+	sort.Float64s(pos)
+	return neg, pos
+}
+
+// sortedQuantile is the linear-interpolation quantile of an ascending
+// slice.
+func sortedQuantile(sorted []float64, q float64) float64 {
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// praCore is the two-sided body of Algorithm 2. neg and pos are ascending
+// magnitude slices, both non-empty.
+func praCore(neg, pos []float64, bits int, opts PRAOptions, q float64) *Params {
+	quarterN := float64(int64(1) << (bits - 2)) // 2^(b-2): negative-side code count
+	quarterP := quarterN - 1                    // 2^(b-2)-1: positive-side max code
+	maxN, maxP := neg[len(neg)-1], pos[len(pos)-1]
+
+	// Relaxation round 1: coarse factors from the range extremes.
+	dCn, dCp := Relax(maxN/quarterN, maxP/quarterP)
+	// Relaxation round 2: fine factors from the q-th quantile points.
+	dFn, dFp := Relax(sortedQuantile(neg, q)/quarterN, sortedQuantile(pos, q)/quarterP)
+	// Record the cross-sign ratios, then relaxation round 3 aligns the
+	// positive fine and coarse factors; the negative ones follow via the
+	// recorded ratios so all four factors share one base Δ.
+	sF, sC := dFn/dFp, dCn/dCp
+	dFp, dCp = Relax(dFp, dCp)
+	dFn, dCn = sF*dFp, sC*dCp
+
+	ratioN, ratioP := dCn/dFn, dCp/dFp
+	lam := opts.LambdaA
+
+	if !opts.DisableModeSwitch {
+		switch {
+		case ratioN < lam && ratioP < lam && q > opts.QAccept+1e-9:
+			// Both partitions waste encoding space: relax Principle ②
+			// (fine coverage) by retrying with a smaller quantile.
+			return praCore(neg, pos, bits, opts, q-opts.QStep)
+
+		case ratioN < lam && dCn <= dFp:
+			// Mode C, negative side tail-free: the negative part becomes
+			// uniform at its initial coarse scale, and the freed coarse
+			// encoding space doubles the positive coarse resolution.
+			p := &Params{Bits: bits, Mode: ModeC}
+			p.Slots[FNeg] = SlotParams{Enabled: true, Delta: dCn, MaxMag: int64(quarterN)}
+			p.Slots[FPos] = SlotParams{Enabled: true, Delta: dFp, MaxMag: int64(quarterP)}
+			p.Slots[CPos] = SlotParams{Enabled: true, Delta: dCp / 2, MaxMag: int64(1)<<(bits-1) - 1}
+			return p
+
+		case ratioP < lam && dCp <= dFn:
+			// Mode C, positive side tail-free (mirror of the above).
+			p := &Params{Bits: bits, Mode: ModeC}
+			p.Slots[FPos] = SlotParams{Enabled: true, Delta: dCp, MaxMag: int64(quarterP)}
+			p.Slots[FNeg] = SlotParams{Enabled: true, Delta: dFn, MaxMag: int64(quarterN)}
+			p.Slots[CNeg] = SlotParams{Enabled: true, Delta: dCn / 2, MaxMag: int64(1) << (bits - 1)}
+			return p
+
+		case ratioN < lam || ratioP < lam:
+			// Mode D fallback: merge the fine spaces onto the positive
+			// side and the coarse spaces onto the negative side; each
+			// side degenerates to uniform quantization at half its
+			// initial coarse scale.
+			p := &Params{Bits: bits, Mode: ModeD}
+			p.Slots[FPos] = SlotParams{Enabled: true, Delta: dCp / 2, MaxMag: int64(1)<<(bits-1) - 1}
+			p.Slots[CNeg] = SlotParams{Enabled: true, Delta: dCn / 2, MaxMag: int64(1) << (bits - 1)}
+			return p
+		}
+	}
+
+	p := &Params{Bits: bits, Mode: ModeA}
+	p.Slots[FNeg] = SlotParams{Enabled: true, Delta: dFn, MaxMag: int64(quarterN)}
+	p.Slots[FPos] = SlotParams{Enabled: true, Delta: dFp, MaxMag: int64(quarterP)}
+	p.Slots[CNeg] = SlotParams{Enabled: true, Delta: dCn, MaxMag: int64(quarterN)}
+	p.Slots[CPos] = SlotParams{Enabled: true, Delta: dCp, MaxMag: int64(quarterP)}
+	return p
+}
+
+// praOneSided implements the Mode B construction: mirror the magnitudes
+// about zero, run the core algorithm on the symmetric tensor, then merge
+// the mirror side's encoding space into the occupied side by halving its
+// scale factors and doubling its code counts.
+//
+// For a symmetric input the core algorithm returns Mode A unless the data
+// has no meaningful tail; in the latter (Mode C/D) case the partition
+// collapses and we fall back to uniform quantization of the occupied side
+// with the merged fine+coarse space, which is the best QUB-representable
+// layout for tail-free one-signed data.
+func praOneSided(mags []float64, bits int, opts PRAOptions, negative bool) *Params {
+	sym := praCore(mags, mags, bits, opts, opts.QInit)
+	halfPos := int64(1)<<(bits-1) - 1
+	halfNeg := int64(1) << (bits - 1)
+
+	p := &Params{Bits: bits, Mode: ModeB}
+	if sym.Mode == ModeA {
+		fine, coarse := sym.Slots[FPos], sym.Slots[CPos]
+		if negative {
+			fine, coarse = sym.Slots[FNeg], sym.Slots[CNeg]
+		}
+		if negative {
+			p.Slots[FNeg] = SlotParams{Enabled: true, Delta: fine.Delta / 2, MaxMag: halfNeg}
+			p.Slots[CNeg] = SlotParams{Enabled: true, Delta: coarse.Delta / 2, MaxMag: halfNeg}
+		} else {
+			p.Slots[FPos] = SlotParams{Enabled: true, Delta: fine.Delta / 2, MaxMag: halfPos}
+			p.Slots[CPos] = SlotParams{Enabled: true, Delta: coarse.Delta / 2, MaxMag: halfPos}
+		}
+		return p
+	}
+
+	// Tail-free fallback: uniform over the occupied side with 2^(b-1)
+	// codes in the fine slot (coarse slot unused).
+	maxM := mags[len(mags)-1]
+	if negative {
+		p.Slots[FNeg] = SlotParams{Enabled: true, Delta: maxM / float64(halfNeg), MaxMag: halfNeg}
+	} else {
+		p.Slots[FPos] = SlotParams{Enabled: true, Delta: maxM / float64(halfPos), MaxMag: halfPos}
+	}
+	return p
+}

@@ -1,0 +1,358 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"quq/internal/dist"
+	"quq/internal/rng"
+)
+
+// sampleFamily draws calibration data for each Figure 3 family.
+func sampleFamily(f dist.Family, n int, seed uint64) []float64 {
+	return dist.Sample(f, n, rng.New(seed))
+}
+
+func TestPRAValidOnAllFamilies(t *testing.T) {
+	for _, fam := range dist.Families {
+		xs := sampleFamily(fam, 1<<14, 42)
+		for _, b := range []int{4, 6, 8} {
+			p := PRA(xs, b, DefaultPRAOptions())
+			if err := p.Validate(); err != nil {
+				t.Errorf("%v b=%d: %v", fam, b, err)
+			}
+			if p.Bits != b {
+				t.Errorf("%v b=%d: params carry bits=%d", fam, b, p.Bits)
+			}
+		}
+	}
+}
+
+func TestPRAModeSelectionMatchesPaper(t *testing.T) {
+	// Figure 3's characterization: two-sided long-tailed data (query
+	// weights, pre-addition) stays in Mode A; non-negative post-softmax
+	// takes Mode B; post-GELU (bounded negatives, long positive tail)
+	// takes Mode C.
+	want := map[dist.Family]Mode{
+		dist.QueryWeight: ModeA,
+		dist.PostSoftmax: ModeB,
+		dist.PreAddition: ModeA,
+		dist.PostGELU:    ModeC,
+	}
+	for fam, wantMode := range want {
+		xs := sampleFamily(fam, 1<<16, 42)
+		p := PRA(xs, 6, DefaultPRAOptions())
+		if p.Mode != wantMode {
+			t.Errorf("%v: mode %v, want %v (%v)", fam, p.Mode, wantMode, p)
+		}
+	}
+}
+
+func TestPRANeverClipsCalibrationData(t *testing.T) {
+	// PRA sets the coarse bounds from the calibration extremes, and
+	// Relax only grows scale factors, so no calibration sample may land
+	// beyond the representable range (its quantization error must stay
+	// within half of its subrange's step).
+	for _, fam := range dist.Families {
+		xs := sampleFamily(fam, 1<<13, 9)
+		for _, b := range []int{4, 6, 8} {
+			p := PRA(xs, b, DefaultPRAOptions())
+			for _, x := range xs {
+				c := p.Quantize(x)
+				step := p.Slots[c.Slot].Delta
+				if err := math.Abs(x - p.Dequantize(c)); err > step/2+1e-9 {
+					t.Fatalf("%v b=%d: x=%v clipped (err=%v, slot=%v step=%v)", fam, b, x, err, c.Slot, step)
+				}
+			}
+		}
+	}
+}
+
+func TestPRABeatsUniformMSE(t *testing.T) {
+	// The core Table 1 claim: QUQ's MSE is below symmetric uniform
+	// quantization's on every family at every bit-width.
+	for _, fam := range dist.Families {
+		xs := sampleFamily(fam, 1<<16, 42)
+		absmax := 0.0
+		for _, v := range xs {
+			if a := math.Abs(v); a > absmax {
+				absmax = a
+			}
+		}
+		for _, b := range []int{4, 6, 8} {
+			p := PRA(xs, b, DefaultPRAOptions())
+			quqMSE := p.MSE(xs)
+			baseMSE := UniformMSE(xs, UniformDelta(absmax, b), b)
+			if quqMSE >= baseMSE {
+				t.Errorf("%v b=%d: QUQ MSE %v not below uniform %v", fam, b, quqMSE, baseMSE)
+			}
+		}
+	}
+}
+
+func TestPRAMSEDecreasesWithBits(t *testing.T) {
+	for _, fam := range dist.Families {
+		xs := sampleFamily(fam, 1<<14, 17)
+		prev := math.Inf(1)
+		for _, b := range []int{4, 6, 8} {
+			m := PRA(xs, b, DefaultPRAOptions()).MSE(xs)
+			if m >= prev {
+				t.Errorf("%v: MSE did not decrease from %v to %v bits", fam, b-2, b)
+			}
+			prev = m
+		}
+	}
+}
+
+func TestPRAAllZeroTensor(t *testing.T) {
+	p := PRA(make([]float64, 100), 8, DefaultPRAOptions())
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v := p.Value(0); v != 0 {
+		t.Fatalf("zero tensor quantizer maps 0 to %v", v)
+	}
+}
+
+func TestPRAOneSidedNegative(t *testing.T) {
+	src := rng.New(10)
+	xs := make([]float64, 8192)
+	for i := range xs {
+		xs[i] = -src.Exp(0.5)
+	}
+	p := PRA(xs, 6, DefaultPRAOptions())
+	if p.Mode != ModeB {
+		t.Fatalf("non-positive tensor got mode %v", p.Mode)
+	}
+	if p.Slots[FPos].Enabled || p.Slots[CPos].Enabled {
+		t.Fatal("non-positive tensor has enabled positive subranges")
+	}
+	// All mass on the negative side; error bounded by the coarse step.
+	for _, x := range xs[:500] {
+		c := p.Quantize(x)
+		if !c.Slot.Negative() && c.Mag != 0 {
+			t.Fatalf("negative value %v landed in %v", x, c.Slot)
+		}
+	}
+}
+
+func TestPRAOneSidedTailFreeFallback(t *testing.T) {
+	// Near-uniform positive data has no coarse/fine structure; the Mode
+	// B construction must fall back to single-slot uniform coverage.
+	src := rng.New(11)
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = src.Uniform(0.5, 1.0)
+	}
+	p := PRA(xs, 6, DefaultPRAOptions())
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != ModeB {
+		t.Fatalf("mode %v", p.Mode)
+	}
+	// MSE must be no worse than ~uniform quantization with the same
+	// number of codes on [0, max].
+	maxX := 1.0
+	uniform := maxX / float64(int64(1)<<5)
+	if m := p.MSE(xs); m > uniform*uniform/12*4 {
+		t.Fatalf("tail-free fallback MSE %v too high", m)
+	}
+}
+
+func TestPRAModeDOnShortTailData(t *testing.T) {
+	// Uniformly distributed two-sided data: the coarse/fine ratio is ~1
+	// on both sides, so Algorithm 2 must fall back to Mode D (or the C
+	// variants), never Mode A.
+	src := rng.New(12)
+	xs := make([]float64, 8192)
+	for i := range xs {
+		xs[i] = src.Uniform(-2, 2)
+	}
+	p := PRA(xs, 6, DefaultPRAOptions())
+	if p.Mode == ModeA {
+		t.Fatalf("short-tailed data kept Mode A: %v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPRADisableModeSwitchAblation(t *testing.T) {
+	src := rng.New(13)
+	xs := make([]float64, 8192)
+	for i := range xs {
+		xs[i] = src.Uniform(-2, 2)
+	}
+	opts := DefaultPRAOptions()
+	opts.DisableModeSwitch = true
+	p := PRA(xs, 6, opts)
+	if p.Mode != ModeA {
+		t.Fatalf("DisableModeSwitch still switched to %v", p.Mode)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPRAQuantileRecursionRespectsFloor(t *testing.T) {
+	// Craft data with moderate tails so the recursion engages; ensure
+	// termination and a valid result even when q walks down to q_A.
+	src := rng.New(14)
+	xs := make([]float64, 8192)
+	for i := range xs {
+		xs[i] = src.Gauss(0, 1)
+	}
+	opts := DefaultPRAOptions()
+	opts.QInit = 0.999
+	opts.QAccept = 0.90
+	p := PRA(xs, 6, opts)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPRAQuantizerIsMonotone(t *testing.T) {
+	// Property: for any calibrated quantizer, x <= y implies
+	// Value(x) <= Value(y). Monotonicity is what guarantees argmax
+	// stability under mild quantization.
+	for _, fam := range dist.Families {
+		xs := sampleFamily(fam, 1<<13, 23)
+		p := PRA(xs, 6, DefaultPRAOptions())
+		src := rng.New(99)
+		for i := 0; i < 5000; i++ {
+			a := src.Gauss(0, 2)
+			b := a + src.Exp(0.5)
+			if p.Value(a) > p.Value(b)+1e-12 {
+				t.Fatalf("%v: Value(%v)=%v > Value(%v)=%v", fam, a, p.Value(a), b, p.Value(b))
+			}
+		}
+	}
+}
+
+func TestPRAPropertyRandomTensors(t *testing.T) {
+	// Property-based sweep over random mixture tensors: PRA must always
+	// return a valid quantizer, and its MSE may exceed uniform's by at
+	// most 4×: Algorithm 1 only ever grows scale factors, and the log-
+	// domain rounding inflates a Δ by at most 2× (hence MSE by at most
+	// 4×) relative to the uniform fit of the same range. The tighter
+	// never-worse-than-uniform guarantee belongs to Calibrate, below.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		xs, bits := randomMixtureTensor(src)
+		p := PRA(xs, bits, DefaultPRAOptions())
+		if p.Validate() != nil {
+			return false
+		}
+		return p.MSE(xs) <= uniformBaselineMSE(xs, bits)*4+1e-18
+	}
+	seedSrc := rng.New(2718)
+	if err := quick.Check(func() bool { return f(seedSrc.Uint64()) }, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomMixtureTensor draws a Laplace mixture with random scale, optional
+// shift and sparse 10× outliers — a stress generator covering symmetric,
+// asymmetric, short- and long-tailed data.
+func randomMixtureTensor(src *rng.Source) ([]float64, int) {
+	n := 512 + src.Intn(2048)
+	xs := make([]float64, n)
+	scale := math.Exp(src.Uniform(-6, 6))
+	outlierP := src.Float64() * 0.05
+	shift := 0.0
+	if src.Float64() < 0.3 {
+		shift = src.Uniform(-2, 2) * scale
+	}
+	for i := range xs {
+		v := src.Laplace(scale)
+		if src.Float64() < outlierP {
+			v *= 10
+		}
+		xs[i] = v + shift
+	}
+	return xs, []int{4, 6, 8}[src.Intn(3)]
+}
+
+func uniformBaselineMSE(xs []float64, bits int) float64 {
+	absmax := 0.0
+	for _, v := range xs {
+		if a := math.Abs(v); a > absmax {
+			absmax = a
+		}
+	}
+	return UniformMSE(xs, UniformDelta(absmax, bits), bits)
+}
+
+func TestCalibrateNeverWorseThanUniform(t *testing.T) {
+	// Calibrate explicitly scores the uniform special case, so — unlike
+	// raw PRA — it can never lose to uniform quantization on the
+	// calibration data. This is the paper's compatibility claim made
+	// operational.
+	seedSrc := rng.New(314159)
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		xs, bits := randomMixtureTensor(src)
+		p := Calibrate(xs, bits, DefaultPRAOptions())
+		if p.Validate() != nil {
+			return false
+		}
+		return p.MSE(xs) <= uniformBaselineMSE(xs, bits)+1e-18
+	}
+	if err := quick.Check(func() bool { return f(seedSrc.Uint64()) }, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineNeverHurts(t *testing.T) {
+	// Refine scores the identity candidate, so the refined quantizer's
+	// MSE on the scored subsample can only improve.
+	seedSrc := rng.New(161803)
+	for trial := 0; trial < 40; trial++ {
+		src := rng.New(seedSrc.Uint64())
+		xs, bits := randomMixtureTensor(src)
+		p := PRA(xs, bits, DefaultPRAOptions())
+		opts := DefaultRefineOptions()
+		opts.MaxSamples = 0 // score the full tensor so the bound is exact
+		r := Refine(xs, p, opts)
+		if r.Validate() != nil {
+			t.Fatal("Refine produced invalid params")
+		}
+		if r.MSE(xs) > p.MSE(xs)+1e-18 {
+			t.Fatalf("Refine increased MSE: %v -> %v", p.MSE(xs), r.MSE(xs))
+		}
+	}
+}
+
+func TestRefineImprovesModeD(t *testing.T) {
+	// A concrete case where relaxation inflates Mode D beyond uniform:
+	// CalibrateRefined must end at or below the plain-uniform MSE.
+	src := rng.New(8410054490953920788)
+	xs, _ := randomMixtureTensor(src)
+	bits := 6
+	base := uniformBaselineMSE(xs, bits)
+	refined := CalibrateRefined(xs, bits, DefaultPRAOptions(), DefaultRefineOptions())
+	if m := refined.MSE(xs); m > base {
+		t.Fatalf("CalibrateRefined MSE %v still above uniform %v", m, base)
+	}
+}
+
+func TestRefineDoesNotMutateInput(t *testing.T) {
+	xs := sampleFamily(dist.PreAddition, 1<<12, 77)
+	p := PRA(xs, 6, DefaultPRAOptions())
+	before := p.String()
+	Refine(xs, p, DefaultRefineOptions())
+	if p.String() != before {
+		t.Fatal("Refine mutated its input params")
+	}
+}
+
+func TestPRADeterministic(t *testing.T) {
+	xs := sampleFamily(dist.PreAddition, 1<<12, 5)
+	a := PRA(xs, 6, DefaultPRAOptions())
+	b := PRA(xs, 6, DefaultPRAOptions())
+	if a.String() != b.String() {
+		t.Fatalf("PRA not deterministic: %v vs %v", a, b)
+	}
+}

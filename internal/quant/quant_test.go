@@ -1,0 +1,260 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"quq/internal/rng"
+)
+
+func TestUniformBasics(t *testing.T) {
+	// Δ=1, 4 bits: codes in [-8, 7].
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0}, {0.4, 0}, {0.6, 1}, {1.5, 2} /* round half to even */, {2.5, 2},
+		{-0.6, -1}, {100, 7}, {-100, -8},
+	}
+	for _, c := range cases {
+		if got := Uniform(c.x, 1, 4); got != c.want {
+			t.Errorf("Uniform(%v, 1, 4) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestUniformCodeRange(t *testing.T) {
+	src := rng.New(1)
+	for i := 0; i < 10000; i++ {
+		x := src.Gauss(0, 10)
+		c := UniformCode(x, 0.3, 6)
+		if c < -32 || c > 31 {
+			t.Fatalf("UniformCode out of 6-bit range: %d", c)
+		}
+	}
+}
+
+func TestUniformDelta(t *testing.T) {
+	if d := UniformDelta(127, 8); d != 1 {
+		t.Fatalf("UniformDelta(127, 8) = %v, want 1", d)
+	}
+	if d := UniformDelta(0, 8); d != 1 {
+		t.Fatalf("UniformDelta of zero tensor should be 1, got %v", d)
+	}
+}
+
+func TestUniformErrorBound(t *testing.T) {
+	// Within the representable range, |x - U(x)·Δ| ≤ Δ/2.
+	src := rng.New(2)
+	const delta = 0.25
+	for i := 0; i < 10000; i++ {
+		x := src.Uniform(-31*delta, 31*delta)
+		if err := math.Abs(x - Uniform(x, delta, 6)); err > delta/2+1e-12 {
+			t.Fatalf("|%v - U(%v)| = %v > Δ/2", x, x, err)
+		}
+	}
+}
+
+func TestRelaxProducesPow2Ratio(t *testing.T) {
+	src := rng.New(3)
+	for i := 0; i < 5000; i++ {
+		d1 := math.Exp(src.Uniform(-10, 10))
+		d2 := math.Exp(src.Uniform(-10, 10))
+		r1, r2 := Relax(d1, d2)
+		k := math.Log2(r2 / r1)
+		if math.Abs(k-math.Round(k)) > 1e-9 {
+			t.Fatalf("Relax(%v, %v) ratio 2^%v is not a power of two", d1, d2, k)
+		}
+	}
+}
+
+func TestRelaxNeverShrinks(t *testing.T) {
+	// Algorithm 1's guarantee: neither output is smaller than its input
+	// (so relaxation never introduces clipping).
+	src := rng.New(4)
+	for i := 0; i < 5000; i++ {
+		d1 := math.Exp(src.Uniform(-5, 5))
+		d2 := math.Exp(src.Uniform(-5, 5))
+		r1, r2 := Relax(d1, d2)
+		if r1 < d1-1e-12 || r2 < d2-1e-12 {
+			t.Fatalf("Relax(%v, %v) = (%v, %v) shrank a factor", d1, d2, r1, r2)
+		}
+	}
+}
+
+func TestRelaxIdempotentOnPow2(t *testing.T) {
+	for _, k := range []int{-3, -1, 0, 1, 4} {
+		d1 := 0.375
+		d2 := d1 * math.Pow(2, float64(k))
+		r1, r2 := Relax(d1, d2)
+		if math.Abs(r1-d1) > 1e-12 || math.Abs(r2-d2) > 1e-12 {
+			t.Fatalf("Relax changed an already-relaxed pair (k=%d): (%v,%v) -> (%v,%v)", k, d1, d2, r1, r2)
+		}
+	}
+}
+
+func TestRelaxExactlyOneChanged(t *testing.T) {
+	src := rng.New(5)
+	for i := 0; i < 2000; i++ {
+		d1 := math.Exp(src.Uniform(-4, 4))
+		d2 := math.Exp(src.Uniform(-4, 4))
+		r1, r2 := Relax(d1, d2)
+		c1 := math.Abs(r1-d1) > 1e-12
+		c2 := math.Abs(r2-d2) > 1e-12
+		if c1 && c2 {
+			t.Fatalf("Relax modified both factors: (%v,%v) -> (%v,%v)", d1, d2, r1, r2)
+		}
+	}
+}
+
+func TestRelaxPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Relax(0, 1)
+}
+
+func TestParamsForUniformMatchesUniform(t *testing.T) {
+	// The paper: symmetric uniform quantization is a special case of QUQ
+	// (Mode D with Δ_C− = Δ_F+).
+	src := rng.New(6)
+	for _, bits := range []int{4, 6, 8} {
+		const delta = 0.17
+		p := ParamsForUniform(delta, bits)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5000; i++ {
+			x := src.Gauss(0, 3)
+			if got, want := p.Value(x), Uniform(x, delta, bits); got != want {
+				t.Fatalf("b=%d x=%v: QUQ uniform-equivalent %v != Uniform %v", bits, x, got, want)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBadRatio(t *testing.T) {
+	p := &Params{Bits: 8}
+	p.Slots[FPos] = SlotParams{Enabled: true, Delta: 1, MaxMag: 63}
+	p.Slots[CPos] = SlotParams{Enabled: true, Delta: 3, MaxMag: 63} // not 2^k
+	if p.Validate() == nil {
+		t.Fatal("Validate accepted a non-power-of-two ratio")
+	}
+}
+
+func TestValidateRejectsEmpty(t *testing.T) {
+	p := &Params{Bits: 8}
+	if p.Validate() == nil {
+		t.Fatal("Validate accepted an all-disabled quantizer")
+	}
+}
+
+func TestValidateRejectsBadBits(t *testing.T) {
+	p := ParamsForUniform(1, 8)
+	p.Bits = 2
+	if p.Validate() == nil {
+		t.Fatal("Validate accepted 2-bit quantizer")
+	}
+}
+
+func TestShift(t *testing.T) {
+	p := &Params{Bits: 8, Mode: ModeA}
+	p.Slots[FNeg] = SlotParams{Enabled: true, Delta: 0.5, MaxMag: 64}
+	p.Slots[FPos] = SlotParams{Enabled: true, Delta: 0.5, MaxMag: 63}
+	p.Slots[CNeg] = SlotParams{Enabled: true, Delta: 4, MaxMag: 64}
+	p.Slots[CPos] = SlotParams{Enabled: true, Delta: 2, MaxMag: 63}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.BaseDelta() != 0.5 {
+		t.Fatalf("BaseDelta = %v", p.BaseDelta())
+	}
+	if p.Shift(FPos) != 0 || p.Shift(CNeg) != 3 || p.Shift(CPos) != 2 {
+		t.Fatalf("shifts = %d,%d,%d", p.Shift(FPos), p.Shift(CNeg), p.Shift(CPos))
+	}
+}
+
+func TestQuantizeZero(t *testing.T) {
+	p := ParamsForUniform(0.3, 6)
+	c := p.Quantize(0)
+	if c.Mag != 0 || p.Dequantize(c) != 0 {
+		t.Fatalf("zero does not round-trip: %+v", c)
+	}
+}
+
+func TestQuantizeFinePreferredOverCoarse(t *testing.T) {
+	p := &Params{Bits: 8, Mode: ModeA}
+	p.Slots[FNeg] = SlotParams{Enabled: true, Delta: 0.1, MaxMag: 64}
+	p.Slots[FPos] = SlotParams{Enabled: true, Delta: 0.1, MaxMag: 63}
+	p.Slots[CNeg] = SlotParams{Enabled: true, Delta: 0.8, MaxMag: 64}
+	p.Slots[CPos] = SlotParams{Enabled: true, Delta: 0.8, MaxMag: 63}
+	// 3.0 is representable in both subranges; fine must win (higher
+	// resolution, the paper's overlap rule).
+	c := p.Quantize(3.0)
+	if c.Slot != FPos {
+		t.Fatalf("value in fine range quantized to %v", c.Slot)
+	}
+	// 6.31 exceeds the fine bound (6.3) and must go coarse.
+	c = p.Quantize(6.4)
+	if c.Slot != CPos {
+		t.Fatalf("value beyond fine range quantized to %v", c.Slot)
+	}
+	// Negative mirror.
+	if c := p.Quantize(-3.0); c.Slot != FNeg {
+		t.Fatalf("negative fine value quantized to %v", c.Slot)
+	}
+	if c := p.Quantize(-7.0); c.Slot != CNeg {
+		t.Fatalf("negative coarse value quantized to %v", c.Slot)
+	}
+}
+
+func TestQuantizeClipsAtCoarseBound(t *testing.T) {
+	p := ParamsForUniform(1, 4) // positive max 7, negative max -8
+	if v := p.Value(100); v != 7 {
+		t.Fatalf("positive clip = %v, want 7", v)
+	}
+	if v := p.Value(-100); v != -8 {
+		t.Fatalf("negative clip = %v, want -8", v)
+	}
+}
+
+func TestQuantizeWrongSideOfOneSided(t *testing.T) {
+	src := rng.New(7)
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = src.Exp(1) // strictly positive
+	}
+	p := PRA(xs, 6, DefaultPRAOptions())
+	if p.Mode != ModeB {
+		t.Fatalf("one-sided tensor got mode %v", p.Mode)
+	}
+	if v := p.Value(-3); v != 0 {
+		t.Fatalf("negative input to non-negative quantizer = %v, want 0 (clip)", v)
+	}
+}
+
+func TestQuantizeSliceMatchesValue(t *testing.T) {
+	src := rng.New(8)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = src.Laplace(1)
+	}
+	p := PRA(xs, 6, DefaultPRAOptions())
+	out := make([]float64, len(xs))
+	p.QuantizeSlice(out, xs)
+	for i, x := range xs {
+		if out[i] != p.Value(x) {
+			t.Fatalf("QuantizeSlice[%d] = %v, want %v", i, out[i], p.Value(x))
+		}
+	}
+}
+
+func TestQuantizeSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ParamsForUniform(1, 4).QuantizeSlice(make([]float64, 2), make([]float64, 3))
+}

@@ -1,0 +1,183 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequences diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child stream must not simply replay the parent stream.
+	p := New(7)
+	p.Uint64() // consume the value that seeded the child
+	for i := 0; i < 100; i++ {
+		if child.Uint64() == p.Uint64() {
+			t.Fatalf("child stream mirrors parent at step %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(99)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Uniform(-3,5) out of range: %v", v)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(2024)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := s.Norm()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestGaussMoments(t *testing.T) {
+	s := New(11)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Gauss(3, 0.5)
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.02 {
+		t.Errorf("Gauss(3,0.5) mean = %v, want ~3", mean)
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	s := New(31)
+	const n = 200000
+	const b = 0.7
+	var sum, sumAbs float64
+	for i := 0; i < n; i++ {
+		v := s.Laplace(b)
+		sum += v
+		sumAbs += math.Abs(v)
+	}
+	if mean := sum / n; math.Abs(mean) > 0.02 {
+		t.Errorf("Laplace mean = %v, want ~0", mean)
+	}
+	// E|X| = b for Laplace(0, b).
+	if meanAbs := sumAbs / n; math.Abs(meanAbs-b) > 0.02 {
+		t.Errorf("Laplace E|X| = %v, want ~%v", meanAbs, b)
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	s := New(41)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Exp(2.5)
+		if v < 0 {
+			t.Fatalf("Exp produced negative sample %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-2.5) > 0.05 {
+		t.Errorf("Exp(2.5) mean = %v, want ~2.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(8)
+	p := s.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm(50) invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermShuffles(t *testing.T) {
+	s := New(8)
+	identity := 0
+	for trial := 0; trial < 20; trial++ {
+		p := s.Perm(20)
+		fixed := 0
+		for i, v := range p {
+			if i == v {
+				fixed++
+			}
+		}
+		if fixed == 20 {
+			identity++
+		}
+	}
+	if identity > 1 {
+		t.Fatalf("Perm returned the identity permutation %d/20 times", identity)
+	}
+}

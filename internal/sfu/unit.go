@@ -1,0 +1,114 @@
+package sfu
+
+import (
+	"fmt"
+
+	"quq/internal/quant"
+	"quq/internal/qub"
+)
+
+// Unit is a QUB-fronted special function unit: it decodes incoming QUB
+// words to integers (the "QUB decoder and shifter in the data loading
+// path" of §4.2), converts them to the kernel's fixed-point format using
+// the tensor's base Δ, applies an integer kernel, and requantizes the
+// result into the output tensor's QUQ code space.
+//
+// The Δ-to-fixed-point conversion uses one integer multiply-and-shift per
+// element (the same M/2^N scaling the quantization units use); no
+// floating point touches the data path.
+type Unit struct {
+	in  qub.Registers
+	out *quant.Params
+	// inScale converts decoded integers (units of Δ_in) to fixed point.
+	inM int64
+	inN uint
+	// outScale converts fixed point to units of the output base Δ.
+	outM int64
+	outN uint
+}
+
+// NewUnit builds an SFU for inputs encoded with inParams and outputs
+// quantized with outParams.
+func NewUnit(inParams, outParams *quant.Params) (*Unit, error) {
+	regs, err := qub.RegistersFor(inParams)
+	if err != nil {
+		return nil, fmt.Errorf("sfu: input registers: %w", err)
+	}
+	if err := outParams.Validate(); err != nil {
+		return nil, fmt.Errorf("sfu: output params: %w", err)
+	}
+	u := &Unit{in: regs, out: outParams}
+	if u.inM, u.inN, err = dyadic(regs.BaseDelta * float64(One)); err != nil {
+		return nil, err
+	}
+	if u.outM, u.outN, err = dyadic(1 / (outParams.BaseDelta() * float64(One))); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// dyadic approximates scale as M/2^N with M normalized to 15 bits.
+func dyadic(scale float64) (int64, uint, error) {
+	if !(scale > 0) {
+		return 0, 0, fmt.Errorf("sfu: invalid scale %v", scale)
+	}
+	n := uint(0)
+	for scale < 1<<14 && n < 40 {
+		scale *= 2
+		n++
+	}
+	for scale >= 1<<15 {
+		scale /= 2
+		if n == 0 {
+			return int64(scale), 0, nil
+		}
+		n--
+	}
+	return int64(scale + 0.5), n, nil
+}
+
+// decodeFixed turns one QUB word into the kernel fixed-point format.
+func (u *Unit) decodeFixed(w qub.Word) int64 {
+	d := qub.Decode(w, u.in)
+	v := int64(d.D) << d.Nsh
+	return (v * u.inM) >> u.inN
+}
+
+// requantize maps a fixed-point kernel output to an output QUB word.
+func (u *Unit) requantize(v int64) qub.Word {
+	// Units of the output base Δ, with F fraction bits folded away by
+	// the out-scale's construction.
+	scaled := (v * u.outM) >> u.outN
+	units := float64(scaled)
+	// Subrange selection reuses the quantizer's integer-compatible
+	// logic: Quantize operates on value = units·Δ_base.
+	return qub.Encode(u.out, u.out.Quantize(units*u.out.BaseDelta()))
+}
+
+// Softmax processes one row of attention logits: QUB in, QUB out.
+func (u *Unit) Softmax(row []qub.Word) []qub.Word {
+	fixed := make([]int64, len(row))
+	for i, w := range row {
+		fixed[i] = u.decodeFixed(w)
+	}
+	Softmax(fixed, fixed)
+	out := make([]qub.Word, len(row))
+	for i, v := range fixed {
+		out[i] = u.requantize(v)
+	}
+	return out
+}
+
+// GELU processes a slice of pre-activations: QUB in, QUB out.
+func (u *Unit) GELU(xs []qub.Word) []qub.Word {
+	out := make([]qub.Word, len(xs))
+	for i, w := range xs {
+		out[i] = u.requantize(GELU(u.decodeFixed(w)))
+	}
+	return out
+}
+
+// OutRegisters returns the registers needed to decode the unit's output.
+func (u *Unit) OutRegisters() (qub.Registers, error) {
+	return qub.RegistersFor(u.out)
+}

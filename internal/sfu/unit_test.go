@@ -1,0 +1,110 @@
+package sfu
+
+import (
+	"math"
+	"testing"
+
+	"quq/internal/dist"
+	"quq/internal/mathx"
+	"quq/internal/quant"
+	"quq/internal/qub"
+	"quq/internal/rng"
+)
+
+func TestUnitSoftmaxEndToEnd(t *testing.T) {
+	src := rng.New(1)
+	// Calibrate the input quantizer on attention-logit-shaped data and
+	// the output quantizer on softmax outputs.
+	logits := make([]float64, 8192)
+	for i := range logits {
+		logits[i] = src.Gauss(0, 4)
+	}
+	pin := quant.PRA(logits, 8, quant.DefaultPRAOptions())
+	probs := dist.Sample(dist.PostSoftmax, 8192, src.Split())
+	pout := quant.PRA(probs, 8, quant.DefaultPRAOptions())
+
+	u, err := NewUnit(pin, pout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outRegs, err := u.OutRegisters()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 50; trial++ {
+		n := 8 + src.Intn(56)
+		row := make([]float64, n)
+		for i := range row {
+			row[i] = src.Gauss(0, 4)
+		}
+		// Float reference through the same input quantization.
+		ref := make([]float64, n)
+		for i, v := range row {
+			ref[i] = pin.Value(v)
+		}
+		mathx.SoftmaxInPlace(ref)
+
+		words := qub.EncodeTensor(pin, row)
+		got := qub.DecodeTensor(u.Softmax(words), outRegs)
+
+		var sum float64
+		for i := range got {
+			// Tolerance: the kernel approximation (≈1%) plus one output
+			// quantization step.
+			step := pout.BaseDelta() * 4
+			if math.Abs(got[i]-pout.Value(ref[i])) > 0.015+step {
+				t.Fatalf("trial %d elem %d: SFU %v, reference %v", trial, i, got[i], ref[i])
+			}
+			sum += got[i]
+		}
+		if math.Abs(sum-1) > 0.1 {
+			t.Fatalf("SFU softmax row sums to %v", sum)
+		}
+	}
+}
+
+func TestUnitGELUEndToEnd(t *testing.T) {
+	src := rng.New(2)
+	pre := make([]float64, 8192)
+	for i := range pre {
+		pre[i] = src.Gauss(0, 1.5)
+	}
+	pin := quant.PRA(pre, 8, quant.DefaultPRAOptions())
+	post := make([]float64, len(pre))
+	for i, v := range pre {
+		post[i] = mathx.Gelu(v)
+	}
+	pout := quant.PRA(post, 8, quant.DefaultPRAOptions())
+
+	u, err := NewUnit(pin, pout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outRegs, err := u.OutRegisters()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	xs := pre[:1024]
+	words := qub.EncodeTensor(pin, xs)
+	got := qub.DecodeTensor(u.GELU(words), outRegs)
+	for i, x := range xs {
+		want := mathx.Gelu(pin.Value(x))
+		tol := 0.03 + 0.03*math.Abs(want) + 2*pout.Slot(quant.CPos).Delta
+		if math.Abs(got[i]-want) > tol {
+			t.Fatalf("elem %d (x=%v): SFU GELU %v, reference %v", i, x, got[i], want)
+		}
+	}
+}
+
+func TestNewUnitRejectsInvalid(t *testing.T) {
+	good := quant.ParamsForUniform(0.1, 8)
+	bad := &quant.Params{Bits: 8}
+	if _, err := NewUnit(bad, good); err == nil {
+		t.Fatal("accepted invalid input params")
+	}
+	if _, err := NewUnit(good, bad); err == nil {
+		t.Fatal("accepted invalid output params")
+	}
+}

@@ -1,0 +1,91 @@
+package sfu
+
+import (
+	"fmt"
+
+	"quq/internal/quant"
+	"quq/internal/qub"
+)
+
+// AddUnit is the element-wise-addition SFU of §4.2: it decodes two QUB
+// streams with different base scale factors, adds them in fixed point,
+// and requantizes the sum into the residual tensor's QUQ code space —
+// the integer realization of a residual connection.
+type AddUnit struct {
+	a, b *Unit // reuse the decode/requantize scaling machinery
+}
+
+// NewAddUnit builds an adder for operands quantized with pa and pb whose
+// sum is quantized with pout.
+func NewAddUnit(pa, pb, pout *quant.Params) (*AddUnit, error) {
+	ua, err := NewUnit(pa, pout)
+	if err != nil {
+		return nil, fmt.Errorf("sfu: add operand a: %w", err)
+	}
+	ub, err := NewUnit(pb, pout)
+	if err != nil {
+		return nil, fmt.Errorf("sfu: add operand b: %w", err)
+	}
+	return &AddUnit{a: ua, b: ub}, nil
+}
+
+// Add returns the requantized element-wise sum of the two encoded
+// streams.
+func (u *AddUnit) Add(as, bs []qub.Word) []qub.Word {
+	if len(as) != len(bs) {
+		panic("sfu: Add length mismatch")
+	}
+	out := make([]qub.Word, len(as))
+	for i := range as {
+		out[i] = u.a.requantize(u.a.decodeFixed(as[i]) + u.b.decodeFixed(bs[i]))
+	}
+	return out
+}
+
+// OutRegisters returns the registers for decoding the sums.
+func (u *AddUnit) OutRegisters() (qub.Registers, error) { return u.a.OutRegisters() }
+
+// LayerNormUnit is the LayerNorm SFU: QUB rows in, QUB rows out, with the
+// affine parameters held in fixed point.
+type LayerNormUnit struct {
+	u           *Unit
+	gamma, beta []int64
+}
+
+// NewLayerNormUnit builds a LayerNorm SFU over `dim` channels for inputs
+// quantized with pin and outputs quantized with pout.
+func NewLayerNormUnit(pin, pout *quant.Params, gamma, beta []float64) (*LayerNormUnit, error) {
+	if len(gamma) != len(beta) {
+		return nil, fmt.Errorf("sfu: gamma/beta length mismatch")
+	}
+	u, err := NewUnit(pin, pout)
+	if err != nil {
+		return nil, err
+	}
+	ln := &LayerNormUnit{u: u, gamma: make([]int64, len(gamma)), beta: make([]int64, len(beta))}
+	for i := range gamma {
+		ln.gamma[i] = ToFixed(gamma[i])
+		ln.beta[i] = ToFixed(beta[i])
+	}
+	return ln, nil
+}
+
+// Row normalizes one token row (length must match the affine parameters).
+func (l *LayerNormUnit) Row(row []qub.Word) []qub.Word {
+	if len(row) != len(l.gamma) {
+		panic(fmt.Sprintf("sfu: LayerNorm row width %d, want %d", len(row), len(l.gamma)))
+	}
+	fixed := make([]int64, len(row))
+	for i, w := range row {
+		fixed[i] = l.u.decodeFixed(w)
+	}
+	LayerNorm(fixed, fixed, l.gamma, l.beta)
+	out := make([]qub.Word, len(row))
+	for i, v := range fixed {
+		out[i] = l.u.requantize(v)
+	}
+	return out
+}
+
+// OutRegisters returns the registers for decoding the normalized rows.
+func (l *LayerNormUnit) OutRegisters() (qub.Registers, error) { return l.u.OutRegisters() }

@@ -1,0 +1,329 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"quq/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestNewShapeAndLen(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 || x.Rank() != 3 || x.Dim(1) != 3 {
+		t.Fatalf("unexpected geometry: len=%d rank=%d dim1=%d", x.Len(), x.Rank(), x.Dim(1))
+	}
+	for _, v := range x.Data() {
+		if v != 0 {
+			t.Fatal("New tensor not zero-filled")
+		}
+	}
+}
+
+func TestFromSliceAliases(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	x := FromSlice(d, 2, 2)
+	d[0] = 9
+	if x.At(0, 0) != 9 {
+		t.Fatal("FromSlice should not copy the data")
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4)
+	x.Set(7.5, 2, 1)
+	if x.At(2, 1) != 7.5 {
+		t.Fatal("At/Set round trip failed")
+	}
+	if x.Data()[2*4+1] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestAtOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := FromSlice([]float64{1, 2}, 2)
+	y := x.Clone()
+	y.Data()[0] = 5
+	if x.Data()[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestReshapeSharesStorage(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	y.Set(99, 0, 1)
+	if x.At(0, 1) != 99 {
+		t.Fatal("Reshape should be a view")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad reshape should panic")
+		}
+	}()
+	x.Reshape(4, 2)
+}
+
+func TestRow(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	r := x.Row(1)
+	if len(r) != 3 || r[0] != 4 || r[2] != 6 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	r[0] = 40
+	if x.At(1, 0) != 40 {
+		t.Fatal("Row should be a view")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{10, 20, 30}, 3)
+	if got := a.Add(b).Data(); got[2] != 33 {
+		t.Fatalf("Add: %v", got)
+	}
+	if got := b.Sub(a).Data(); got[0] != 9 {
+		t.Fatalf("Sub: %v", got)
+	}
+	if got := a.Mul(b).Data(); got[1] != 40 {
+		t.Fatalf("Mul: %v", got)
+	}
+	if a.Data()[0] != 1 {
+		t.Fatal("binary ops must not mutate operands")
+	}
+	a.AddInPlace(b)
+	if a.Data()[0] != 11 {
+		t.Fatal("AddInPlace failed")
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).Add(New(3))
+}
+
+func TestAddRowVector(t *testing.T) {
+	x := New(2, 3).Fill(1)
+	x.AddRowVector([]float64{1, 2, 3})
+	want := []float64{2, 3, 4, 2, 3, 4}
+	for i, v := range x.Data() {
+		if v != want[i] {
+			t.Fatalf("AddRowVector: got %v", x.Data())
+		}
+	}
+}
+
+func TestApplyScaleMap(t *testing.T) {
+	x := FromSlice([]float64{1, -2, 3}, 3)
+	y := x.Map(math.Abs)
+	if y.Data()[1] != 2 || x.Data()[1] != -2 {
+		t.Fatal("Map must not mutate the receiver")
+	}
+	x.Scale(2)
+	if x.Data()[2] != 6 {
+		t.Fatal("Scale failed")
+	}
+	x.Apply(func(v float64) float64 { return v + 1 })
+	if x.Data()[0] != 3 {
+		t.Fatal("Apply failed")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range c.Data() {
+		if v != want[i] {
+			t.Fatalf("MatMul = %v, want %v", c.Data(), want)
+		}
+	}
+}
+
+func TestMatMulTMatchesMatMul(t *testing.T) {
+	src := rng.New(5)
+	a := New(7, 11)
+	b := New(13, 11)
+	for i := range a.Data() {
+		a.Data()[i] = src.Norm()
+	}
+	for i := range b.Data() {
+		b.Data()[i] = src.Norm()
+	}
+	got := MatMulT(a, b)
+	want := MatMul(a, b.Transpose())
+	if MSE(got, want) > 1e-20 {
+		t.Fatal("MatMulT disagrees with MatMul(a, bᵀ)")
+	}
+}
+
+func TestMatMulDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	src := rng.New(6)
+	x := New(4, 9)
+	for i := range x.Data() {
+		x.Data()[i] = src.Norm()
+	}
+	if MSE(x.Transpose().Transpose(), x) != 0 {
+		t.Fatal("double transpose is not the identity")
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float64{-4, 1, 3, 0}, 4)
+	if x.Min() != -4 || x.Max() != 3 || x.AbsMax() != 4 {
+		t.Fatalf("min/max/absmax = %v/%v/%v", x.Min(), x.Max(), x.AbsMax())
+	}
+	if x.Sum() != 0 || x.Mean() != 0 {
+		t.Fatalf("sum/mean = %v/%v", x.Sum(), x.Mean())
+	}
+	if !almostEqual(x.Std(), math.Sqrt(26.0/4.0), 1e-12) {
+		t.Fatalf("std = %v", x.Std())
+	}
+}
+
+func TestMSEAndCosine(t *testing.T) {
+	a := FromSlice([]float64{1, 0}, 2)
+	b := FromSlice([]float64{0, 1}, 2)
+	if MSE(a, b) != 1 {
+		t.Fatalf("MSE = %v", MSE(a, b))
+	}
+	if CosineSimilarity(a, b) != 0 {
+		t.Fatal("orthogonal vectors should have cosine 0")
+	}
+	if !almostEqual(CosineSimilarity(a, a), 1, 1e-12) {
+		t.Fatal("self cosine should be 1")
+	}
+	if CosineSimilarity(a, New(2)) != 0 {
+		t.Fatal("zero vector cosine should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 4 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if got := Quantile(xs, 0.5); !almostEqual(got, 2.5, 1e-12) {
+		t.Fatalf("median = %v, want 2.5", got)
+	}
+	if xs[0] != 4 {
+		t.Fatal("Quantile must not reorder its input")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	src := rng.New(3)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = src.Norm()
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := Quantile(xs, q)
+		if v < prev-1e-12 {
+			t.Fatalf("quantile not monotone at q=%v", q)
+		}
+		prev = v
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	x := FromSlice([]float64{3, -1, 8, 8, 2}, 5)
+	if x.ArgMax() != 2 {
+		t.Fatalf("ArgMax = %d, want first maximum index 2", x.ArgMax())
+	}
+}
+
+func TestSplit(t *testing.T) {
+	x := FromSlice([]float64{-2, 0, 3, -1, 0, 5}, 6)
+	neg, pos := x.Split()
+	if len(neg) != 2 || len(pos) != 2 {
+		t.Fatalf("Split sizes: %d neg, %d pos", len(neg), len(pos))
+	}
+	if neg[0] != 2 || neg[1] != 1 {
+		t.Fatalf("neg magnitudes = %v", neg)
+	}
+	if pos[0] != 3 || pos[1] != 5 {
+		t.Fatalf("pos = %v", pos)
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ for random shapes and contents.
+func TestMatMulTransposeProperty(t *testing.T) {
+	src := rng.New(77)
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		m, k, n := 1+s.Intn(8), 1+s.Intn(8), 1+s.Intn(8)
+		a, b := New(m, k), New(k, n)
+		for i := range a.Data() {
+			a.Data()[i] = s.Norm()
+		}
+		for i := range b.Data() {
+			b.Data()[i] = s.Norm()
+		}
+		lhs := MatMul(a, b).Transpose()
+		rhs := MatMul(b.Transpose(), a.Transpose())
+		return MSE(lhs, rhs) < 1e-18
+	}
+	cfg := &quick.Config{MaxCount: 50, Values: nil}
+	if err := quick.Check(func() bool { return f(src.Uint64()) }, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatMul distributes over addition: A(B+C) = AB + AC.
+func TestMatMulDistributes(t *testing.T) {
+	src := rng.New(88)
+	for trial := 0; trial < 30; trial++ {
+		m, k, n := 1+src.Intn(6), 1+src.Intn(6), 1+src.Intn(6)
+		a, b, c := New(m, k), New(k, n), New(k, n)
+		for i := range a.Data() {
+			a.Data()[i] = src.Norm()
+		}
+		for i := range b.Data() {
+			b.Data()[i] = src.Norm()
+			c.Data()[i] = src.Norm()
+		}
+		lhs := MatMul(a, b.Add(c))
+		rhs := MatMul(a, b).Add(MatMul(a, c))
+		if MSE(lhs, rhs) > 1e-18 {
+			t.Fatalf("distribution law violated for %dx%dx%d", m, k, n)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package vit
+
+import (
+	"math"
+
+	"quq/internal/rng"
+)
+
+// New builds a model for cfg with structured synthetic weights drawn from
+// seed. The initialization mimics the statistics of trained ViTs that the
+// QUQ paper's Figure 3 characterizes:
+//
+//   - Xavier-scaled Gaussian weights with a sparse heavy-tail component
+//     (a small fraction of weights at 4× scale), matching the query-
+//     weight family;
+//   - a few designated "outlier channels" on every layer that writes to
+//     the residual stream (attention projection and MLP fc2), whose
+//     columns are amplified so the residual stream develops the wide
+//     pre-addition range that breaks uniform full quantization;
+//   - LayerNorm gains spread around one, biases near zero.
+//
+// New panics on an invalid configuration — model construction is
+// program initialization, not data handling.
+func New(cfg Config, seed uint64) Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	src := rng.New(seed)
+	switch cfg.Variant {
+	case VariantSwin:
+		m := newSwin(cfg)
+		initSwin(m, src)
+		return m
+	default:
+		m := newViT(cfg)
+		initViT(m, src)
+		return m
+	}
+}
+
+func initViT(m *ViT, src *rng.Source) {
+	initLinear(m.Patch, src, nil)
+	// Class/distillation tokens sit at the patch-embedding scale: their
+	// content is the classification feature, so (as in trained ViTs) it
+	// must live in the bulk of every activation distribution, not in the
+	// outlier tail.
+	initVector(m.Cls, src, 1.0)
+	if m.Dist != nil {
+		initVector(m.Dist, src, 1.0)
+	}
+	if m.Reg != nil {
+		initRegisters(m.Reg.Data(), m.cfg.RegisterScale, src)
+	}
+	initVector(m.Pos.Data(), src, 0.3)
+	outliers := pickOutliers(m.cfg.Dim, src)
+	for _, b := range m.Blocks {
+		initBlock(b, src, outliers)
+	}
+	initLayerNorm(m.Final, src)
+	initLinear(m.Head, src, nil)
+}
+
+func initSwin(m *Swin, src *rng.Source) {
+	initLinear(m.Patch, src, nil)
+	initVector(m.Pos.Data(), src, 0.3)
+	for s, stage := range m.Stages {
+		// Outlier channels persist within a stage; patch merging remixes
+		// them into the next stage's width.
+		outliers := pickOutliers(m.cfg.StageDims[s], src)
+		for _, b := range stage.Blocks {
+			initBlock(b, src, outliers)
+		}
+		if stage.Merge != nil {
+			initLayerNorm(stage.MergeLN, src)
+			initLinear(stage.Merge, src, nil)
+		}
+	}
+	initLayerNorm(m.Final, src)
+	initLinear(m.Head, src, nil)
+}
+
+// initBlock initializes one block. outliers names the model's persistent
+// residual-stream outlier channels: every layer writing to the residual
+// stream (attention projection and MLP fc2) amplifies the same columns,
+// so their magnitudes accumulate block over block — the mechanism behind
+// the wide pre-addition ranges of the paper's Figure 3(c).
+//
+// The layers writing to the residual stream are additionally scaled down
+// (branchScale): trained transformers make small incremental updates to
+// the stream, which is what keeps them Lipschitz-stable under activation
+// noise. Without this, a random-weight network is chaotic — every block
+// remixes the whole stream — and *any* quantizer's noise flips
+// predictions, drowning the differences the accuracy tables measure.
+func initBlock(b *Block, src *rng.Source, outliers map[int]float64) {
+	initLayerNorm(b.LN1, src)
+	initLinear(b.QKV, src, nil)
+	sharpenAttention(b.QKV, src)
+	initLinear(b.Proj, src, outliers)
+	scaleLinear(b.Proj, branchScale)
+	initLayerNorm(b.LN2, src)
+	initLinear(b.FC1, src, nil)
+	widenMLPTails(b.FC1, src)
+	initLinear(b.FC2, src, outliers)
+	scaleLinear(b.FC2, branchScale)
+}
+
+// widenMLPTails gives ~3% of fc1 weights a 6× heavy-tail component so
+// the MLP hidden pre-activations (and hence the post-GELU outputs) carry
+// the long positive tails of Figure 3(d) — the tensors PTQ4ViT's twin
+// scheme and QUQ's Mode C exist to handle.
+func widenMLPTails(fc1 *Linear, src *rng.Source) {
+	d := fc1.W.Data()
+	for i := range d {
+		if src.Float64() < 0.03 {
+			d[i] *= 6
+		}
+	}
+}
+
+// branchScale damps the residual-branch writes (see initBlock).
+const branchScale = 0.25
+
+func scaleLinear(l *Linear, f float64) {
+	l.W.Scale(f)
+	for i := range l.B {
+		l.B[i] *= f
+	}
+}
+
+// sharpenAttention scales up the query and key projections so attention
+// logits reach the ±8..15 range of trained ViTs and the post-softmax
+// distribution develops its characteristic near-one peaks over a near-
+// zero bulk (Figure 3(b)). Without this, random-weight attention is
+// diffuse and the attention-map experiment (Figure 7) has nothing to
+// preserve.
+func sharpenAttention(qkv *Linear, src *rng.Source) {
+	out := qkv.Out()
+	dim := out / 3
+	gain := 2.2 + 0.6*src.Float64()
+	data := qkv.W.Data()
+	for r := 0; r < qkv.In(); r++ {
+		row := data[r*out : (r+1)*out]
+		for c := 0; c < 2*dim; c++ { // q and k column groups
+			row[c] *= gain
+		}
+	}
+}
+
+// pickOutliers selects a few channels to amplify moderately (2.5–4.5×).
+// The amplification stays mild on purpose: real ViT *weights* quantize
+// acceptably at 6 bits (the paper's partially-quantized Table 2 shows
+// only ~10% drops for plain uniform quantization); the catastrophic
+// ranges live in the activations, driven by the register token and the
+// residual accumulation of these channels across blocks.
+func pickOutliers(width int, src *rng.Source) map[int]float64 {
+	n := 3
+	if width < 64 {
+		n = 2
+	}
+	chans := make(map[int]float64, n)
+	for len(chans) < n {
+		chans[src.Intn(width)] = 2.5 + 2*src.Float64()
+	}
+	return chans
+}
+
+// initLinear fills a layer with Xavier-scaled Gaussian weights, a 1.5%
+// heavy-tail component at 4× scale, small biases, and per-column
+// amplification for the designated outlier channels.
+func initLinear(l *Linear, src *rng.Source, outliers map[int]float64) {
+	in, out := l.In(), l.Out()
+	sd := math.Sqrt(2 / float64(in+out))
+	data := l.W.Data()
+	for r := 0; r < in; r++ {
+		row := data[r*out : (r+1)*out]
+		for c := range row {
+			s := sd
+			if src.Float64() < 0.015 {
+				s = 4 * sd
+			}
+			v := src.Gauss(0, s)
+			if amp, ok := outliers[c]; ok {
+				v *= amp
+			}
+			row[c] = v
+		}
+	}
+	for c := range l.B {
+		l.B[c] = src.Gauss(0, 0.01)
+	}
+}
+
+func initLayerNorm(ln *LayerNorm, src *rng.Source) {
+	for i := range ln.Gamma {
+		ln.Gamma[i] = 1 + src.Gauss(0, 0.15)
+	}
+	for i := range ln.Beta {
+		ln.Beta[i] = src.Gauss(0, 0.05)
+	}
+}
+
+// initRegisters fills register tokens with the trained-ViT attention-sink
+// profile: ~20% of channels carry large values (around ±scale), the rest
+// stay at bulk scale. With one register among ~65 tokens this puts ~0.3%
+// of each residual tensor's elements in the far tail — enough to set
+// every range estimate, yet below the 1% quantile PRA uses for its fine
+// subrange boundary.
+func initRegisters(reg []float64, scale float64, src *rng.Source) {
+	for i := range reg {
+		if src.Float64() < 0.2 {
+			v := scale * (0.7 + 0.6*src.Float64())
+			if src.Float64() < 0.5 {
+				v = -v
+			}
+			reg[i] = v
+		} else {
+			reg[i] = src.Gauss(0, 1)
+		}
+	}
+}
+
+func initVector(v []float64, src *rng.Source, sd float64) {
+	for i := range v {
+		v[i] = src.Gauss(0, sd)
+	}
+}

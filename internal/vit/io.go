@@ -1,0 +1,165 @@
+package vit
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// The checkpoint format is a small self-describing binary container:
+// a magic string, the parameter count, then (name, length, float64 data)
+// records in the model's stable Params order. Only parameter *values*
+// travel; the architecture comes from the Config the caller supplies at
+// load time, which keeps the format trivial and version-stable.
+
+const checkpointMagic = "QUQVIT01"
+
+// Save writes the model's parameters to w.
+func Save(m Model, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return err
+	}
+	var entries []struct {
+		name string
+		data []float64
+	}
+	m.Params(func(name string, data []float64) {
+		entries = append(entries, struct {
+			name string
+			data []float64
+		}{name, data})
+	})
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(entries))); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(e.name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(e.name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(e.data))); err != nil {
+			return err
+		}
+		buf := make([]byte, 8)
+		for _, v := range e.data {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads parameters from r into a freshly allocated model for cfg.
+// The checkpoint's parameter names and sizes must match cfg's layout
+// exactly.
+func Load(cfg Config, r io.Reader) (Model, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("vit: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("vit: bad checkpoint magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	params := make(map[string][]float64, count)
+	order := make([]string, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, err
+		}
+		if nameLen > 4096 {
+			return nil, fmt.Errorf("vit: implausible parameter name length %d", nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, err
+		}
+		var dataLen uint64
+		if err := binary.Read(br, binary.LittleEndian, &dataLen); err != nil {
+			return nil, err
+		}
+		if dataLen > 1<<28 {
+			return nil, fmt.Errorf("vit: implausible parameter size %d", dataLen)
+		}
+		data := make([]float64, dataLen)
+		buf := make([]byte, 8)
+		for j := range data {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, err
+			}
+			data[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		}
+		name := string(nameBuf)
+		params[name] = data
+		order = append(order, name)
+	}
+
+	var m Model
+	if cfg.Variant == VariantSwin {
+		m = newSwin(cfg)
+	} else {
+		m = newViT(cfg)
+	}
+	var loadErr error
+	seen := 0
+	m.Params(func(name string, dst []float64) {
+		src, ok := params[name]
+		if !ok {
+			if loadErr == nil {
+				loadErr = fmt.Errorf("vit: checkpoint missing parameter %q", name)
+			}
+			return
+		}
+		if len(src) != len(dst) {
+			if loadErr == nil {
+				loadErr = fmt.Errorf("vit: parameter %q has %d values, model wants %d", name, len(src), len(dst))
+			}
+			return
+		}
+		copy(dst, src)
+		seen++
+	})
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	if seen != len(order) {
+		return nil, fmt.Errorf("vit: checkpoint has %d parameters, model consumed %d", len(order), seen)
+	}
+	return m, nil
+}
+
+// SaveFile writes the model to path.
+func SaveFile(m Model, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(m, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model for cfg from path.
+func LoadFile(cfg Config, path string) (Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(cfg, f)
+}

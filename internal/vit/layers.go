@@ -1,0 +1,232 @@
+package vit
+
+import (
+	"fmt"
+	"math"
+
+	"quq/internal/mathx"
+	"quq/internal/tensor"
+)
+
+// Linear is a dense layer y = xW + b with W of shape [in, out].
+type Linear struct {
+	W *tensor.Tensor
+	B []float64
+}
+
+// NewLinear allocates a zero-initialized layer.
+func NewLinear(in, out int) *Linear {
+	return &Linear{W: tensor.New(in, out), B: make([]float64, out)}
+}
+
+// In returns the input width.
+func (l *Linear) In() int { return l.W.Dim(0) }
+
+// Out returns the output width.
+func (l *Linear) Out() int { return l.W.Dim(1) }
+
+// Apply computes xW + b for x of shape [n, in].
+func (l *Linear) Apply(x *tensor.Tensor) *tensor.Tensor {
+	if x.Dim(1) != l.In() {
+		panic(fmt.Sprintf("vit: linear input width %d, want %d", x.Dim(1), l.In()))
+	}
+	return tensor.MatMul(x, l.W).AddRowVector(l.B)
+}
+
+// LayerNorm normalizes each row to zero mean and unit variance, then
+// applies the learned affine transform.
+type LayerNorm struct {
+	Gamma, Beta []float64
+	Eps         float64
+}
+
+// NewLayerNorm returns an identity-initialized LayerNorm over dim
+// features.
+func NewLayerNorm(dim int) *LayerNorm {
+	g := make([]float64, dim)
+	for i := range g {
+		g[i] = 1
+	}
+	return &LayerNorm{Gamma: g, Beta: make([]float64, dim), Eps: 1e-6}
+}
+
+// Apply normalizes x of shape [n, dim] row-wise into a new tensor.
+func (ln *LayerNorm) Apply(x *tensor.Tensor) *tensor.Tensor {
+	n, d := x.Dim(0), x.Dim(1)
+	if d != len(ln.Gamma) {
+		panic(fmt.Sprintf("vit: layernorm width %d, want %d", d, len(ln.Gamma)))
+	}
+	out := tensor.New(n, d)
+	for r := 0; r < n; r++ {
+		row := x.Row(r)
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(d)
+		var ss float64
+		for _, v := range row {
+			dv := v - mean
+			ss += dv * dv
+		}
+		inv := 1 / math.Sqrt(ss/float64(d)+ln.Eps)
+		orow := out.Row(r)
+		for c, v := range row {
+			orow[c] = (v-mean)*inv*ln.Gamma[c] + ln.Beta[c]
+		}
+	}
+	return out
+}
+
+// Block is one transformer encoder block: pre-norm multi-head
+// self-attention and a GELU MLP, each wrapped in a residual connection.
+type Block struct {
+	Heads int
+	LN1   *LayerNorm
+	QKV   *Linear // [dim, 3*dim]
+	Proj  *Linear // [dim, dim]
+	LN2   *LayerNorm
+	FC1   *Linear // [dim, mlp]
+	FC2   *Linear // [mlp, dim]
+}
+
+// NewBlock allocates a zero-initialized block.
+func NewBlock(dim, heads, mlpRatio int) *Block {
+	return &Block{
+		Heads: heads,
+		LN1:   NewLayerNorm(dim),
+		QKV:   NewLinear(dim, 3*dim),
+		Proj:  NewLinear(dim, dim),
+		LN2:   NewLayerNorm(dim),
+		FC1:   NewLinear(dim, dim*mlpRatio),
+		FC2:   NewLinear(dim*mlpRatio, dim),
+	}
+}
+
+// Forward runs the block on x ([S, dim], where S = nSeq·T is nSeq
+// independent sequences of T tokens laid out contiguously — nSeq is 1 for
+// ViT/DeiT and the window count for Swin). blk is the global block index
+// used in tap site names. The input is assumed to have been tapped by the
+// caller as the previous block's residual output.
+func (b *Block) Forward(x *tensor.Tensor, nSeq, blk int, opts ForwardOpts) *tensor.Tensor {
+	tap := opts.Tap
+	dim := x.Dim(1)
+	s := x.Dim(0)
+	if s%nSeq != 0 {
+		panic(fmt.Sprintf("vit: %d rows not divisible into %d sequences", s, nSeq))
+	}
+	t := s / nSeq
+	heads := b.Heads
+	dh := dim / heads
+	scale := 1 / math.Sqrt(float64(dh))
+
+	h := b.LN1.Apply(x)
+	h = tap.apply(Site{blk, "ln1.out", KindGEMMIn}, h)
+	qkvOut := b.QKV.Apply(h)
+
+	// Split into Q, K, V tensors of shape [S, dim].
+	q, k, v := tensor.New(s, dim), tensor.New(s, dim), tensor.New(s, dim)
+	for r := 0; r < s; r++ {
+		row := qkvOut.Row(r)
+		copy(q.Row(r), row[:dim])
+		copy(k.Row(r), row[dim:2*dim])
+		copy(v.Row(r), row[2*dim:])
+	}
+	q = tap.apply(Site{blk, "attn.q", KindGEMMIn}, q)
+	k = tap.apply(Site{blk, "attn.k", KindGEMMIn}, k)
+	v = tap.apply(Site{blk, "attn.v", KindGEMMIn}, v)
+
+	// Attention scores for every (sequence, head) pair, flattened to
+	// [nSeq*heads*T, T] so the whole tensor shares one quantizer.
+	scores := tensor.New(nSeq*heads*t, t)
+	for sq := 0; sq < nSeq; sq++ {
+		for hd := 0; hd < heads; hd++ {
+			for i := 0; i < t; i++ {
+				qrow := q.Row(sq*t + i)[hd*dh : (hd+1)*dh]
+				srow := scores.Row((sq*heads+hd)*t + i)
+				for j := 0; j < t; j++ {
+					krow := k.Row(sq*t + j)[hd*dh : (hd+1)*dh]
+					var dot float64
+					for e := range qrow {
+						dot += qrow[e] * krow[e]
+					}
+					srow[j] = dot * scale
+				}
+			}
+		}
+	}
+	scores = tap.apply(Site{blk, "attn.softmax_in", KindActivation}, scores)
+	for r := 0; r < scores.Dim(0); r++ {
+		mathx.SoftmaxInPlace(scores.Row(r))
+	}
+	if opts.Attn != nil {
+		opts.Attn(blk, scores)
+	}
+	scores = tap.apply(Site{blk, "attn.softmax_out", KindGEMMIn}, scores)
+
+	// Context: P·V per (sequence, head), reassembled to [S, dim].
+	ctx := tensor.New(s, dim)
+	for sq := 0; sq < nSeq; sq++ {
+		for hd := 0; hd < heads; hd++ {
+			for i := 0; i < t; i++ {
+				prow := scores.Row((sq*heads+hd)*t + i)
+				crow := ctx.Row(sq*t + i)[hd*dh : (hd+1)*dh]
+				for j := 0; j < t; j++ {
+					p := prow[j]
+					if p == 0 {
+						continue
+					}
+					vrow := v.Row(sq*t + j)[hd*dh : (hd+1)*dh]
+					for e := range crow {
+						crow[e] += p * vrow[e]
+					}
+				}
+			}
+		}
+	}
+	ctx = tap.apply(Site{blk, "attn.proj_in", KindGEMMIn}, ctx)
+	o := b.Proj.Apply(ctx)
+	o = tap.apply(Site{blk, "attn.proj_out", KindActivation}, o)
+
+	x = x.Add(o)
+	x = tap.apply(Site{blk, "resid1.out", KindActivation}, x)
+
+	h = b.LN2.Apply(x)
+	h = tap.apply(Site{blk, "ln2.out", KindGEMMIn}, h)
+	h = b.FC1.Apply(h)
+	h = tap.apply(Site{blk, "mlp.gelu_in", KindActivation}, h)
+	h.Apply(mathx.Gelu)
+	h = tap.apply(Site{blk, "mlp.gelu_out", KindGEMMIn}, h)
+	h = b.FC2.Apply(h)
+	h = tap.apply(Site{blk, "mlp.fc2_out", KindActivation}, h)
+
+	x = x.Add(h)
+	x = tap.apply(Site{blk, "resid2.out", KindActivation}, x)
+	return x
+}
+
+// weights enumerates the block's GEMM weight tensors with their site
+// names.
+func (b *Block) weights(blk int, fn func(Site, *Linear)) {
+	fn(Site{blk, "attn.qkv.w", KindWeight}, b.QKV)
+	fn(Site{blk, "attn.proj.w", KindWeight}, b.Proj)
+	fn(Site{blk, "mlp.fc1.w", KindWeight}, b.FC1)
+	fn(Site{blk, "mlp.fc2.w", KindWeight}, b.FC2)
+}
+
+// params enumerates every parameter slice of the block for serialization
+// and training, in a stable order.
+func (b *Block) params(prefix string, fn func(name string, data []float64)) {
+	fn(prefix+".ln1.g", b.LN1.Gamma)
+	fn(prefix+".ln1.b", b.LN1.Beta)
+	fn(prefix+".qkv.w", b.QKV.W.Data())
+	fn(prefix+".qkv.b", b.QKV.B)
+	fn(prefix+".proj.w", b.Proj.W.Data())
+	fn(prefix+".proj.b", b.Proj.B)
+	fn(prefix+".ln2.g", b.LN2.Gamma)
+	fn(prefix+".ln2.b", b.LN2.Beta)
+	fn(prefix+".fc1.w", b.FC1.W.Data())
+	fn(prefix+".fc1.b", b.FC1.B)
+	fn(prefix+".fc2.w", b.FC2.W.Data())
+	fn(prefix+".fc2.b", b.FC2.B)
+}

@@ -1,0 +1,79 @@
+package vit
+
+import (
+	"fmt"
+
+	"quq/internal/tensor"
+)
+
+// SiteKind classifies a quantization point according to the paper's
+// Figure 1 colour coding.
+type SiteKind int
+
+const (
+	// KindGEMMIn marks activations that feed a GEMM (the figure's green
+	// points): these are quantized in both partial and full quantization.
+	KindGEMMIn SiteKind = iota
+	// KindActivation marks the remaining activations (the figure's red
+	// points: residual-connection, LayerNorm, Softmax and GELU inputs):
+	// quantized only under full quantization.
+	KindActivation
+	// KindWeight marks GEMM weight tensors, quantized in both regimes.
+	KindWeight
+)
+
+func (k SiteKind) String() string {
+	switch k {
+	case KindGEMMIn:
+		return "gemm-in"
+	case KindActivation:
+		return "activation"
+	case KindWeight:
+		return "weight"
+	}
+	return fmt.Sprintf("SiteKind(%d)", int(k))
+}
+
+// Site names one quantization point in a model. Block is the global block
+// index (-1 for stem and head sites); Name is stable across runs and
+// identifies the point within the block.
+type Site struct {
+	Block int
+	Name  string
+	Kind  SiteKind
+}
+
+// Key returns a stable map key for the site.
+func (s Site) Key() string {
+	return fmt.Sprintf("b%02d.%s", s.Block, s.Name)
+}
+
+func (s Site) String() string { return s.Key() + "[" + s.Kind.String() + "]" }
+
+// Tap observes — and may replace — the tensor flowing through a site.
+// Returning x unchanged makes the tap a pure observer (calibration);
+// returning a fake-quantized copy simulates quantized inference. A nil
+// Tap is the identity.
+type Tap func(site Site, x *tensor.Tensor) *tensor.Tensor
+
+// apply routes a tensor through the tap, handling the nil case.
+func (t Tap) apply(site Site, x *tensor.Tensor) *tensor.Tensor {
+	if t == nil {
+		return x
+	}
+	if y := t(site, x); y != nil {
+		return y
+	}
+	return x
+}
+
+// AttnSink receives each block's attention probability tensor
+// ([heads*T, T] rows are softmax distributions) during a forward pass;
+// the Figure 7 experiment uses it to extract attention maps.
+type AttnSink func(block int, attn *tensor.Tensor)
+
+// ForwardOpts bundles the optional instrumentation of a forward pass.
+type ForwardOpts struct {
+	Tap  Tap
+	Attn AttnSink
+}

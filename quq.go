@@ -1,0 +1,85 @@
+// Package quq is the top-level entry surface of this repository: a
+// from-scratch Go implementation of "QUQ: Quadruplet Uniform Quantization
+// for Efficient Vision Transformer Inference" (DAC 2024) — the quantizer
+// and its progressive relaxation calibration, the QUB hardware encoding,
+// a QUA accelerator simulator and area/power model, the vision-
+// transformer inference and training stack it is evaluated on, four
+// reimplemented comparison methods, and the harnesses that regenerate
+// every table and figure of the paper's evaluation.
+//
+// The heavy lifting lives in the internal packages; this package
+// re-exports the pieces a typical user composes:
+//
+//	xs := ...                             // calibration samples
+//	p := quq.Calibrate(xs, 6)             // PRA + refinement (Algorithm 2)
+//	y := p.Value(x)                       // fake-quantize one value
+//	regs, _ := quq.RegistersFor(p)        // QUB metadata (FC registers)
+//	w := quq.EncodeValue(p, x)            // hardware code word
+//	d := quq.Decode(w, regs)              // (D, n_sh) for a signed multiplier
+//
+// For whole-model post-training quantization, see internal/ptq (pipeline),
+// internal/baselines (comparison methods) and internal/experiments (the
+// paper's tables and figures); cmd/quq drives them from the command line.
+package quq
+
+import (
+	"quq/internal/quant"
+	"quq/internal/qub"
+)
+
+// Params is a calibrated quadruplet uniform quantizer.
+type Params = quant.Params
+
+// Mode is the QUQ operating mode (A–D) of the paper's Figure 4.
+type Mode = quant.Mode
+
+// Slot identifies one of the four subranges (F−, F+, C−, C+).
+type Slot = quant.Slot
+
+// PRAOptions are the hyperparameters of the progressive relaxation
+// algorithm.
+type PRAOptions = quant.PRAOptions
+
+// Word is a QUB-encoded value.
+type Word = qub.Word
+
+// Registers is the per-tensor QUB metadata (the FC registers plus the
+// base scale factor).
+type Registers = qub.Registers
+
+// Decoded is a decoding-unit output: a signed integer D and a shift
+// count n_sh such that the value is (D << n_sh)·Δ.
+type Decoded = qub.Decoded
+
+// DefaultPRAOptions returns the paper's hyperparameters
+// (λ_A = 4, q = 0.99, q_A = 0.95).
+func DefaultPRAOptions() PRAOptions { return quant.DefaultPRAOptions() }
+
+// PRA runs the progressive relaxation algorithm (the paper's Algorithm 2)
+// on calibration samples and returns a validated b-bit quantizer.
+func PRA(xs []float64, bits int, opts PRAOptions) *Params {
+	return quant.PRA(xs, bits, opts)
+}
+
+// Calibrate is the full tensor-level calibration pipeline the accuracy
+// experiments use: PRA, the uniform-special-case comparison, and the
+// grid-search refinement, all with the paper's default settings.
+func Calibrate(xs []float64, bits int) *Params {
+	return quant.CalibrateRefined(xs, bits, quant.DefaultPRAOptions(), quant.DefaultRefineOptions())
+}
+
+// Uniform applies the symmetric uniform quantizer U_b of Eq. (1) —
+// the BaseQ baseline and QUQ's degenerate case.
+func Uniform(x, delta float64, bits int) float64 {
+	return quant.Uniform(x, delta, bits)
+}
+
+// RegistersFor derives the QUB registers from a calibrated quantizer.
+func RegistersFor(p *Params) (Registers, error) { return qub.RegistersFor(p) }
+
+// EncodeValue quantizes x and returns its QUB code word.
+func EncodeValue(p *Params, x float64) Word { return qub.EncodeValue(p, x) }
+
+// Decode implements the paper's Eq. (6): split a code word into a signed
+// b-bit integer and its subrange shift.
+func Decode(w Word, r Registers) Decoded { return qub.Decode(w, r) }

@@ -1,0 +1,45 @@
+package quq_test
+
+import (
+	"testing"
+
+	"quq"
+	"quq/internal/dist"
+	"quq/internal/rng"
+)
+
+// TestFacadeEndToEnd exercises the re-exported API the package comment
+// advertises: calibrate, fake-quantize, encode, decode.
+func TestFacadeEndToEnd(t *testing.T) {
+	xs := dist.Sample(dist.PostGELU, 1<<13, rng.New(1))
+	p := quq.Calibrate(xs, 6)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	regs, err := quq.RegistersFor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs[:512] {
+		want := p.Value(x)
+		got := quq.Decode(quq.EncodeValue(p, x), regs).Value(regs.BaseDelta)
+		if got != want {
+			t.Fatalf("facade round trip: %v != %v", got, want)
+		}
+	}
+}
+
+func TestFacadePRAMatchesInternal(t *testing.T) {
+	xs := dist.Sample(dist.PreAddition, 1<<12, rng.New(2))
+	a := quq.PRA(xs, 6, quq.DefaultPRAOptions())
+	b := quq.PRA(xs, 6, quq.DefaultPRAOptions())
+	if a.String() != b.String() {
+		t.Fatal("facade PRA not deterministic")
+	}
+}
+
+func TestFacadeUniform(t *testing.T) {
+	if got := quq.Uniform(0.6, 1, 4); got != 1 {
+		t.Fatalf("Uniform = %v", got)
+	}
+}
