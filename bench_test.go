@@ -58,7 +58,9 @@ func BenchmarkTable2(b *testing.B) {
 	zoo := benchZoo(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		experiments.Table2(zoo)
+		if _, err := experiments.Table2(zoo); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -68,7 +70,9 @@ func BenchmarkTable3(b *testing.B) {
 	zoo := benchZoo(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		experiments.Table3(zoo)
+		if _, err := experiments.Table3(zoo); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -97,7 +101,9 @@ func BenchmarkFig3(b *testing.B) {
 // reduced scale (ViT-Nano-sized model, few images).
 func BenchmarkFig7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig7(experiments.Fig7Options{Config: vit.ViTNano, Images: 2, Seed: 7})
+		if _, err := experiments.Fig7(experiments.Fig7Options{Config: vit.ViTNano, Images: 2, Seed: 7}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

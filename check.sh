@@ -1,0 +1,24 @@
+#!/bin/sh
+# Tier-1 verification gate. Everything here must pass before a change
+# lands; CI and the ROADMAP "Tier-1 verify" line both point at this
+# script. Runs offline with nothing but the Go toolchain.
+set -eux
+
+cd "$(dirname "$0")"
+
+go build ./...
+go vet ./...
+
+# quqvet: the repo's own static-analysis pass (integer-only datapath,
+# exact power-of-two scales, deterministic artifacts, audited panics,
+# no dropped errors on io paths). See README.md "Verification".
+go run ./cmd/quq-vet ./...
+
+go test -race ./...
+
+# Short fuzz smoke of the two property-based targets. `go test -fuzz`
+# takes exactly one package per invocation.
+go test -fuzz=FuzzPRA -fuzztime=5s -run=^$ ./internal/quant/
+go test -fuzz=FuzzQUBRoundtrip -fuzztime=5s -run=^$ ./internal/qub/
+
+gofmt -l . | tee /dev/stderr | wc -l | grep -qx 0

@@ -1,0 +1,90 @@
+// Command quq-vet runs the repository's domain-specific static-analysis
+// pass (internal/analysis) over the given packages.
+//
+// Usage:
+//
+//	quq-vet [-list] [packages]
+//
+// Packages default to ./... — every package under the current module,
+// skipping testdata, hidden and artifact directories. Diagnostics print
+// as file:line:col: check: message; the exit status is 0 when the tree
+// is clean, 1 when any check fired, and 2 when loading or type-checking
+// failed.
+//
+// quq-vet enforces the invariants the QUQ reproduction's hardware
+// claims rest on; see the Verification section of README.md for the
+// check catalogue and the //quq:<token> suppression directives.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"quq/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list registered checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: quq-vet [-list] [packages]\n\npackages default to ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			suffix := ""
+			if a.Directive != "" {
+				suffix = fmt.Sprintf(" (suppress: //quq:%s <reason>)", a.Directive)
+			}
+			fmt.Printf("%-12s %s%s\n", a.Name, a.Doc, suffix)
+		}
+		return 0
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quq-vet:", err)
+		return 2
+	}
+	dirs, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quq-vet:", err)
+		return 2
+	}
+
+	status := 0
+	var total int
+	for _, dir := range dirs {
+		importPath, err := loader.DirImportPath(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quq-vet:", err)
+			return 2
+		}
+		pkg, err := loader.LoadDir(dir, importPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quq-vet:", err)
+			return 2
+		}
+		diags := analysis.Run(pkg)
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		total += len(diags)
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "quq-vet: %d finding(s)\n", total)
+		status = 1
+	}
+	return status
+}

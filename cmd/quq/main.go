@@ -88,15 +88,25 @@ func main() {
 		fmt.Print(experiments.FormatTable1(rows))
 		writeCSV("table1.csv", experiments.CSVTable1(rows))
 	}
+	fatal := func(err error) {
+		fmt.Fprintf(os.Stderr, "quq: %v\n", err)
+		os.Exit(1)
+	}
 	table2 := func() {
 		z := loadZoo()
-		rows := experiments.Table2(z)
+		rows, err := experiments.Table2(z)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Print(experiments.FormatAccuracy(z, rows))
 		writeCSV("table2.csv", experiments.CSVAccuracy(z, rows))
 	}
 	table3 := func() {
 		z := loadZoo()
-		rows := experiments.Table3(z)
+		rows, err := experiments.Table3(z)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Print(experiments.FormatAccuracy(z, rows))
 		writeCSV("table3.csv", experiments.CSVAccuracy(z, rows))
 	}
@@ -122,14 +132,21 @@ func main() {
 		if *quick {
 			opts.Images = 3
 		}
-		res := experiments.Fig7(opts)
+		res, err := experiments.Fig7(opts)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Print(experiments.FormatFig7(res))
 		writeCSV("fig7.csv", experiments.CSVFig7(res))
 	}
 	ablationAcc := func() {
 		z := loadZoo()
 		zm := z[0]
-		fmt.Print(experiments.FormatAblationAcc(zm.Cfg.Name, *bits, experiments.AblationAccuracy(zm, *bits)))
+		rows, err := experiments.AblationAccuracy(zm, *bits)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatAblationAcc(zm.Cfg.Name, *bits, rows))
 	}
 	ablation := func() {
 		n := 1 << 16

@@ -5,12 +5,17 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"quq/internal/experiments"
 )
 
 func main() {
-	res := experiments.Fig7(experiments.Fig7Options{Images: 4, Seed: 11})
+	res, err := experiments.Fig7(experiments.Fig7Options{Images: 4, Seed: 11})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "attention: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Print(experiments.FormatFig7(res))
 	fmt.Println("\nReading the maps: each cell is one image patch; darker glyphs mean")
 	fmt.Println("more class-token attention (rollout across all blocks). At 6 bits the")

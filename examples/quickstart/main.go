@@ -49,8 +49,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fp, _ := regs.F.Pack()
-	cp, _ := regs.C.Pack()
+	fp, err := regs.F.Pack()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cp, err := regs.C.Pack()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nFC registers: F=%08b C=%08b\n", fp, cp)
 	for _, x := range []float64{0.01, -0.1, 0.4, 3.0} {
 		w := qub.EncodeValue(p, x)

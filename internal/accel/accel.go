@@ -62,6 +62,7 @@ func (c ArrayConfig) Cycles(m, k, n int) GEMMStats {
 	tiles := tilesM * tilesN
 	cycles := int64(tiles) * int64(k+fill)
 	macs := int64(m) * int64(k) * int64(n)
+	//quq:float-ok utilization is a reporting statistic of the cycle model, not a value on the simulated datapath
 	util := float64(macs) / (float64(cycles) * float64(c.N) * float64(c.N))
 	return GEMMStats{M: m, K: k, N: n, Tiles: tiles, Cycles: cycles, MACs: macs, Utilization: util}
 }
@@ -75,6 +76,8 @@ type Rescale struct {
 }
 
 // NewRescale approximates scale ∈ (0, 2^30) as M/2^N with a 16-bit M.
+//
+//quq:float-ok converting the real scale into its integer M/2^N substitute is offline QU configuration; the per-element Apply path is pure integer
 func NewRescale(scale float64) (Rescale, error) {
 	if !(scale > 0) || math.IsInf(scale, 0) {
 		return Rescale{}, fmt.Errorf("accel: invalid rescale factor %v", scale)
@@ -139,6 +142,7 @@ func NewQuantizeUnit(outParams *quant.Params, accUnit float64) (*QuantizeUnit, e
 		return nil, err
 	}
 	const fracBits = 8
+	//quq:float-ok one-time QU configuration: the float ratio is immediately frozen into the integer M/2^N rescaler
 	sc, err := NewRescale(accUnit / outParams.BaseDelta() * (1 << fracBits))
 	if err != nil {
 		return nil, err
@@ -275,6 +279,8 @@ func NewQuantizedLinear(xp, wp *quant.Params) (*QuantizedLinear, error) {
 }
 
 // AccUnit returns the real value of one accumulator unit: Δx·Δw.
+//
+//quq:float-ok product of two power-of-two base deltas is exact and feeds QU configuration, not the datapath
 func (l *QuantizedLinear) AccUnit() float64 {
 	return l.XRegs.BaseDelta * l.WRegs.BaseDelta
 }
@@ -306,6 +312,7 @@ func (l *QuantizedLinear) Run(c ArrayConfig, x, w *tensor.Tensor, qu *QuantizeUn
 		}
 	} else {
 		for i, acc := range res.Acc {
+			//quq:float-ok decode boundary: converting raw accumulators back to real values for the float cross-check, outside the integer pipeline
 			out.Data()[i] = float64(acc) * unit
 		}
 	}

@@ -111,6 +111,13 @@ type BlockRunner struct {
 	wFC1, wFC2    []qub.Word
 	rWQKV, rWProj qub.Registers
 	rWFC1, rWFC2  qub.Registers
+
+	// Activation register files, resolved once at construction so Run
+	// never has to handle a RegistersFor failure mid-execution.
+	rLN1, rLN2           qub.Registers
+	rQ, rK, rV           qub.Registers
+	rSoftmaxOut, rProjIn qub.Registers
+	rGeluOut             qub.Registers
 }
 
 // RunStats aggregates the cycle accounting of one block execution.
@@ -160,6 +167,24 @@ func NewBlockRunner(blk *vit.Block, p *BlockParams, arr ArrayConfig) (*BlockRunn
 	if r.wFC2, r.rWFC2, err = enc(p.WFC2, blk.FC2.W); err != nil {
 		return nil, err
 	}
+	for _, a := range []struct {
+		dst  *qub.Registers
+		p    *quant.Params
+		site string
+	}{
+		{&r.rLN1, p.LN1Out, "ln1.out"},
+		{&r.rLN2, p.LN2Out, "ln2.out"},
+		{&r.rQ, p.Q, "attn.q"},
+		{&r.rK, p.K, "attn.k"},
+		{&r.rV, p.V, "attn.v"},
+		{&r.rSoftmaxOut, p.SoftmaxOut, "attn.softmax_out"},
+		{&r.rProjIn, p.ProjIn, "attn.proj_in"},
+		{&r.rGeluOut, p.GeluOut, "mlp.gelu_out"},
+	} {
+		if *a.dst, err = qub.RegistersFor(a.p); err != nil {
+			return nil, fmt.Errorf("accel: registers for %s: %w", a.site, err)
+		}
+	}
 	return r, nil
 }
 
@@ -177,6 +202,7 @@ func (r *BlockRunner) gemmQ(x []qub.Word, rx qub.Registers, w []qub.Word, rw qub
 	stats.GEMMCycles += res.Stats.Cycles
 	stats.MACs += res.Stats.MACs
 
+	//quq:float-ok accumulator-unit derivation is requantizer configuration (exact power-of-two products), computed once per GEMM, not per-element datapath work
 	accUnit := rx.BaseDelta * rw.BaseDelta * scale
 	qu, err := NewQuantizeUnit(pout, accUnit)
 	if err != nil {
@@ -188,6 +214,7 @@ func (r *BlockRunner) gemmQ(x []qub.Word, rx qub.Registers, w []qub.Word, rw qub
 	if bias != nil {
 		biasAcc = make([]int64, n)
 		for j, b := range bias {
+			//quq:float-ok one-time weight-loading conversion of the float bias into integer accumulator units; hardware does this at model-load, not inference
 			biasAcc[j] = int64(math.RoundToEven(b / accUnit))
 		}
 	}
@@ -222,44 +249,33 @@ func (r *BlockRunner) Run(x *tensor.Tensor) (*tensor.Tensor, *RunStats, error) {
 	for row := 0; row < t; row++ {
 		copy(h1[row*dim:(row+1)*dim], r.ln1.Row(xw[row*dim:(row+1)*dim]))
 	}
-	regsLN1, err := qub.RegistersFor(r.p.LN1Out)
-	if err != nil {
-		return nil, nil, err
-	}
 
 	// QKV projection: q, k and v carry separate quantizers, so the GEMM
 	// runs as three column groups, each fanned into its own quantization
 	// unit (hardware shares the accumulators; the cycle model charges
 	// each group's tile schedule).
 	qkvCols := 3 * dim
-	qWords, err := r.gemmQ(h1, regsLN1, sliceCols(r.wQKV, dim, qkvCols, 0, dim), r.rWQKV, t, dim, dim, r.blk.QKV.B[:dim], 1, r.p.Q, stats)
+	qWords, err := r.gemmQ(h1, r.rLN1, sliceCols(r.wQKV, dim, qkvCols, 0, dim), r.rWQKV, t, dim, dim, r.blk.QKV.B[:dim], 1, r.p.Q, stats)
 	if err != nil {
 		return nil, nil, err
 	}
-	kW, err := r.gemmQ(h1, regsLN1, sliceCols(r.wQKV, dim, qkvCols, dim, 2*dim), r.rWQKV, t, dim, dim, r.blk.QKV.B[dim:2*dim], 1, r.p.K, stats)
+	kW, err := r.gemmQ(h1, r.rLN1, sliceCols(r.wQKV, dim, qkvCols, dim, 2*dim), r.rWQKV, t, dim, dim, r.blk.QKV.B[dim:2*dim], 1, r.p.K, stats)
 	if err != nil {
 		return nil, nil, err
 	}
-	vW, err := r.gemmQ(h1, regsLN1, sliceCols(r.wQKV, dim, qkvCols, 2*dim, 3*dim), r.rWQKV, t, dim, dim, r.blk.QKV.B[2*dim:], 1, r.p.V, stats)
-	if err != nil {
-		return nil, nil, err
-	}
-
-	regsQ, _ := qub.RegistersFor(r.p.Q)
-	regsK, _ := qub.RegistersFor(r.p.K)
-	regsV, _ := qub.RegistersFor(r.p.V)
-	regsP, err := qub.RegistersFor(r.p.SoftmaxOut)
+	vW, err := r.gemmQ(h1, r.rLN1, sliceCols(r.wQKV, dim, qkvCols, 2*dim, 3*dim), r.rWQKV, t, dim, dim, r.blk.QKV.B[2*dim:], 1, r.p.V, stats)
 	if err != nil {
 		return nil, nil, err
 	}
 
 	// Attention per head: scores = Q·Kᵀ/√dh -> softmax SFU -> ·V.
 	ctx := make([]qub.Word, t*dim)
+	//quq:float-ok 1/√d_h is a compile-time constant of the head geometry, folded into the requantizer configuration — not a runtime datapath value
 	scale := 1 / math.Sqrt(float64(dh))
 	for hd := 0; hd < heads; hd++ {
 		qh := sliceCols(qWords, t, dim, hd*dh, (hd+1)*dh)                     // [t, dh]
 		khT := transposeWords(sliceCols(kW, t, dim, hd*dh, (hd+1)*dh), t, dh) // [dh, t]
-		scores, err := r.gemmQ(qh, regsQ, khT, regsK, t, dh, t, nil, scale, r.p.SoftmaxIn, stats)
+		scores, err := r.gemmQ(qh, r.rQ, khT, r.rK, t, dh, t, nil, scale, r.p.SoftmaxIn, stats)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -268,7 +284,7 @@ func (r *BlockRunner) Run(x *tensor.Tensor) (*tensor.Tensor, *RunStats, error) {
 			copy(probs[row*t:(row+1)*t], r.softmax.Softmax(scores[row*t:(row+1)*t]))
 		}
 		vh := sliceCols(vW, t, dim, hd*dh, (hd+1)*dh) // [t, dh]
-		ctxH, err := r.gemmQ(probs, regsP, vh, regsV, t, t, dh, nil, 1, r.p.ProjIn, stats)
+		ctxH, err := r.gemmQ(probs, r.rSoftmaxOut, vh, r.rV, t, t, dh, nil, 1, r.p.ProjIn, stats)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -278,8 +294,7 @@ func (r *BlockRunner) Run(x *tensor.Tensor) (*tensor.Tensor, *RunStats, error) {
 		}
 	}
 
-	regsProjIn, _ := qub.RegistersFor(r.p.ProjIn)
-	projOut, err := r.gemmQ(ctx, regsProjIn, r.wProj, r.rWProj, t, dim, dim, r.blk.Proj.B, 1, r.p.ProjOut, stats)
+	projOut, err := r.gemmQ(ctx, r.rProjIn, r.wProj, r.rWProj, t, dim, dim, r.blk.Proj.B, 1, r.p.ProjOut, stats)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -292,15 +307,13 @@ func (r *BlockRunner) Run(x *tensor.Tensor) (*tensor.Tensor, *RunStats, error) {
 	for row := 0; row < t; row++ {
 		copy(h2[row*dim:(row+1)*dim], r.ln2.Row(x1[row*dim:(row+1)*dim]))
 	}
-	regsLN2, _ := qub.RegistersFor(r.p.LN2Out)
 	hidden := r.blk.FC1.Out()
-	hid, err := r.gemmQ(h2, regsLN2, r.wFC1, r.rWFC1, t, dim, hidden, r.blk.FC1.B, 1, r.p.GeluIn, stats)
+	hid, err := r.gemmQ(h2, r.rLN2, r.wFC1, r.rWFC1, t, dim, hidden, r.blk.FC1.B, 1, r.p.GeluIn, stats)
 	if err != nil {
 		return nil, nil, err
 	}
 	act := r.gelu.GELU(hid)
-	regsAct, _ := qub.RegistersFor(r.p.GeluOut)
-	mlpOut, err := r.gemmQ(act, regsAct, r.wFC2, r.rWFC2, t, hidden, dim, r.blk.FC2.B, 1, r.p.FC2Out, stats)
+	mlpOut, err := r.gemmQ(act, r.rGeluOut, r.wFC2, r.rWFC2, t, hidden, dim, r.blk.FC2.B, 1, r.p.FC2Out, stats)
 	if err != nil {
 		return nil, nil, err
 	}

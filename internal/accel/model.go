@@ -2,6 +2,7 @@ package accel
 
 import (
 	"fmt"
+	"math"
 
 	"quq/internal/quant"
 	"quq/internal/qub"
@@ -135,6 +136,7 @@ func (r *ModelRunner) Run(img *tensor.Tensor) (*tensor.Tensor, *ModelStats, erro
 		}
 		stats.GEMMCycles += res.Stats.Cycles
 		stats.MACs += res.Stats.MACs
+		//quq:float-ok accumulator-unit derivation is requantizer configuration (exact power-of-two product), not per-element datapath work
 		qu, err := NewQuantizeUnit(pout, rx.BaseDelta*rw.BaseDelta)
 		if err != nil {
 			return nil, err
@@ -142,9 +144,15 @@ func (r *ModelRunner) Run(img *tensor.Tensor) (*tensor.Tensor, *ModelStats, erro
 		var biasAcc []int64
 		if bias != nil {
 			biasAcc = make([]int64, n)
+			//quq:float-ok one-time weight-loading conversion of the float bias into integer accumulator units
 			unit := rx.BaseDelta * rw.BaseDelta
 			for j, b := range bias {
-				biasAcc[j] = int64(b/unit + 0.5)
+				// RoundToEven, not +0.5 truncation: truncation after +0.5
+				// rounds negative values toward zero (int64(-1.6) = -1
+				// where -2 is nearest), biasing every negative bias up by
+				// one accumulator unit.
+				//quq:float-ok same weight-loading bias conversion
+				biasAcc[j] = int64(math.RoundToEven(b / unit))
 			}
 		}
 		out := make([]qub.Word, m*n)

@@ -1,0 +1,335 @@
+// Package analysis implements quqvet, the repository's domain-specific
+// static-analysis pass. It enforces, at the source level, the invariants
+// the QUQ paper's hardware claims rest on — an integer-only decode/GEMM
+// datapath, exact power-of-two scale arithmetic, deterministic artifact
+// emission, audited panics and no silently dropped errors on io paths —
+// using only the standard library's go/ast, go/parser and go/types
+// (the build is offline; no external analysis frameworks).
+//
+// Each check is one Analyzer in the registry, with its own suppression
+// directive of the form
+//
+//	//quq:<token> <reason>
+//
+// A directive on a line (or the line above it, or in the doc comment of
+// the enclosing function) suppresses that check there; the reason is
+// mandatory and its absence is itself a diagnostic, so every exemption
+// in the tree documents why it is sound.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the check in diagnostics.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Directive is the suppression token (e.g. "float-ok" suppresses as
+	// //quq:float-ok <reason>). Empty means the check cannot be
+	// suppressed.
+	Directive string
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Analyzers returns the quqvet registry in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{IntOnly, Pow2, DetIter, ErrDrop, PanicAudit, Directives}
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	PkgPath  string
+	Pkg      *types.Package
+	Info     *types.Info
+
+	dirs  *directiveIndex
+	diags *[]Diagnostic
+	seen  map[string]bool
+}
+
+// Reportf records a finding at pos unless a matching suppression
+// directive covers it. Findings are deduplicated per line per check so
+// nested expressions do not multiply-report.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.Analyzer.Directive != "" && p.dirs.suppressed(p.Analyzer.Directive, position.Filename, position.Line) {
+		return
+	}
+	key := fmt.Sprintf("%s:%d:%s", position.Filename, position.Line, p.Analyzer.Name)
+	if p.seen[key] {
+		return
+	}
+	p.seen[key] = true
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every registered analyzer over the package and returns
+// the findings sorted by position.
+func Run(pkg *Package) []Diagnostic {
+	return RunAnalyzers(pkg, Analyzers())
+}
+
+// RunAnalyzers executes the given checks over the package.
+func RunAnalyzers(pkg *Package, checks []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	dirs := indexDirectives(pkg.Fset, pkg.Files)
+	for _, a := range checks {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			PkgPath:  pkg.Path,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			dirs:     dirs,
+			diags:    &diags,
+			seen:     map[string]bool{},
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Check < diags[j].Check
+	})
+	return diags
+}
+
+// directivePrefix introduces a quqvet comment directive.
+const directivePrefix = "quq:"
+
+// directive is one parsed //quq:<token> <reason> comment.
+type directive struct {
+	token  string
+	reason string
+	file   string
+	line   int
+}
+
+// directiveIndex resolves, per file and suppression token, which lines a
+// directive covers: its own line, the following line (for standalone
+// comment lines), and — when it appears in a function's doc comment —
+// the whole function body.
+type directiveIndex struct {
+	all []directive
+	// covered maps token -> filename -> set of suppressed lines.
+	covered map[string]map[string]map[int]bool
+}
+
+func indexDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{covered: map[string]map[string]map[int]bool{}}
+	mark := func(tok, file string, line int) {
+		byFile, ok := idx.covered[tok]
+		if !ok {
+			byFile = map[string]map[int]bool{}
+			idx.covered[tok] = byFile
+		}
+		lines, ok := byFile[file]
+		if !ok {
+			lines = map[int]bool{}
+			byFile[file] = lines
+		}
+		lines[line] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d.file, d.line = pos.Filename, pos.Line
+				idx.all = append(idx.all, d)
+				mark(d.token, d.file, d.line)
+				mark(d.token, d.file, d.line+1)
+			}
+		}
+		// A directive in a function's doc comment covers the whole
+		// function.
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil || fn.Body == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				d, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				start := fset.Position(fn.Body.Lbrace)
+				end := fset.Position(fn.Body.Rbrace)
+				for line := start.Line; line <= end.Line; line++ {
+					mark(d.token, start.Filename, line)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *directiveIndex) suppressed(tok, file string, line int) bool {
+	byFile, ok := idx.covered[tok]
+	if !ok {
+		return false
+	}
+	return byFile[file][line]
+}
+
+// parseDirective recognizes "//quq:<token> <reason>" comments.
+func parseDirective(text string) (directive, bool) {
+	body, ok := strings.CutPrefix(text, "//"+directivePrefix)
+	if !ok {
+		return directive{}, false
+	}
+	tok, reason, _ := strings.Cut(body, " ")
+	if tok == "" {
+		return directive{}, false
+	}
+	return directive{token: tok, reason: strings.TrimSpace(reason)}, true
+}
+
+// Directives is the meta-check over the directive comments themselves:
+// every suppression must name a known token and carry a reason, so
+// exemptions stay documented and typo-free.
+var Directives = &Analyzer{
+	Name: "directive",
+	Doc:  "quq: suppression directives must use a known token and state a reason",
+	Run: func(pass *Pass) {
+		known := map[string]bool{}
+		for _, a := range []*Analyzer{IntOnly, Pow2, DetIter, ErrDrop, PanicAudit} {
+			known[a.Directive] = true
+		}
+		for _, f := range pass.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, ok := parseDirective(c.Text)
+					if !ok {
+						continue
+					}
+					if !known[d.token] {
+						pass.Reportf(c.Pos(), "unknown directive //quq:%s (known: float-ok, maporder-ok, errdrop-ok, panic-ok)", d.token)
+						continue
+					}
+					if d.reason == "" {
+						pass.Reportf(c.Pos(), "directive //quq:%s needs a reason explaining why the exemption is sound", d.token)
+					}
+				}
+			}
+		}
+	},
+}
+
+// --- shared AST/type helpers used by the individual checks ---
+
+// unparen strips redundant parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeFunc resolves the called function or method object of a call
+// expression, or nil for builtins, type conversions and indirect calls
+// through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgCall reports whether call is pkgPath.name(...), resolving the
+// qualified identifier through the type checker (so aliased imports are
+// still caught).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// isFloat reports whether t's underlying type is a floating-point
+// scalar.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// walkFuncs visits every node of f together with the name of the
+// nearest enclosing declared function ("" at package scope; function
+// literals inherit the declaring function's name). Returning false from
+// visit skips the node's subtree.
+func walkFuncs(f *ast.File, visit func(fn string, n ast.Node) bool) {
+	var nodes []ast.Node
+	var fns []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			popped := nodes[len(nodes)-1]
+			nodes = nodes[:len(nodes)-1]
+			if _, ok := popped.(*ast.FuncDecl); ok {
+				fns = fns[:len(fns)-1]
+			}
+			return true
+		}
+		cur := ""
+		if len(fns) > 0 {
+			cur = fns[len(fns)-1]
+		}
+		if d, ok := n.(*ast.FuncDecl); ok {
+			cur = d.Name.Name
+		}
+		if !visit(cur, n) {
+			return false
+		}
+		nodes = append(nodes, n)
+		if d, ok := n.(*ast.FuncDecl); ok {
+			fns = append(fns, d.Name.Name)
+		}
+		return true
+	})
+}

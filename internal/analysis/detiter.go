@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetIter flags `range` over a map in code that emits experiment
+// artifacts. The experiment outputs (tables, CSV files) are compared
+// byte-for-byte across runs — the repo's reproducibility contract — and
+// Go randomizes map iteration order, so a map range anywhere in an
+// emission path can silently permute rows between runs. Iterate a
+// sorted key slice instead, or — when the collected values are sorted
+// before use — annotate the site with //quq:maporder-ok and the reason.
+//
+// Scope: the experiments package itself, plus any file that writes
+// artifacts (calls os.WriteFile / os.Create / os.OpenFile or builds a
+// csv.Writer).
+var DetIter = &Analyzer{
+	Name:      "detiter",
+	Doc:       "artifact-emitting code must not depend on map iteration order (byte-for-byte reproducibility)",
+	Directive: "maporder-ok",
+	Run:       runDetIter,
+}
+
+func runDetIter(pass *Pass) {
+	inScope := pass.PkgPath == "quq/internal/experiments"
+	for _, f := range pass.Files {
+		if !inScope && !writesArtifacts(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				pass.Reportf(rng.Pos(), "range over %s iterates in randomized order; artifact output must be deterministic — iterate sorted keys", tv.Type)
+			}
+			return true
+		})
+	}
+}
+
+// writesArtifacts reports whether the file contains a call that opens
+// or writes an output file.
+func writesArtifacts(pass *Pass, f *ast.File) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isPkgCall(pass.Info, call, "os", "WriteFile"),
+			isPkgCall(pass.Info, call, "os", "Create"),
+			isPkgCall(pass.Info, call, "os", "OpenFile"),
+			isPkgCall(pass.Info, call, "encoding/csv", "NewWriter"):
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errdropPackages are the stdlib packages whose errors carry io state:
+// dropping them can lose data (short writes, failed closes on write
+// paths) or mask corrupt input (failed reads/decodes).
+var errdropPackages = map[string]bool{
+	"os":              true,
+	"io":              true,
+	"bufio":           true,
+	"encoding/binary": true,
+	"encoding/csv":    true,
+	"encoding/json":   true,
+	"encoding/gob":    true,
+	"compress/gzip":   true,
+	"compress/flate":  true,
+}
+
+// ErrDrop flags discarded error returns — blank assignments (`x, _ :=`)
+// and bare call statements — on io, encode and decode paths: calls into
+// the io-bearing stdlib packages above and calls into this module's own
+// packages (whose error returns all signal unrepresentable encodings or
+// corrupt artifacts, never ignorable conditions). Writes to
+// strings.Builder and bytes.Buffer are exempt: their error results are
+// documented to always be nil. Intentional drops carry //quq:errdrop-ok
+// with a reason.
+var ErrDrop = &Analyzer{
+	Name:      "errdrop",
+	Doc:       "io/encode/decode paths must not discard error returns",
+	Directive: "errdrop-ok",
+	Run:       runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkBareCall(pass, n.X)
+			case *ast.DeferStmt:
+				checkBareCall(pass, n.Call)
+			case *ast.GoStmt:
+				checkBareCall(pass, n.Call)
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkBareCall reports an expression-statement call whose error result
+// vanishes.
+func checkBareCall(pass *Pass, e ast.Expr) {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := trackedCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	if errorResultIndex(fn) < 0 {
+		return
+	}
+	pass.Reportf(call.Pos(), "error return of %s discarded; handle it or annotate //quq:errdrop-ok with the reason", calleeLabel(fn))
+}
+
+// checkBlankAssign reports `_`-discarded error results of a call.
+func checkBlankAssign(pass *Pass, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := trackedCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	results := fn.Type().(*types.Signature).Results()
+	for i, lhs := range assign.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" || i >= results.Len() {
+			continue
+		}
+		if isErrorType(results.At(i).Type()) {
+			pass.Reportf(id.Pos(), "error return of %s assigned to _; handle it or annotate //quq:errdrop-ok with the reason", calleeLabel(fn))
+		}
+	}
+}
+
+// trackedCallee resolves the callee and applies the scope filter:
+// io-bearing stdlib packages and module-internal functions, minus the
+// infallible in-memory writers.
+func trackedCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	module := path == "quq" || strings.HasPrefix(path, "quq/")
+	if !module && !errdropPackages[path] {
+		return nil
+	}
+	// strings.Builder and bytes.Buffer writes always return a nil error.
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		rt := recv.Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		switch rt.String() {
+		case "strings.Builder", "bytes.Buffer":
+			return nil
+		}
+	}
+	return fn
+}
+
+// errorResultIndex returns the index of the first error result of fn,
+// or -1.
+func errorResultIndex(fn *types.Func) int {
+	results := fn.Type().(*types.Signature).Results()
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+func isErrorType(t types.Type) bool {
+	return t == types.Universe.Lookup("error").Type() || t.String() == "error"
+}
+
+// calleeLabel renders pkg.Func or (recv).Method for diagnostics.
+func calleeLabel(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		rt := recv.Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// intOnlyPackages are the packages whose function bodies form the QUB
+// decode / integer-GEMM hot path: after decoding, QUA inference is a
+// signed multiplier plus a per-element shift (paper Eq. (5)–(6)), so
+// floating-point arithmetic here silently breaks the bit-exactness the
+// hardware claim rests on.
+var intOnlyPackages = map[string]bool{
+	"quq/internal/accel": true,
+	"quq/internal/qub":   true,
+}
+
+// IntOnly flags floating-point arithmetic, conversions to float types,
+// and math.* calls inside the integer-datapath packages. Calibration
+// and boundary code (encode from float, decode to float, rescale-factor
+// derivation) is legitimate float territory and carries a
+// //quq:float-ok directive with its justification.
+var IntOnly = &Analyzer{
+	Name:      "intonly",
+	Doc:       "integer-datapath packages must not compute in floating point (Eq. (5): multiplier + shift only)",
+	Directive: "float-ok",
+	Run:       runIntOnly,
+}
+
+func runIntOnly(pass *Pass) {
+	if !intOnlyPackages[pass.PkgPath] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+					if tv, ok := pass.Info.Types[n.X]; ok && isFloat(tv.Type) {
+						pass.Reportf(n.OpPos, "floating-point %s in integer-datapath package %s", n.Op, pass.PkgPath)
+					}
+				}
+			case *ast.AssignStmt:
+				switch n.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+					if tv, ok := pass.Info.Types[n.Lhs[0]]; ok && isFloat(tv.Type) {
+						pass.Reportf(n.TokPos, "floating-point %s in integer-datapath package %s", n.Tok, pass.PkgPath)
+					}
+				}
+			case *ast.CallExpr:
+				// Conversion to a float type.
+				if tv, ok := pass.Info.Types[n.Fun]; ok && tv.IsType() && isFloat(tv.Type) {
+					pass.Reportf(n.Pos(), "conversion to %s in integer-datapath package %s", tv.Type, pass.PkgPath)
+					return true
+				}
+				// Any math.* call: the hot path has shift-based
+				// equivalents for everything it legitimately needs.
+				if fn := calleeFunc(pass.Info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "math" {
+					pass.Reportf(n.Pos(), "math.%s call in integer-datapath package %s", fn.Name(), pass.PkgPath)
+				}
+			}
+			return true
+		})
+	}
+}

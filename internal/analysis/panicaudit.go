@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicAudit flags bare `panic(...)` in library packages. A production
+// service built on these packages must be able to distinguish "caller
+// broke a documented precondition" from "internal invariant broke" and
+// recover coherently; ad-hoc string panics allow neither. A panic is
+// sanctioned when:
+//
+//   - its argument is a check.Invariant / check.Invariantf value (the
+//     typed invariant payload this repo standardizes on), or
+//   - it sits inside a must*/Must* helper (the conventional
+//     panic-on-error wrappers), or
+//   - a //quq:panic-ok directive covers it with a reason.
+//
+// Everything else should be converted to an error return.
+var PanicAudit = &Analyzer{
+	Name:      "panicaudit",
+	Doc:       "library panics must be typed invariants (check.Invariant*) or must* helpers; else return errors",
+	Directive: "panic-ok",
+	Run:       runPanicAudit,
+}
+
+// checkPkgPath is the package providing the sanctioned invariant
+// constructors.
+const checkPkgPath = "quq/internal/check"
+
+func runPanicAudit(pass *Pass) {
+	if pass.Pkg.Name() == "main" || pass.PkgPath == checkPkgPath {
+		return
+	}
+	for _, f := range pass.Files {
+		walkFuncs(f, func(fn string, n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if strings.HasPrefix(fn, "must") || strings.HasPrefix(fn, "Must") {
+				return true
+			}
+			if len(call.Args) == 1 {
+				if arg, ok := unparen(call.Args[0]).(*ast.CallExpr); ok {
+					if isPkgCall(pass.Info, arg, checkPkgPath, "Invariant") ||
+						isPkgCall(pass.Info, arg, checkPkgPath, "Invariantf") {
+						return true
+					}
+				}
+			}
+			pass.Reportf(call.Pos(), "unaudited panic in library package; convert to an error return, wrap the payload in check.Invariant(f), or move it into a must* helper")
+			return true
+		})
+	}
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+)
+
+// Pow2 flags math.Pow(2, k) and math.Exp2(k): QUQ constrains every
+// scale-factor ratio to an exact power of two of the shared base Δ
+// (paper Eq. (4)), and float exponentiation only approximates that —
+// math.Pow goes through log/exp and can land one ULP off the exact
+// power, which Validate's power-of-two check then rejects (or worse,
+// silently accepts a near-power). Integer shifts (1 << k) or
+// math.Ldexp(x, k) produce the exact value. The check runs repo-wide:
+// genuinely float-domain exponentiation is annotated //quq:float-ok.
+var Pow2 = &Analyzer{
+	Name:      "pow2",
+	Doc:       "power-of-two scale ratios must use shifts or math.Ldexp, not math.Pow/math.Exp2 (Eq. (4))",
+	Directive: "float-ok",
+	Run:       runPow2,
+}
+
+func runPow2(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgCall(pass.Info, call, "math", "Exp2") {
+				pass.Reportf(call.Pos(), "math.Exp2 computes a power of two in floating point; use 1 << k or math.Ldexp(1, k) for the exact value")
+				return true
+			}
+			if isPkgCall(pass.Info, call, "math", "Pow") && len(call.Args) == 2 && isConstTwo(pass, call.Args[0]) {
+				pass.Reportf(call.Pos(), "math.Pow(2, k) computes a power-of-two scale ratio approximately; use 1 << k or math.Ldexp(1, k) for the exact value (Eq. (4))")
+			}
+			return true
+		})
+	}
+}
+
+// isConstTwo reports whether e is the constant 2 (of any numeric type).
+func isConstTwo(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Float64Val(constant.ToFloat(tv.Value))
+	return ok && v == 2
+}

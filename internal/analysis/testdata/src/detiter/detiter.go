@@ -1,0 +1,42 @@
+// Package detiter is the fixture corpus for the detiter analyzer's
+// package-scope rule: the tests load it under the import path
+// quq/internal/experiments, so every file is in scope.
+package detiter
+
+import "sort"
+
+func emit(rows map[string]int) []string {
+	var out []string
+	for k := range rows { // want `range over map\[string\]int iterates in randomized order`
+		out = append(out, k)
+	}
+	return out
+}
+
+type rowSet map[int]bool
+
+func emitNamed(rows rowSet) int {
+	n := 0
+	for k := range rows { // want `range over .*rowSet iterates in randomized order`
+		n += k
+	}
+	return n
+}
+
+func emitSorted(rows map[string]int) []string {
+	keys := make([]string, 0, len(rows))
+	//quq:maporder-ok fixture: keys are sorted below before anything observes the order
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func overSlice(xs []int) int {
+	s := 0
+	for _, v := range xs { // slice iteration is deterministic: not flagged
+		s += v
+	}
+	return s
+}

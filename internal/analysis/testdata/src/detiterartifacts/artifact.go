@@ -1,0 +1,15 @@
+// Package detiterartifacts is the fixture corpus for the detiter
+// analyzer's file-scope rule: outside the experiments package, only
+// files that write artifacts are in scope.
+package detiterartifacts
+
+import "os"
+
+func dump(path string, rows map[string]string) error {
+	var b []byte
+	for k, v := range rows { // want `range over map\[string\]string iterates in randomized order`
+		b = append(b, k...)
+		b = append(b, v...)
+	}
+	return os.WriteFile(path, b, 0o644)
+}

@@ -1,0 +1,11 @@
+package detiterartifacts
+
+// collect ranges over a map in a file that writes no artifacts: the
+// detiter file-scope rule must leave it alone.
+func collect(rows map[string]int) int {
+	n := 0
+	for _, v := range rows {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,16 @@
+// Package directive is the fixture corpus for the directive
+// meta-analyzer: suppression comments must use a known token and carry
+// a reason.
+package directive
+
+//quq:bogus this token does not exist // want `unknown directive //quq:bogus`
+var unknownToken = 1
+
+// want+1 `directive //quq:float-ok needs a reason`
+var missingReason = 2 //quq:float-ok
+
+//quq:float-ok fixture: a well-formed directive is not flagged
+var wellFormed = 3
+
+// A plain comment mentioning quq: inside prose is not a directive.
+var prose = 4

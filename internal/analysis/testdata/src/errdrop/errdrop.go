@@ -1,0 +1,68 @@
+// Package errdrop is the fixture corpus for the errdrop analyzer. Its
+// import path is inside the module, so its own functions count as
+// module-internal callees.
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func bareCall(path string, data []byte) {
+	os.WriteFile(path, data, 0o644) // want `error return of os\.WriteFile discarded`
+}
+
+func blankAssign(path string) {
+	_ = os.Remove(path) // want `error return of os\.Remove assigned to _`
+}
+
+func blankInMulti(path string) *os.File {
+	f, _ := os.Open(path) // want `error return of os\.Open assigned to _`
+	return f
+}
+
+func deferredClose(f *os.File) {
+	defer f.Close() // want `error return of File\.Close discarded`
+}
+
+func handled(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // propagated: not flagged
+}
+
+func checked(path string) {
+	if err := os.Remove(path); err != nil { // handled: not flagged
+		panic(err)
+	}
+}
+
+func builders(parts []string) string {
+	var sb strings.Builder
+	var bb bytes.Buffer
+	for _, p := range parts {
+		sb.WriteString(p) // strings.Builder errors are always nil: not flagged
+		bb.WriteString(p) // bytes.Buffer likewise: not flagged
+	}
+	return sb.String() + bb.String()
+}
+
+func untracked() {
+	fmt.Println("fmt is outside the io-bearing set") // not flagged
+}
+
+func decode(data []byte) (int, error) {
+	if len(data) == 0 {
+		return 0, fmt.Errorf("empty")
+	}
+	return int(data[0]), nil
+}
+
+func useDecode(data []byte) {
+	decode(data) // want `error return of errdrop\.decode discarded`
+}
+
+func annotated(f *os.File) {
+	//quq:errdrop-ok fixture: already on an error path; the close error is dominated
+	f.Close()
+}

@@ -1,0 +1,46 @@
+// Package intonly is the fixture corpus for the intonly analyzer. It is
+// loaded by the tests under the import path quq/internal/accel so the
+// package-scope filter sees it as an integer-datapath package.
+package intonly
+
+import "math"
+
+func mulFloat(a, b float64) float64 {
+	return a * b // want `floating-point \* in integer-datapath package`
+}
+
+func subFloat(a, b float64) float64 {
+	return a - b // want `floating-point - in integer-datapath package`
+}
+
+func convFloat(n int64) float64 {
+	return float64(n) // want `conversion to float64 in integer-datapath package`
+}
+
+func mathCall(x float64) float64 {
+	return math.Sqrt(x) // want `math\.Sqrt call in integer-datapath package`
+}
+
+func opAssign(a float64) float64 {
+	a /= 3 // want `floating-point /= in integer-datapath package`
+	return a
+}
+
+// eq5 is the sanctioned hot-path shape: signed multiply plus shift.
+func eq5(a, b int64, sh uint) int64 {
+	return (a * b) << sh
+}
+
+func intCompare(a, b float64) bool {
+	return a < b // comparisons are not arithmetic: not flagged
+}
+
+//quq:float-ok fixture: decode-boundary conversion, sanctioned by the doc-comment directive
+func decodeBoundary(d int64, delta float64) float64 {
+	return float64(d) * delta
+}
+
+func lineDirective(a, b float64) float64 {
+	//quq:float-ok fixture: directive on the preceding line covers this site
+	return a * b
+}

@@ -1,0 +1,55 @@
+// Package panicaudit is the fixture corpus for the panicaudit analyzer.
+// It is loaded under a library (non-main) import path.
+package panicaudit
+
+import "quq/internal/check"
+
+func bad(x int) {
+	if x < 0 {
+		panic("negative") // want `unaudited panic in library package`
+	}
+}
+
+func badTyped(err error) {
+	panic(err) // want `unaudited panic in library package`
+}
+
+func invariant(x int) {
+	if x < 0 {
+		panic(check.Invariantf("negative %d", x)) // typed invariant: not flagged
+	}
+}
+
+func invariantPlain() {
+	panic(check.Invariant("broken")) // typed invariant: not flagged
+}
+
+func mustPositive(x int) int {
+	if x < 0 {
+		panic("must* helpers sanction panics") // not flagged
+	}
+	return x
+}
+
+func MustRun(f func() error) {
+	wrapped := func() {
+		if err := f(); err != nil {
+			panic(err) // closure inherits the Must* sanction: not flagged
+		}
+	}
+	wrapped()
+}
+
+//quq:panic-ok fixture: demonstrating directive suppression
+func annotated() {
+	panic("covered by the doc-comment directive")
+}
+
+type panicker struct{}
+
+// panic as a method name must not confuse the builtin detection.
+func (panicker) panic(string) {}
+
+func notTheBuiltin(p panicker) {
+	p.panic("a method named panic is not the builtin") // not flagged
+}

@@ -1,0 +1,34 @@
+// Package pow2 is the fixture corpus for the pow2 analyzer (repo-wide
+// scope; the import path does not matter).
+package pow2
+
+import "math"
+
+func scale(k int) float64 {
+	return math.Pow(2, float64(k)) // want `math\.Pow\(2, k\) computes a power-of-two scale ratio approximately`
+}
+
+func exp2(x float64) float64 {
+	return math.Exp2(x) // want `math\.Exp2 computes a power of two in floating point`
+}
+
+func parenthesized(k int) float64 {
+	return (math.Pow)(2, float64(k)) // want `math\.Pow\(2, k\)`
+}
+
+func cube(x float64) float64 {
+	return math.Pow(x, 3) // base is not the constant 2: not flagged
+}
+
+func powTen(k int) float64 {
+	return math.Pow(10, float64(k)) // not a power-of-two ratio: not flagged
+}
+
+func exact(k int) float64 {
+	return math.Ldexp(1, k) // the sanctioned exact form: not flagged
+}
+
+func gaussianTail(x float64) float64 {
+	//quq:float-ok fixture: genuine float-domain exponentiation, base happens to be 2
+	return math.Pow(2, -x*x)
+}

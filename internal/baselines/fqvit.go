@@ -91,7 +91,7 @@ func (l log2Quantizer) Apply(x *tensor.Tensor) *tensor.Tensor {
 			d[i] = 0 // underflow: the reserved all-ones code means zero
 			continue
 		}
-		d[i] = math.Pow(2, -q)
+		d[i] = math.Ldexp(1, -int(q))
 	}
 	return out
 }

@@ -46,7 +46,7 @@ type twinSoftmaxQuantizer struct {
 
 func (t twinSoftmaxQuantizer) value(x float64) float64 {
 	half := float64(int64(1) << (t.bits - 1))
-	split := math.Pow(2, -float64(t.k))
+	split := math.Ldexp(1, -t.k)
 	if x < split {
 		d := split / half
 		q := math.RoundToEven(x / d)

@@ -1,0 +1,44 @@
+// Package check centralizes invariant failures for the library packages.
+//
+// QUQ's library code panics only on programmer errors — violated
+// preconditions and "cannot happen" internal states — never on data
+// conditions, which travel as ordinary errors. To keep that line
+// machine-enforceable, every such panic carries an InvariantError built
+// by this package: the quqvet `panicaudit` analyzer flags any bare
+// `panic(...)` in a library package whose argument is not a
+// check.Invariant/check.Invariantf call (and is not inside a must*
+// helper), so new panic sites are audited by construction.
+//
+// The idiom preserves lazy message construction, so hot-path
+// precondition checks cost nothing until they fire:
+//
+//	if len(out) != len(xs) {
+//		panic(check.Invariant("quant: QuantizeSlice length mismatch"))
+//	}
+//
+// Callers that need to distinguish an invariant violation from an
+// arbitrary panic can test the recovered value with errors.As against
+// *InvariantError.
+package check
+
+import "fmt"
+
+// InvariantError is the panic payload of a violated internal invariant.
+// It implements error so recovered values compose with the errors
+// package.
+type InvariantError struct {
+	Msg string
+}
+
+// Error returns the invariant's message.
+func (e *InvariantError) Error() string { return e.Msg }
+
+// Invariant wraps a message as an invariant-violation panic value.
+func Invariant(msg string) *InvariantError {
+	return &InvariantError{Msg: msg}
+}
+
+// Invariantf is Invariant with fmt.Sprintf formatting.
+func Invariantf(format string, args ...any) *InvariantError {
+	return &InvariantError{Msg: fmt.Sprintf(format, args...)}
+}

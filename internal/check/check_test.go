@@ -1,0 +1,40 @@
+package check
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestInvariantIsError(t *testing.T) {
+	e := Invariant("qub: boom")
+	var ie *InvariantError
+	if !errors.As(error(e), &ie) {
+		t.Fatal("Invariant value does not satisfy errors.As(*InvariantError)")
+	}
+	if e.Error() != "qub: boom" {
+		t.Fatalf("message %q", e.Error())
+	}
+}
+
+func TestInvariantf(t *testing.T) {
+	e := Invariantf("tensor: shape %v vs %v", []int{2}, []int{3})
+	want := "tensor: shape [2] vs [3]"
+	if e.Error() != want {
+		t.Fatalf("got %q, want %q", e.Error(), want)
+	}
+}
+
+func TestRecoveredValueDistinguishable(t *testing.T) {
+	defer func() {
+		r := recover()
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("recovered %T, want error", r)
+		}
+		var ie *InvariantError
+		if !errors.As(err, &ie) {
+			t.Fatalf("recovered error %v is not an InvariantError", err)
+		}
+	}()
+	panic(Invariant("deliberate"))
+}

@@ -14,6 +14,7 @@ package dist
 
 import (
 	"fmt"
+	"quq/internal/check"
 
 	"quq/internal/mathx"
 	"quq/internal/rng"
@@ -71,7 +72,7 @@ func Sample(f Family, n int, src *rng.Source) []float64 {
 	case PostGELU:
 		return samplePostGELU(n, src)
 	}
-	panic(fmt.Sprintf("dist: unknown family %d", int(f)))
+	panic(check.Invariantf("dist: unknown family %d", int(f)))
 }
 
 // sampleQueryWeight draws from a two-component Gaussian scale mixture:

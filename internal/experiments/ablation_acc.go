@@ -20,7 +20,7 @@ type AblationAccRow struct {
 // (full quantization) under several PRA/refinement variants and reports
 // top-1 for each. It isolates how much each design choice of §3.3
 // contributes to end accuracy.
-func AblationAccuracy(zm *ZooModel, bits int) []AblationAccRow {
+func AblationAccuracy(zm *ZooModel, bits int) ([]AblationAccRow, error) {
 	type variant struct {
 		name string
 		meth ptq.Method
@@ -45,14 +45,14 @@ func AblationAccuracy(zm *ZooModel, bits int) []AblationAccRow {
 			Images: zm.Calib,
 		})
 		if err != nil {
-			panic("experiments: ablation accuracy: " + err.Error())
+			return nil, fmt.Errorf("experiments: ablation accuracy (%s): %w", v.name, err)
 		}
 		rows = append(rows, AblationAccRow{
 			Name: v.name,
 			Acc:  ptq.Accuracy(qm, zm.Images, zm.Labels),
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // FormatAblationAcc renders the rows.

@@ -19,7 +19,7 @@ type AccuracyRow struct {
 
 // Table2 regenerates the partially quantized comparison at W6/A6:
 // Original, BaseQ, PTQ4ViT, APQ-ViT, QUQ.
-func Table2(zoo []*ZooModel) []AccuracyRow {
+func Table2(zoo []*ZooModel) ([]AccuracyRow, error) {
 	methods := []ptq.Method{
 		baselines.BaseQ{},
 		baselines.PTQ4ViT{},
@@ -28,14 +28,18 @@ func Table2(zoo []*ZooModel) []AccuracyRow {
 	}
 	rows := []AccuracyRow{originalRow(zoo)}
 	for _, meth := range methods {
-		rows = append(rows, accuracyRow(zoo, meth, 6, ptq.Partial))
+		row, err := accuracyRow(zoo, meth, 6, ptq.Partial)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // Table3 regenerates the fully quantized comparison at W6/A6 and W8/A8:
 // Original, then BaseQ, BiScaled-FxP, FQ-ViT, QUQ per bit-width.
-func Table3(zoo []*ZooModel) []AccuracyRow {
+func Table3(zoo []*ZooModel) ([]AccuracyRow, error) {
 	methods := []ptq.Method{
 		baselines.BaseQ{},
 		baselines.BiScaled{},
@@ -45,10 +49,14 @@ func Table3(zoo []*ZooModel) []AccuracyRow {
 	rows := []AccuracyRow{originalRow(zoo)}
 	for _, bits := range []int{6, 8} {
 		for _, meth := range methods {
-			rows = append(rows, accuracyRow(zoo, meth, bits, ptq.Full))
+			row, err := accuracyRow(zoo, meth, bits, ptq.Full)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 func originalRow(zoo []*ZooModel) AccuracyRow {
@@ -59,7 +67,7 @@ func originalRow(zoo []*ZooModel) AccuracyRow {
 	return row
 }
 
-func accuracyRow(zoo []*ZooModel, meth ptq.Method, bits int, regime ptq.Regime) AccuracyRow {
+func accuracyRow(zoo []*ZooModel, meth ptq.Method, bits int, regime ptq.Regime) (AccuracyRow, error) {
 	row := AccuracyRow{
 		Method: meth.Name(),
 		WA:     fmt.Sprintf("%d/%d", bits, bits),
@@ -72,13 +80,11 @@ func accuracyRow(zoo []*ZooModel, meth ptq.Method, bits int, regime ptq.Regime) 
 			Images: zm.Calib,
 		})
 		if err != nil {
-			// Calibration of a valid model with valid options cannot
-			// fail; surface loudly if it ever does.
-			panic(fmt.Sprintf("experiments: %s on %s: %v", meth.Name(), zm.Cfg.Name, err))
+			return AccuracyRow{}, fmt.Errorf("experiments: %s on %s: %w", meth.Name(), zm.Cfg.Name, err)
 		}
 		row.Acc[zm.Cfg.Name] = ptq.Accuracy(qm, zm.Images, zm.Labels)
 	}
-	return row
+	return row, nil
 }
 
 // FormatAccuracy renders accuracy rows in the paper's table layout.

@@ -69,7 +69,10 @@ func TestBuildZooProducesWorkingClassifier(t *testing.T) {
 
 func TestTable2Structure(t *testing.T) {
 	zoo := quickZoo(t)
-	rows := Table2(zoo)
+	rows, err := Table2(zoo)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 5 {
 		t.Fatalf("got %d rows, want Original + 4 methods", len(rows))
 	}
@@ -100,7 +103,10 @@ func TestTable2Structure(t *testing.T) {
 
 func TestTable3Structure(t *testing.T) {
 	zoo := quickZoo(t)
-	rows := Table3(zoo)
+	rows, err := Table3(zoo)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 9 {
 		t.Fatalf("got %d rows, want Original + 4 methods × 2 bit-widths", len(rows))
 	}
@@ -188,7 +194,10 @@ func TestQuantPointsUniformCase(t *testing.T) {
 }
 
 func TestFig7SmallScale(t *testing.T) {
-	res := Fig7(Fig7Options{Config: vit.ViTNano, Images: 2, Seed: 3})
+	res, err := Fig7(Fig7Options{Config: vit.ViTNano, Images: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Rows) != 4 {
 		t.Fatalf("got %d rows", len(res.Rows))
 	}
@@ -261,7 +270,11 @@ func TestCSVEmitters(t *testing.T) {
 		t.Fatalf("fig3 csv malformed:\n%s", f3)
 	}
 	zoo := quickZoo(t)
-	acc := CSVAccuracy(zoo, Table2(zoo))
+	rows, err := Table2(zoo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := CSVAccuracy(zoo, rows)
 	if !strings.HasPrefix(acc, "method,wa,ViT-Nano") {
 		t.Fatalf("accuracy csv malformed:\n%s", acc)
 	}
@@ -281,7 +294,10 @@ func TestCSVEscape(t *testing.T) {
 
 func TestAblationAccuracyStructure(t *testing.T) {
 	zoo := quickZoo(t)
-	rows := AblationAccuracy(zoo[0], 6)
+	rows, err := AblationAccuracy(zoo[0], 6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 5 {
 		t.Fatalf("got %d variant rows", len(rows))
 	}

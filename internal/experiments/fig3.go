@@ -65,6 +65,7 @@ func QuantPoints(p *quant.Params) []float64 {
 		}
 	}
 	points := make([]float64, 0, len(seen))
+	//quq:maporder-ok the map is only a dedup set; sort.Float64s below fixes the order before anything observes it
 	for v := range seen {
 		points = append(points, v)
 	}

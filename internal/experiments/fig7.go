@@ -43,7 +43,7 @@ type Fig7Options struct {
 
 // Fig7 regenerates the attention-map experiment: FP32 versus BaseQ and
 // QUQ under full quantization at 8 and 6 bits.
-func Fig7(opts Fig7Options) Fig7Result {
+func Fig7(opts Fig7Options) (Fig7Result, error) {
 	if opts.Config.Name == "" {
 		opts.Config = vit.ViTSmall
 	}
@@ -70,7 +70,7 @@ func Fig7(opts Fig7Options) Fig7Result {
 		for _, meth := range []ptq.Method{baselines.BaseQ{}, ptq.NewQUQ()} {
 			qm, err := ptq.Quantize(m, meth, ptq.CalibOptions{Bits: bits, Regime: ptq.Full, Images: calib})
 			if err != nil {
-				panic("experiments: fig7 quantize: " + err.Error())
+				return Fig7Result{}, fmt.Errorf("experiments: fig7 quantize (%s %d-bit): %w", meth.Name(), bits, err)
 			}
 			var sum float64
 			var first *tensor.Tensor
@@ -91,7 +91,7 @@ func Fig7(opts Fig7Options) Fig7Result {
 			res.Maps = append(res.Maps, renderMap(first))
 		}
 	}
-	return res
+	return res, nil
 }
 
 // rolloutMap computes the attention-rollout saliency of the class token

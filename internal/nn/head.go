@@ -10,6 +10,7 @@ package nn
 
 import (
 	"math"
+	"quq/internal/check"
 
 	"quq/internal/data"
 	"quq/internal/rng"
@@ -164,7 +165,7 @@ func headOf(m vit.Model) *vit.Linear {
 		}
 	})
 	if head == nil {
-		panic("nn: model has no head layer")
+		panic(check.Invariant("nn: model has no head layer"))
 	}
 	return head
 }

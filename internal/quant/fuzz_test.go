@@ -1,0 +1,64 @@
+package quant
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fuzzFloats decodes the fuzz payload into a bounded slice of finite
+// float64 samples (NaN/Inf chunks are dropped; PRA documents finite
+// input).
+func fuzzFloats(data []byte) []float64 {
+	n := len(data) / 8
+	if n > 256 {
+		n = 256
+	}
+	xs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		xs = append(xs, v)
+	}
+	return xs
+}
+
+func fuzzSeed(vals ...float64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	return b
+}
+
+// FuzzPRA asserts the Algorithm 2 contract on arbitrary finite
+// calibration slices: PRA never panics and always returns a parameter
+// set satisfying the Eq. (4) power-of-two invariant (Validate == nil),
+// whose fake-quantized values are finite.
+func FuzzPRA(f *testing.F) {
+	f.Add(fuzzSeed(0.1, -0.2, 3.5, -4.25, 0.01, 12.0), uint8(6))
+	f.Add(fuzzSeed(1, 2, 4, 8, 1024), uint8(8))
+	f.Add(fuzzSeed(-0.5, -0.25, -1e-3), uint8(5))             // one-signed: Mode B
+	f.Add(fuzzSeed(1e-310, 2e300, -1e-310, -2e300), uint8(3)) // denormal + near-overflow
+	f.Add(fuzzSeed(0, 0, 0), uint8(4))                        // all-zero tensor
+	f.Add(fuzzSeed(0.001, 0.002, 100000), uint8(6))           // extreme tail
+
+	f.Fuzz(func(t *testing.T, data []byte, bitsRaw uint8) {
+		bits := 3 + int(bitsRaw%6) // 3..8, the useful PTQ range
+		xs := fuzzFloats(data)
+		p := PRA(xs, bits, DefaultPRAOptions())
+		if err := p.Validate(); err != nil {
+			t.Fatalf("PRA returned invalid params for %d samples at %d bits: %v\n%v", len(xs), bits, err, p)
+		}
+		for i, x := range xs {
+			if i == 64 {
+				break
+			}
+			if v := p.Value(x); math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("fake-quantizing finite %v produced %v under %v", x, v, p)
+			}
+		}
+	})
+}

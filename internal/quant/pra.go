@@ -1,8 +1,8 @@
 package quant
 
 import (
-	"fmt"
 	"math"
+	"quq/internal/check"
 	"sort"
 )
 
@@ -38,16 +38,18 @@ func DefaultPRAOptions() PRAOptions {
 // — a factor, so no additional calibration data gets clipped.
 func Relax(d1, d2 float64) (float64, float64) {
 	if d1 <= 0 || d2 <= 0 {
-		panic(fmt.Sprintf("quant: Relax requires positive scale factors, got %v, %v", d1, d2))
+		panic(check.Invariantf("quant: Relax requires positive scale factors, got %v, %v", d1, d2))
 	}
 	l := math.Log2(d2 / d1)
-	r := math.Round(l)
-	if r > l {
-		// Rounding up: make Δ2 larger so Δ2/Δ1 = 2^r exactly.
-		return d1, math.Pow(2, r) * d1
+	r := int(math.Round(l))
+	if float64(r) > l {
+		// Rounding up: make Δ2 larger so Δ2/Δ1 = 2^r exactly. Ldexp
+		// scales by the exact power of two, which keeps the Eq. (4)
+		// invariant bit-exact where math.Pow would only approximate it.
+		return d1, math.Ldexp(d1, r)
 	}
 	// Rounding down (or exact): make Δ1 larger so Δ2/Δ1 = 2^r exactly.
-	return math.Pow(2, -r) * d2, d2
+	return math.Ldexp(d2, -r), d2
 }
 
 // PRA runs the progressive relaxation algorithm (Algorithm 2) on the
@@ -59,7 +61,7 @@ func Relax(d1, d2 float64) (float64, float64) {
 // resolution). An all-zero tensor yields a trivial uniform quantizer.
 func PRA(xs []float64, bits int, opts PRAOptions) *Params {
 	if bits < 3 {
-		panic(fmt.Sprintf("quant: PRA requires at least 3 bits, got %d", bits))
+		panic(check.Invariantf("quant: PRA requires at least 3 bits, got %d", bits))
 	}
 	neg, pos := splitMagnitudes(xs)
 	var p *Params
@@ -76,21 +78,42 @@ func PRA(xs []float64, bits int, opts PRAOptions) *Params {
 	if err := p.Validate(); err != nil {
 		// PRA constructs parameters that satisfy Eq. (4) by design; a
 		// failure here is a bug, not a data condition.
-		panic("quant: PRA produced invalid parameters: " + err.Error())
+		panic(check.Invariantf("quant: PRA produced invalid parameters: %v", err))
 	}
 	return p
 }
 
+// praMagFloor and praMagCeil bound the calibration magnitudes PRA works
+// with. Magnitudes below 2^-500 carry no usable range information and
+// are treated as exact zeros; magnitudes above 2^500 are clipped. Inside
+// this window every derived quantity — per-subrange scale factors, their
+// cross ratios, and the Relax power-of-two adjustments — stays finite
+// and positive in float64, so Algorithm 2 cannot underflow a Δ to zero
+// or overflow one to +Inf on adversarial (e.g. fuzzed) input. Realistic
+// calibration data sits hundreds of orders of magnitude inside the
+// window and is unaffected.
+var (
+	praMagFloor = math.Ldexp(1, -500)
+	praMagCeil  = math.Ldexp(1, 500)
+)
+
 // splitMagnitudes separates xs into the magnitudes of its negative
 // elements and its positive elements (Algorithm 2 line 3), sorted
-// ascending so quantiles are cheap.
+// ascending so quantiles are cheap. Magnitudes are clamped into
+// [praMagFloor, praMagCeil]; see the bound comment above.
 func splitMagnitudes(xs []float64) (neg, pos []float64) {
 	for _, v := range xs {
-		switch {
-		case v > 0:
-			pos = append(pos, v)
-		case v < 0:
-			neg = append(neg, -v)
+		m := math.Abs(v)
+		if m < praMagFloor {
+			continue
+		}
+		if m > praMagCeil {
+			m = praMagCeil
+		}
+		if v > 0 {
+			pos = append(pos, m)
+		} else {
+			neg = append(neg, m)
 		}
 	}
 	sort.Float64s(neg)

@@ -20,6 +20,7 @@ package quant
 import (
 	"fmt"
 	"math"
+	"quq/internal/check"
 )
 
 // Uniform applies the symmetric uniform quantizer U_b of Eq. (1):
@@ -32,11 +33,11 @@ func Uniform(x, delta float64, bits int) float64 {
 // UniformCode returns the signed integer code produced by U_b.
 func UniformCode(x, delta float64, bits int) int64 {
 	if delta <= 0 {
-		panic("quant: Uniform requires delta > 0")
+		panic(check.Invariant("quant: Uniform requires delta > 0"))
 	}
 	lo := -(int64(1) << (bits - 1))
 	hi := (int64(1) << (bits - 1)) - 1
-	q := int64(math.RoundToEven(x / delta))
+	q := saturatingRound(x / delta)
 	if q < lo {
 		q = lo
 	}
@@ -44,6 +45,21 @@ func UniformCode(x, delta float64, bits int) int64 {
 		q = hi
 	}
 	return q
+}
+
+// saturatingRound rounds v to the nearest int64, saturating at the
+// integer range instead of hitting Go's implementation-specific
+// out-of-range float-to-int conversion (a tiny Δ against a huge value
+// can push the quotient past 2^63, or to +Inf).
+func saturatingRound(v float64) int64 {
+	r := math.RoundToEven(v)
+	if r >= float64(math.MaxInt64) {
+		return math.MaxInt64
+	}
+	if r <= float64(math.MinInt64) {
+		return math.MinInt64
+	}
+	return int64(r)
 }
 
 // UniformDelta returns the symmetric-uniform scale factor that covers
@@ -280,7 +296,7 @@ func (p *Params) zeroSlot() Slot {
 }
 
 func roundMag(v float64) int64 {
-	return int64(math.RoundToEven(v))
+	return saturatingRound(v)
 }
 
 // Dequantize converts a code back to its real value.
@@ -302,7 +318,7 @@ func (p *Params) Value(x float64) float64 {
 // alias xs). It panics if the lengths differ.
 func (p *Params) QuantizeSlice(out, xs []float64) {
 	if len(out) != len(xs) {
-		panic("quant: QuantizeSlice length mismatch")
+		panic(check.Invariant("quant: QuantizeSlice length mismatch"))
 	}
 	for i, x := range xs {
 		out[i] = p.Value(x)
@@ -343,7 +359,7 @@ func UniformMSE(xs []float64, delta float64, bits int) float64 {
 // quantizer has the same representable points as Uniform(·, delta, bits).
 func ParamsForUniform(delta float64, bits int) *Params {
 	if delta <= 0 {
-		panic("quant: ParamsForUniform requires delta > 0")
+		panic(check.Invariant("quant: ParamsForUniform requires delta > 0"))
 	}
 	half := int64(1) << (bits - 1)
 	p := &Params{Bits: bits, Mode: ModeD}

@@ -100,7 +100,7 @@ func RefineScored(p *Params, opts RefineOptions, score func(*Params) float64) *P
 		}
 		for _, shift := range opts.FineShifts {
 			c := *p
-			mul := math.Pow(2, float64(shift))
+			mul := math.Ldexp(1, shift)
 			ok := true
 			for i := range c.Slots {
 				if !c.Slots[i].Enabled {

@@ -24,6 +24,7 @@ package qub
 
 import (
 	"fmt"
+	"quq/internal/check"
 
 	"quq/internal/quant"
 )
@@ -210,6 +211,8 @@ type Decoded struct {
 
 // Value returns the real value the decoded pair represents under base
 // scale delta.
+//
+//quq:float-ok decode boundary: multiplying the integer (D, n_sh) pair by the base Δ is where values exit the integer pipeline
 func (d Decoded) Value(delta float64) float64 {
 	return float64(int64(d.D)<<d.Nsh) * delta
 }
@@ -275,7 +278,7 @@ func DecodeTensor(ws []Word, r Registers) []float64 {
 // the vectors' lengths differ.
 func Dot(xs, ws []Word, rx, rw Registers) int64 {
 	if len(xs) != len(ws) {
-		panic("qub: Dot length mismatch")
+		panic(check.Invariant("qub: Dot length mismatch"))
 	}
 	var acc int64
 	for i := range xs {

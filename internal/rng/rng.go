@@ -9,7 +9,11 @@
 // specification, so regenerated tables do not depend on the Go release.
 package rng
 
-import "math"
+import (
+	"math"
+
+	"quq/internal/check"
+)
 
 // Source is a deterministic SplitMix64 pseudo-random number generator.
 // The zero value is a valid generator seeded with 0; use New to seed it
@@ -46,7 +50,7 @@ func (s *Source) Uint64() uint64 {
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (s *Source) Intn(n int) int {
 	if n <= 0 {
-		panic("rng: Intn called with non-positive n")
+		panic(check.Invariant("rng: Intn called with non-positive n"))
 	}
 	// Lemire's multiply-shift rejection method would be overkill here;
 	// the modulo bias for n << 2^64 is far below experimental noise.

@@ -12,7 +12,11 @@
 // the package tests.
 package sfu
 
-import "math"
+import (
+	"math"
+
+	"quq/internal/check"
+)
 
 // F is the fixed-point fraction width used by the kernels: values are
 // represented as v·2⁻ᶠ. 16 bits keeps int64 intermediates comfortably
@@ -76,7 +80,7 @@ func Exp2Neg(x int64) int64 {
 // hardware implements with the shared reciprocal unit.
 func Softmax(out, xs []int64) {
 	if len(out) != len(xs) {
-		panic("sfu: Softmax length mismatch")
+		panic(check.Invariant("sfu: Softmax length mismatch"))
 	}
 	if len(xs) == 0 {
 		return
@@ -138,7 +142,7 @@ func GELU(x int64) int64 {
 // method — the integer square root the LayerNorm unit needs.
 func ISqrt(v int64) int64 {
 	if v < 0 {
-		panic("sfu: ISqrt of negative value")
+		panic(check.Invariant("sfu: ISqrt of negative value"))
 	}
 	if v < 2 {
 		return v
@@ -171,7 +175,7 @@ func LayerNorm(out, xs, gamma, beta []int64) {
 		return
 	}
 	if len(out) != len(xs) || len(gamma) != len(xs) || len(beta) != len(xs) {
-		panic("sfu: LayerNorm length mismatch")
+		panic(check.Invariant("sfu: LayerNorm length mismatch"))
 	}
 	var sum int64
 	for _, v := range xs {

@@ -2,6 +2,7 @@ package sfu
 
 import (
 	"fmt"
+	"quq/internal/check"
 
 	"quq/internal/quant"
 	"quq/internal/qub"
@@ -33,7 +34,7 @@ func NewAddUnit(pa, pb, pout *quant.Params) (*AddUnit, error) {
 // streams.
 func (u *AddUnit) Add(as, bs []qub.Word) []qub.Word {
 	if len(as) != len(bs) {
-		panic("sfu: Add length mismatch")
+		panic(check.Invariant("sfu: Add length mismatch"))
 	}
 	out := make([]qub.Word, len(as))
 	for i := range as {
@@ -73,7 +74,7 @@ func NewLayerNormUnit(pin, pout *quant.Params, gamma, beta []float64) (*LayerNor
 // Row normalizes one token row (length must match the affine parameters).
 func (l *LayerNormUnit) Row(row []qub.Word) []qub.Word {
 	if len(row) != len(l.gamma) {
-		panic(fmt.Sprintf("sfu: LayerNorm row width %d, want %d", len(row), len(l.gamma)))
+		panic(check.Invariantf("sfu: LayerNorm row width %d, want %d", len(row), len(l.gamma)))
 	}
 	fixed := make([]int64, len(row))
 	for i, w := range row {

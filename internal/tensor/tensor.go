@@ -12,6 +12,7 @@ package tensor
 import (
 	"fmt"
 	"math"
+	"quq/internal/check"
 	"sort"
 )
 
@@ -28,7 +29,7 @@ func New(shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+			panic(check.Invariantf("tensor: negative dimension %d in shape %v", d, shape))
 		}
 		n *= d
 	}
@@ -47,7 +48,7 @@ func FromSlice(data []float64, shape ...int) *Tensor {
 		n *= d
 	}
 	if len(data) != n {
-		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (want %d)", len(data), shape, n))
+		panic(check.Invariantf("tensor: data length %d does not match shape %v (want %d)", len(data), shape, n))
 	}
 	return &Tensor{shape: append([]int(nil), shape...), data: data}
 }
@@ -83,7 +84,7 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 		n *= d
 	}
 	if n != len(t.data) {
-		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
+		panic(check.Invariantf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
 	}
 	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
 }
@@ -100,12 +101,12 @@ func (t *Tensor) Set(v float64, idx ...int) {
 
 func (t *Tensor) offset(idx []int) int {
 	if len(idx) != len(t.shape) {
-		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
+		panic(check.Invariantf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
 	}
 	off := 0
 	for i, x := range idx {
 		if x < 0 || x >= t.shape[i] {
-			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.shape))
+			panic(check.Invariantf("tensor: index %v out of bounds for shape %v", idx, t.shape))
 		}
 		off = off*t.shape[i] + x
 	}
@@ -115,7 +116,7 @@ func (t *Tensor) offset(idx []int) int {
 // Row returns a view of row i of a rank-2 tensor.
 func (t *Tensor) Row(i int) []float64 {
 	if len(t.shape) != 2 {
-		panic("tensor: Row requires a rank-2 tensor")
+		panic(check.Invariant("tensor: Row requires a rank-2 tensor"))
 	}
 	cols := t.shape[1]
 	return t.data[i*cols : (i+1)*cols]
@@ -188,11 +189,11 @@ func (t *Tensor) Mul(o *Tensor) *Tensor {
 // in place, and returns t. This is the bias-add used by linear layers.
 func (t *Tensor) AddRowVector(v []float64) *Tensor {
 	if len(t.shape) != 2 {
-		panic("tensor: AddRowVector requires a rank-2 tensor")
+		panic(check.Invariant("tensor: AddRowVector requires a rank-2 tensor"))
 	}
 	rows, cols := t.shape[0], t.shape[1]
 	if len(v) != cols {
-		panic(fmt.Sprintf("tensor: vector length %d does not match %d columns", len(v), cols))
+		panic(check.Invariantf("tensor: vector length %d does not match %d columns", len(v), cols))
 	}
 	for r := 0; r < rows; r++ {
 		row := t.data[r*cols : (r+1)*cols]
@@ -205,11 +206,11 @@ func (t *Tensor) AddRowVector(v []float64) *Tensor {
 
 func (t *Tensor) assertSameShape(o *Tensor, op string) {
 	if len(t.shape) != len(o.shape) {
-		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, o.shape))
+		panic(check.Invariantf("tensor: %s shape mismatch %v vs %v", op, t.shape, o.shape))
 	}
 	for i := range t.shape {
 		if t.shape[i] != o.shape[i] {
-			panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, o.shape))
+			panic(check.Invariantf("tensor: %s shape mismatch %v vs %v", op, t.shape, o.shape))
 		}
 	}
 }
@@ -220,12 +221,12 @@ func (t *Tensor) assertSameShape(o *Tensor, op string) {
 // storage.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
-		panic("tensor: MatMul requires rank-2 tensors")
+		panic(check.Invariant("tensor: MatMul requires rank-2 tensors"))
 	}
 	m, k := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v @ %v", a.shape, b.shape))
+		panic(check.Invariantf("tensor: MatMul inner dimension mismatch %v @ %v", a.shape, b.shape))
 	}
 	out := New(m, n)
 	for i := 0; i < m; i++ {
@@ -250,12 +251,12 @@ func MatMul(a, b *Tensor) *Tensor {
 // untransposed b keeps both operands streaming row-major.
 func MatMulT(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
-		panic("tensor: MatMulT requires rank-2 tensors")
+		panic(check.Invariant("tensor: MatMulT requires rank-2 tensors"))
 	}
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulT inner dimension mismatch %v @ %vᵀ", a.shape, b.shape))
+		panic(check.Invariantf("tensor: MatMulT inner dimension mismatch %v @ %vᵀ", a.shape, b.shape))
 	}
 	out := New(m, n)
 	for i := 0; i < m; i++ {
@@ -276,7 +277,7 @@ func MatMulT(a, b *Tensor) *Tensor {
 // Transpose returns the transpose of a rank-2 tensor as a new tensor.
 func (t *Tensor) Transpose() *Tensor {
 	if len(t.shape) != 2 {
-		panic("tensor: Transpose requires a rank-2 tensor")
+		panic(check.Invariant("tensor: Transpose requires a rank-2 tensor"))
 	}
 	m, n := t.shape[0], t.shape[1]
 	out := New(n, m)
@@ -358,7 +359,7 @@ func (t *Tensor) Std() float64 {
 
 func (t *Tensor) assertNonEmpty(op string) {
 	if len(t.data) == 0 {
-		panic("tensor: " + op + " on empty tensor")
+		panic(check.Invariantf("tensor: %s on empty tensor", op))
 	}
 }
 
@@ -404,10 +405,10 @@ func (t *Tensor) Quantile(q float64) float64 {
 // It panics if xs is empty or q is outside [0, 1]. xs is not modified.
 func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
-		panic("tensor: Quantile of empty data")
+		panic(check.Invariant("tensor: Quantile of empty data"))
 	}
 	if q < 0 || q > 1 {
-		panic(fmt.Sprintf("tensor: quantile %v outside [0,1]", q))
+		panic(check.Invariantf("tensor: quantile %v outside [0,1]", q))
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)

@@ -3,6 +3,7 @@ package vit
 import (
 	"math"
 
+	"quq/internal/check"
 	"quq/internal/rng"
 )
 
@@ -23,7 +24,7 @@ import (
 // program initialization, not data handling.
 func New(cfg Config, seed uint64) Model {
 	if err := cfg.Validate(); err != nil {
-		panic(err.Error())
+		panic(check.Invariantf("vit: New on invalid config: %v", err))
 	}
 	src := rng.New(seed)
 	switch cfg.Variant {

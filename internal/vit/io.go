@@ -148,6 +148,7 @@ func SaveFile(m Model, path string) error {
 		return err
 	}
 	if err := Save(m, f); err != nil {
+		//quq:errdrop-ok already on the Save error path; the write error is the one worth reporting
 		f.Close()
 		return err
 	}
@@ -160,6 +161,7 @@ func LoadFile(cfg Config, path string) (Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	//quq:errdrop-ok read-only file: a Close error cannot lose data, and Load's own error dominates
 	defer f.Close()
 	return Load(cfg, f)
 }

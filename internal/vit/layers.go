@@ -1,8 +1,8 @@
 package vit
 
 import (
-	"fmt"
 	"math"
+	"quq/internal/check"
 
 	"quq/internal/mathx"
 	"quq/internal/tensor"
@@ -28,7 +28,7 @@ func (l *Linear) Out() int { return l.W.Dim(1) }
 // Apply computes xW + b for x of shape [n, in].
 func (l *Linear) Apply(x *tensor.Tensor) *tensor.Tensor {
 	if x.Dim(1) != l.In() {
-		panic(fmt.Sprintf("vit: linear input width %d, want %d", x.Dim(1), l.In()))
+		panic(check.Invariantf("vit: linear input width %d, want %d", x.Dim(1), l.In()))
 	}
 	return tensor.MatMul(x, l.W).AddRowVector(l.B)
 }
@@ -54,7 +54,7 @@ func NewLayerNorm(dim int) *LayerNorm {
 func (ln *LayerNorm) Apply(x *tensor.Tensor) *tensor.Tensor {
 	n, d := x.Dim(0), x.Dim(1)
 	if d != len(ln.Gamma) {
-		panic(fmt.Sprintf("vit: layernorm width %d, want %d", d, len(ln.Gamma)))
+		panic(check.Invariantf("vit: layernorm width %d, want %d", d, len(ln.Gamma)))
 	}
 	out := tensor.New(n, d)
 	for r := 0; r < n; r++ {
@@ -113,7 +113,7 @@ func (b *Block) Forward(x *tensor.Tensor, nSeq, blk int, opts ForwardOpts) *tens
 	dim := x.Dim(1)
 	s := x.Dim(0)
 	if s%nSeq != 0 {
-		panic(fmt.Sprintf("vit: %d rows not divisible into %d sequences", s, nSeq))
+		panic(check.Invariantf("vit: %d rows not divisible into %d sequences", s, nSeq))
 	}
 	t := s / nSeq
 	heads := b.Heads

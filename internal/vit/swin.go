@@ -2,6 +2,7 @@ package vit
 
 import (
 	"fmt"
+	"quq/internal/check"
 
 	"quq/internal/tensor"
 )
@@ -167,7 +168,7 @@ func (m *Swin) Forward(img *tensor.Tensor, opts ForwardOpts) *tensor.Tensor {
 func mergePatches(x *tensor.Tensor, g int) *tensor.Tensor {
 	d := x.Dim(1)
 	if x.Dim(0) != g*g || g%2 != 0 {
-		panic(fmt.Sprintf("vit: cannot merge %d tokens as a %dx%d grid", x.Dim(0), g, g))
+		panic(check.Invariantf("vit: cannot merge %d tokens as a %dx%d grid", x.Dim(0), g, g))
 	}
 	h := g / 2
 	out := tensor.New(h*h, 4*d)

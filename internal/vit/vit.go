@@ -2,6 +2,7 @@ package vit
 
 import (
 	"fmt"
+	"quq/internal/check"
 
 	"quq/internal/tensor"
 )
@@ -77,7 +78,7 @@ func Features(m Model, img *tensor.Tensor, opts ForwardOpts) []float64 {
 func Patchify(img *tensor.Tensor, ps int) *tensor.Tensor {
 	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
 	if h%ps != 0 || w%ps != 0 {
-		panic(fmt.Sprintf("vit: %dx%d image not divisible into %d-pixel patches", h, w, ps))
+		panic(check.Invariantf("vit: %dx%d image not divisible into %d-pixel patches", h, w, ps))
 	}
 	gy, gx := h/ps, w/ps
 	out := tensor.New(gy*gx, c*ps*ps)
@@ -237,12 +238,12 @@ func copyParams(src, dst Model) {
 	i := 0
 	dst.Params(func(name string, d []float64) {
 		if len(d) != len(bufs[i]) {
-			panic(fmt.Sprintf("vit: parameter %s size mismatch in copy", name))
+			panic(check.Invariantf("vit: parameter %s size mismatch in copy", name))
 		}
 		copy(d, bufs[i])
 		i++
 	})
 	if i != len(bufs) {
-		panic("vit: parameter count mismatch in copy")
+		panic(check.Invariant("vit: parameter count mismatch in copy"))
 	}
 }
