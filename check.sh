@@ -21,4 +21,12 @@ go test -race ./...
 go test -fuzz=FuzzPRA -fuzztime=5s -run=^$ ./internal/quant/
 go test -fuzz=FuzzQUBRoundtrip -fuzztime=5s -run=^$ ./internal/qub/
 
+# quq-serve smoke: boot the inference service on an ephemeral port and
+# drive one quantize + classify round trip through the real HTTP stack.
+go run ./cmd/quq-serve -smoke
+
+# Serving throughput benchmark; regenerates artifacts/BENCH_serve.json
+# (batched vs unbatched img/s — batched must not be slower).
+go test -run '^$' -bench BenchmarkServeThroughput -benchtime 20x .
+
 gofmt -l . | tee /dev/stderr | wc -l | grep -qx 0

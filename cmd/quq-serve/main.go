@@ -1,0 +1,211 @@
+// Command quq-serve runs the concurrent batched inference service: an
+// HTTP/JSON front-end over the PTQ pipeline with a lazily populated
+// quantized-model registry and a micro-batching scheduler.
+//
+// Usage:
+//
+//	quq-serve [-addr :8642] [-ckpt artifacts/vit-nano.ckpt] [flags]
+//	quq-serve -smoke    # self-test round trip on an ephemeral port
+//
+// Endpoints:
+//
+//	POST /v1/classify   classify images with a (model, method, bits, regime)
+//	POST /v1/quantize   warm a registry entry without classifying
+//	GET  /models        servable configs, methods, cached entries
+//	GET  /healthz       liveness probe
+//	GET  /metrics       Prometheus-style text exposition
+//
+// SIGINT/SIGTERM triggers a graceful drain: admission stops, pending
+// micro-batches flush, in-flight forwards finish, then the process
+// exits.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"quq/internal/data"
+	"quq/internal/serve"
+	"quq/internal/vit"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8642", "listen address")
+		ckpt     = flag.String("ckpt", "", "ViT-Nano checkpoint path (empty: synthetic weights)")
+		seed     = flag.Uint64("seed", 2024, "base weight/calibration seed")
+		calib    = flag.Int("calib", 32, "calibration images per model build")
+		maxBatch = flag.Int("max-batch", 8, "micro-batch dispatch threshold (images)")
+		linger   = flag.Duration("linger", 2*time.Millisecond, "max wait for a micro-batch to fill")
+		queue    = flag.Int("queue", 256, "admitted-image queue capacity (backpressure beyond)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request timeout, including first-request calibration")
+		maxBody  = flag.Int64("max-body", 8<<20, "request body size limit in bytes")
+		smoke    = flag.Bool("smoke", false, "start on an ephemeral port, run a quantize+classify round trip, exit")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+
+	cfg := serve.Config{
+		Registry: serve.RegistryOptions{
+			Seed:        *seed,
+			CalibImages: *calib,
+			Checkpoint:  *ckpt,
+		},
+		Batcher: serve.BatcherOptions{
+			MaxBatch: *maxBatch,
+			Linger:   *linger,
+			QueueCap: *queue,
+		},
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+	}
+
+	if *smoke {
+		// Keep the self-test cheap: two calibration images on ViT-Nano.
+		cfg.Registry.CalibImages = 2
+		if err := runSmoke(cfg); err != nil {
+			log.Fatalf("smoke: %v", err)
+		}
+		log.Printf("smoke: ok")
+		return
+	}
+
+	if err := run(cfg, *addr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run serves until SIGINT/SIGTERM, then drains gracefully.
+func run(cfg serve.Config, addr string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	s := serve.New(cfg)
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("quq-serve listening on %s", addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received; draining")
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := s.Drain(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	log.Printf("drained; bye")
+	return nil
+}
+
+// runSmoke boots the server on an ephemeral loopback port and drives one
+// quantize + classify round trip through the real HTTP stack.
+func runSmoke(cfg serve.Config) error {
+	s := serve.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	go func() {
+		// Serve returns ErrServerClosed on Shutdown; the smoke result is
+		// judged by the round trip below, not by this exit path.
+		_ = httpSrv.Serve(ln)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	req := map[string]any{"model": vit.ViTNano.Name, "method": "QUQ", "bits": 6}
+	var warm struct {
+		Key     string  `json:"key"`
+		Cached  bool    `json:"cached"`
+		BuildMS float64 `json:"build_ms"`
+	}
+	if err := postJSON(base+"/v1/quantize", req, &warm); err != nil {
+		return fmt.Errorf("quantize: %w", err)
+	}
+	log.Printf("smoke: quantized %s in %.0fms (cached=%v)", warm.Key, warm.BuildMS, warm.Cached)
+
+	img := data.Images(vit.ViTNano, 1, 4242)[0]
+	req["images"] = [][]float64{img.Data()}
+	var cls struct {
+		Key     string `json:"key"`
+		Results []struct {
+			ArgMax int       `json:"argmax"`
+			Logits []float64 `json:"logits"`
+		} `json:"results"`
+	}
+	if err := postJSON(base+"/v1/classify", req, &cls); err != nil {
+		return fmt.Errorf("classify: %w", err)
+	}
+	if len(cls.Results) != 1 || len(cls.Results[0].Logits) != vit.ViTNano.Classes {
+		return fmt.Errorf("classify: malformed response %+v", cls)
+	}
+	log.Printf("smoke: classified via %s -> argmax %d", cls.Key, cls.Results[0].ArgMax)
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if !bytes.Contains(body, []byte("quq_serve_requests_total")) {
+		return fmt.Errorf("metrics: missing quq_serve_requests_total in exposition")
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := s.Drain(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	return nil
+}
+
+// postJSON posts v and decodes the response into out, treating non-2xx
+// statuses as errors.
+func postJSON(url string, v, out any) error {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, out)
+}

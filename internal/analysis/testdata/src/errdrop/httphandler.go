@@ -1,0 +1,54 @@
+package errdrop
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// HTTP-handler-shaped cases, added alongside the quq-serve subsystem.
+// responseWriter stands in for http.ResponseWriter (same io.Writer
+// embedding) so the fixture does not drag net/http through the source
+// importer; the analyzer keys on the encoding/json call, not the
+// receiver type.
+
+type responseWriter interface {
+	io.Writer
+	WriteHeader(status int)
+}
+
+// The classic dropped-encode handler bug: a client disconnect or a
+// marshal failure vanishes and the handler reports nothing.
+func handlerDroppedEncode(w responseWriter, v any) {
+	w.WriteHeader(200)
+	json.NewEncoder(w).Encode(v) // want `error return of Encoder\.Encode discarded`
+}
+
+// Blank-assigning the encode error is the same bug in disguise.
+func handlerBlankEncode(w responseWriter, v any) {
+	_ = json.NewEncoder(w).Encode(v) // want `error return of Encoder\.Encode assigned to _`
+}
+
+// Dropping the decode error serves garbage from a malformed body.
+func handlerDroppedDecode(r io.Reader, v any) {
+	json.NewDecoder(r).Decode(v) // want `error return of Decoder\.Decode discarded`
+}
+
+// The quq-serve idiom: the encode error is observed (failure counter /
+// log), so nothing is flagged.
+func handlerHandledEncode(w responseWriter, v any, failures *int) {
+	w.WriteHeader(200)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		*failures++
+	}
+}
+
+// Propagating the decode error upward is handled too.
+func handlerPropagatedDecode(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}
+
+// A deliberate drop on a best-effort metrics write carries the directive.
+func handlerAnnotatedEncode(w responseWriter, v any) {
+	//quq:errdrop-ok fixture: best-effort scrape response; the client hung up
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,31 @@
+package panicaudit
+
+import "quq/internal/check"
+
+// HTTP-handler-shaped cases, added alongside the quq-serve subsystem.
+// A handler living in a library package must not use bare panic for
+// control flow — recovery middleware turns it into a 500, but the audit
+// still wants a typed invariant or a sanctioned helper.
+
+type request struct{ path string }
+
+func handlerBarePanic(r *request) {
+	if r.path == "" {
+		panic("empty path") // want `unaudited panic in library package`
+	}
+}
+
+func handlerInvariant(r *request) {
+	if r.path == "" {
+		panic(check.Invariant("router matched an empty path")) // typed invariant: not flagged
+	}
+}
+
+// mustRoute is a sanctioned must* helper; its panic is the documented
+// contract, mirroring registry construction panics in quq-serve.
+func mustRoute(pattern string) string {
+	if pattern == "" {
+		panic("empty route pattern") // not flagged
+	}
+	return pattern
+}

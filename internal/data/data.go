@@ -11,6 +11,7 @@
 package data
 
 import (
+	"fmt"
 	"math"
 
 	"quq/internal/rng"
@@ -165,6 +166,32 @@ func Image(channels, size int, src *rng.Source) *tensor.Tensor {
 	}
 	img.Apply(func(v float64) float64 { return (v - mean) / std })
 	return img
+}
+
+// ImageFromFlat validates a request-supplied flat pixel slice against the
+// model geometry and reshapes it into a [channels, H, W] image tensor.
+// The slice is laid out channel-major (all of channel 0's rows, then
+// channel 1, ...), matching Tensor's row-major order. Non-finite pixels
+// are rejected: a single NaN would propagate through every GEMM and turn
+// the logits into garbage that still serializes as valid JSON.
+//
+// This is the decode path between quq-serve's JSON request body and the
+// inference stack; the copy keeps the caller's buffer (typically a
+// json.Decoder allocation) out of the model's working set.
+func ImageFromFlat(cfg vit.Config, vals []float64) (*tensor.Tensor, error) {
+	want := cfg.Channels * cfg.ImageSize * cfg.ImageSize
+	if len(vals) != want {
+		return nil, fmt.Errorf("data: image has %d values, %s wants %d (%d×%d×%d)",
+			len(vals), cfg.Name, want, cfg.Channels, cfg.ImageSize, cfg.ImageSize)
+	}
+	for i, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("data: image value %d is not finite", i)
+		}
+	}
+	img := tensor.New(cfg.Channels, cfg.ImageSize, cfg.ImageSize)
+	copy(img.Data(), vals)
+	return img, nil
 }
 
 // CalibrationSet returns the paper's calibration protocol: a small number

@@ -150,3 +150,39 @@ func TestPatternImageAllClassesFinite(t *testing.T) {
 		}
 	}
 }
+
+func TestImageFromFlat(t *testing.T) {
+	cfg := vit.ViTNano // 1×16×16
+	n := cfg.Channels * cfg.ImageSize * cfg.ImageSize
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i) / float64(n)
+	}
+	img, err := ImageFromFlat(cfg, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Dim(0) != cfg.Channels || img.Dim(1) != cfg.ImageSize || img.Dim(2) != cfg.ImageSize {
+		t.Fatalf("shape %v", img.Shape())
+	}
+	if img.At(0, 0, 1) != vals[1] {
+		t.Fatal("layout mismatch: not channel-major row-major")
+	}
+	// The tensor must not alias the request buffer.
+	vals[1] = 99
+	if img.At(0, 0, 1) == 99 {
+		t.Fatal("ImageFromFlat aliases the caller's slice")
+	}
+
+	if _, err := ImageFromFlat(cfg, vals[:n-1]); err == nil {
+		t.Fatal("short slice accepted")
+	}
+	vals[3] = math.NaN()
+	if _, err := ImageFromFlat(cfg, vals); err == nil {
+		t.Fatal("NaN pixel accepted")
+	}
+	vals[3] = math.Inf(1)
+	if _, err := ImageFromFlat(cfg, vals); err == nil {
+		t.Fatal("Inf pixel accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package ptq
+
+import (
+	"runtime"
+	"sync"
+
+	"quq/internal/tensor"
+)
+
+// ForwardBatch classifies a batch of images, fanning the per-image
+// forward passes across at most workers goroutines (workers <= 0 means
+// GOMAXPROCS). The result slice is index-aligned with images, and each
+// output is bit-identical to the corresponding serial Forward call: the
+// forward path is deterministic and shares no mutable state between
+// images (see the concurrency contract on Forward), so parallel order
+// cannot perturb the arithmetic.
+//
+// This is the batch primitive behind quq-serve's micro-batching
+// scheduler; it is exported so non-HTTP callers (benchmarks, bulk
+// evaluation) get the same amortization.
+func (q *QuantizedModel) ForwardBatch(images []*tensor.Tensor, workers int) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(images))
+	if len(images) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(images) {
+		workers = len(images)
+	}
+	if workers == 1 {
+		for i, img := range images {
+			out[i] = q.Forward(img)
+		}
+		return out
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = q.Forward(images[i])
+			}
+		}()
+	}
+	for i := range images {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

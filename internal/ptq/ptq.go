@@ -111,6 +111,20 @@ type CalibOptions struct {
 
 // QuantizedModel is a model prepared for quantized inference: a clone
 // with fake-quantized weights plus per-site activation quantizers.
+//
+// Concurrency: a QuantizedModel is immutable after Quantize returns, and
+// Forward/ForwardOpts/ForwardBatch are safe for concurrent use by
+// multiple goroutines. The contract rests on three audited properties
+// (each covered by TestQuantizedForwardConcurrent):
+//
+//   - vit.Model.Forward never mutates model parameters or the input
+//     image — every intermediate lives in per-call tensors;
+//   - every TensorQuantizer.Apply implementation (QUQ and the baselines)
+//     reads only calibration-time state and clones its input;
+//   - Acts is written once during Quantize and only read afterwards.
+//
+// Callers must not mutate Model, Acts or quantizer internals after
+// sharing the model between goroutines.
 type QuantizedModel struct {
 	Model  vit.Model
 	Bits   int
@@ -202,7 +216,9 @@ func (c ModelClassifier) Forward(img *tensor.Tensor) *tensor.Tensor {
 // Agreement returns the fraction of images on which the two classifiers
 // produce the same argmax — this repo's substitution for ImageNet top-1
 // when the reference model's own predictions define the labels (see
-// DESIGN.md).
+// DESIGN.md). An empty image slice returns 0, never NaN: serving and
+// experiment code feed request-derived slices here, and a 0/0 NaN would
+// poison every downstream aggregate.
 func Agreement(ref, q Classifier, images []*tensor.Tensor) float64 {
 	if len(images) == 0 {
 		return 0
@@ -217,6 +233,9 @@ func Agreement(ref, q Classifier, images []*tensor.Tensor) float64 {
 }
 
 // Accuracy returns top-1 accuracy of the classifier on labelled samples.
+// An empty or length-mismatched (images, labels) pair returns 0, never
+// NaN — mismatches are caller bugs, but a metric that silently turns the
+// whole table into NaN is worse than one that reads as zero.
 func Accuracy(c Classifier, images []*tensor.Tensor, labels []int) float64 {
 	if len(images) == 0 || len(images) != len(labels) {
 		return 0

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"quq/internal/ptq"
+	"quq/internal/tensor"
+)
+
+// Batcher errors, mapped by the HTTP layer to 429 and 503.
+var (
+	ErrQueueFull = errors.New("serve: request queue full")
+	ErrDraining  = errors.New("serve: server is draining")
+)
+
+// BatcherOptions tunes the micro-batching scheduler.
+type BatcherOptions struct {
+	// MaxBatch is the dispatch threshold: a pending batch is flushed as
+	// soon as it holds this many images (default 8).
+	MaxBatch int
+	// Linger is how long the first image of a batch may wait for company
+	// before the batch is flushed anyway (default 2ms). Zero keeps the
+	// default; use a negative value for immediate dispatch.
+	Linger time.Duration
+	// QueueCap bounds admitted-but-unfinished images across all keys;
+	// beyond it Submit fails with ErrQueueFull (default 256).
+	QueueCap int
+	// Workers sizes the forward-pass worker pool (default GOMAXPROCS).
+	Workers int
+}
+
+func (o *BatcherOptions) defaults() {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	if o.Linger == 0 {
+		o.Linger = 2 * time.Millisecond
+	}
+	if o.Linger < 0 {
+		o.Linger = 0
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 256
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Item is one admitted image travelling through the scheduler. The
+// submitter waits on Done; afterwards exactly one of Out and Err is set.
+type Item struct {
+	img  *tensor.Tensor
+	Out  *tensor.Tensor
+	Err  error
+	Done chan struct{}
+}
+
+// pending is the open batch for one model key.
+type pending struct {
+	key   string
+	qm    *ptq.QuantizedModel
+	items []*Item
+}
+
+// Batcher coalesces admitted images into per-model micro-batches and
+// runs them on a bounded worker pool. All methods are safe for
+// concurrent use.
+type Batcher struct {
+	opts   BatcherOptions
+	met    *Metrics
+	tokens chan struct{} // worker-pool semaphore
+
+	mu       sync.Mutex
+	queued   int // admitted and not yet finished
+	pend     map[string]*pending
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// NewBatcher builds a scheduler. met may be nil.
+func NewBatcher(opts BatcherOptions, met *Metrics) *Batcher {
+	opts.defaults()
+	return &Batcher{
+		opts:   opts,
+		met:    met,
+		tokens: make(chan struct{}, opts.Workers),
+		pend:   make(map[string]*pending),
+	}
+}
+
+// Submit admits images for batched inference on qm, coalescing them with
+// other requests for the same key. It returns one Item per image (index-
+// aligned) to wait on, or ErrQueueFull / ErrDraining without admitting
+// anything — admission is all-or-nothing so a multi-image request can
+// never deadlock half-queued.
+func (b *Batcher) Submit(key string, qm *ptq.QuantizedModel, images []*tensor.Tensor) ([]*Item, error) {
+	if len(images) == 0 {
+		return nil, nil
+	}
+	b.mu.Lock()
+	if b.draining {
+		b.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if b.queued+len(images) > b.opts.QueueCap {
+		b.mu.Unlock()
+		if b.met != nil {
+			b.met.Rejected.Inc()
+		}
+		return nil, ErrQueueFull
+	}
+	b.queued += len(images)
+	if b.met != nil {
+		b.met.QueueDepth.Set(int64(b.queued))
+	}
+	items := make([]*Item, len(images))
+	for i, img := range images {
+		it := &Item{img: img, Done: make(chan struct{})}
+		items[i] = it
+		p := b.pend[key]
+		if p == nil {
+			p = &pending{key: key, qm: qm, items: nil}
+			b.pend[key] = p
+			if b.opts.Linger > 0 {
+				timerP := p
+				time.AfterFunc(b.opts.Linger, func() { b.flushIf(key, timerP) })
+			}
+		}
+		p.items = append(p.items, it)
+		if len(p.items) >= b.opts.MaxBatch || b.opts.Linger == 0 {
+			b.flushLocked(p)
+		}
+	}
+	b.mu.Unlock()
+	return items, nil
+}
+
+// flushIf flushes p if it is still the open batch for key (the linger
+// timer may race a size-triggered flush; the pointer comparison
+// disambiguates generations).
+func (b *Batcher) flushIf(key string, p *pending) {
+	b.mu.Lock()
+	if b.pend[key] == p {
+		b.flushLocked(p)
+	}
+	b.mu.Unlock()
+}
+
+// flushLocked detaches p and dispatches it. Caller holds b.mu.
+func (b *Batcher) flushLocked(p *pending) {
+	delete(b.pend, p.key)
+	if len(p.items) == 0 {
+		return
+	}
+	b.wg.Add(1)
+	go b.run(p)
+}
+
+// run executes one batch on the worker pool: each image's forward pass
+// acquires a pool token, so total inference parallelism across all
+// in-flight batches never exceeds Workers. A panic inside Forward is
+// converted to a per-item error instead of killing the server.
+func (b *Batcher) run(p *pending) {
+	defer b.wg.Done()
+	if b.met != nil {
+		b.met.BatchSize.Observe(float64(len(p.items)))
+	}
+	var iwg sync.WaitGroup
+	for _, it := range p.items {
+		b.tokens <- struct{}{}
+		iwg.Add(1)
+		go func(it *Item) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					it.Err = fmt.Errorf("serve: forward pass panicked: %v", rec)
+					if b.met != nil {
+						b.met.Panics.Inc()
+					}
+				}
+				b.finish(it)
+				<-b.tokens
+				iwg.Done()
+			}()
+			it.Out = p.qm.Forward(it.img)
+		}(it)
+	}
+	iwg.Wait()
+}
+
+// finish releases an item's queue slot and wakes its submitter.
+func (b *Batcher) finish(it *Item) {
+	b.mu.Lock()
+	b.queued--
+	if b.met != nil {
+		b.met.QueueDepth.Set(int64(b.queued))
+		b.met.Images.Inc()
+	}
+	b.mu.Unlock()
+	close(it.Done)
+}
+
+// Await blocks until every item is finished or ctx expires. On timeout
+// the in-flight work still completes in the background (its queue slots
+// are released by the workers); only the caller gives up.
+func Await(ctx context.Context, items []*Item) error {
+	for _, it := range items {
+		select {
+		case <-it.Done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Drain stops admission, flushes every pending batch immediately, and
+// waits for in-flight work to finish or ctx to expire.
+func (b *Batcher) Drain(ctx context.Context) error {
+	b.mu.Lock()
+	b.draining = true
+	// Collect open batches first: flushLocked mutates b.pend.
+	open := make([]*pending, 0, len(b.pend))
+	// Map order is irrelevant: every open batch is flushed.
+	for _, p := range b.pend {
+		open = append(open, p)
+	}
+	for _, p := range open {
+		b.flushLocked(p)
+	}
+	b.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		b.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

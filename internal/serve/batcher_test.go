@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"quq/internal/data"
+	"quq/internal/ptq"
+	"quq/internal/tensor"
+	"quq/internal/vit"
+)
+
+// batchModel builds one cheap quantized model for batcher tests.
+func batchModel(t *testing.T) (*ptq.QuantizedModel, []*tensor.Tensor) {
+	t.Helper()
+	r := NewRegistry(testRegistryOptions(), nil)
+	qm, _, err := r.Get(context.Background(), nanoKey("BaseQ", ptq.Partial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qm, data.Images(vit.ViTNano, 8, 99)
+}
+
+// TestBatcherCoalesces submits items one by one under a generous linger
+// and checks they dispatch as one batch, bit-identical to direct
+// forwards.
+func TestBatcherCoalesces(t *testing.T) {
+	qm, imgs := batchModel(t)
+	met := NewMetrics()
+	b := NewBatcher(BatcherOptions{MaxBatch: 8, Linger: 20 * time.Millisecond, QueueCap: 64}, met)
+
+	var items []*Item
+	for _, img := range imgs[:4] {
+		got, err := b.Submit("k", qm, []*tensor.Tensor{img})
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, got...)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := Await(ctx, items); err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatal(it.Err)
+		}
+		want := qm.Forward(imgs[i])
+		for j, v := range it.Out.Data() {
+			if v != want.Data()[j] {
+				t.Fatalf("item %d differs from direct forward", i)
+			}
+		}
+	}
+	// All four items fit one linger window: a single dispatched batch.
+	if n := met.BatchSize.Count(); n != 1 {
+		t.Fatalf("dispatched %d batches, want 1", n)
+	}
+	if met.Images.Value() != 4 {
+		t.Fatalf("images = %d, want 4", met.Images.Value())
+	}
+	if d := met.QueueDepth.Value(); d != 0 {
+		t.Fatalf("queue depth after completion = %d, want 0", d)
+	}
+}
+
+// TestBatcherMaxBatchFlush checks the size trigger: MaxBatch items
+// dispatch immediately without waiting out the linger.
+func TestBatcherMaxBatchFlush(t *testing.T) {
+	qm, imgs := batchModel(t)
+	met := NewMetrics()
+	// Hour-long linger: only the size trigger can flush.
+	b := NewBatcher(BatcherOptions{MaxBatch: 2, Linger: time.Hour, QueueCap: 64}, met)
+	items, err := b.Submit("k", qm, imgs[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := Await(ctx, items); err != nil {
+		t.Fatal(err)
+	}
+	if n := met.BatchSize.Count(); n != 2 {
+		t.Fatalf("dispatched %d batches, want 2 (size-triggered)", n)
+	}
+}
+
+// TestBatcherBackpressureAndDrain fills the queue under an hour-long
+// linger, checks ErrQueueFull, then drains and checks the stuck items
+// complete and late submits are refused.
+func TestBatcherBackpressureAndDrain(t *testing.T) {
+	qm, imgs := batchModel(t)
+	met := NewMetrics()
+	b := NewBatcher(BatcherOptions{MaxBatch: 64, Linger: time.Hour, QueueCap: 3}, met)
+
+	items, err := b.Submit("k", qm, imgs[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Submit("k", qm, imgs[3:4]); err != ErrQueueFull {
+		t.Fatalf("over-capacity submit: err = %v, want ErrQueueFull", err)
+	}
+	if met.Rejected.Value() != 1 {
+		t.Fatalf("rejected = %d, want 1", met.Rejected.Value())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := b.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := Await(ctx, items); err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if it.Err != nil || it.Out == nil {
+			t.Fatalf("drained item incomplete: out=%v err=%v", it.Out, it.Err)
+		}
+	}
+	if _, err := b.Submit("k", qm, imgs[:1]); err != ErrDraining {
+		t.Fatalf("post-drain submit: err = %v, want ErrDraining", err)
+	}
+}
+
+// TestAwaitTimeout: Await must respect an expired context while workers
+// finish in the background.
+func TestAwaitTimeout(t *testing.T) {
+	qm, imgs := batchModel(t)
+	b := NewBatcher(BatcherOptions{MaxBatch: 64, Linger: time.Hour, QueueCap: 8}, nil)
+	items, err := b.Submit("k", qm, imgs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Await(ctx, items); err != context.Canceled {
+		t.Fatalf("Await on cancelled ctx = %v, want context.Canceled", err)
+	}
+	// Drain still completes the work.
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	if err := b.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+// Package metrics provides the stdlib-only instrumentation primitives
+// behind quq-serve's /metrics endpoint: atomic counters and gauges, a
+// fixed-bucket histogram with quantile estimation, and a registry that
+// renders every registered metric in a deterministic, Prometheus-style
+// text exposition.
+//
+// The package deliberately avoids external client libraries (the build
+// is offline); the exposition format is close enough to the Prometheus
+// text format for standard scrapers and humans alike. All metric types
+// are safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"quq/internal/check"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer) error {
+	if err := writeHelp(w, c.name, c.help); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", c.name, c.Value())
+	return err
+}
+
+// Gauge is an instantaneous value (queue depth, in-flight requests).
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) write(w io.Writer) error {
+	if err := writeHelp(w, g.name, g.help); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", g.name, g.Value())
+	return err
+}
+
+// Histogram counts observations into fixed buckets and tracks their sum,
+// supporting approximate quantiles by linear interpolation inside the
+// containing bucket.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // ascending upper bounds
+
+	mu     sync.Mutex
+	counts []uint64 // len(bounds)+1; the last bucket is overflow
+	sum    float64
+	n      uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the containing bucket. Observations beyond the last bound are
+// attributed to the last bound. An empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.n)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i >= len(h.bounds) {
+				// Overflow bucket: no finite upper bound to interpolate
+				// toward; report the last bound as a floor.
+				return h.bounds[len(h.bounds)-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / float64(c)
+			if math.IsNaN(frac) || frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (h *Histogram) write(w io.Writer) error {
+	if err := writeHelp(w, h.name, h.help); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	n := h.n
+	sum := h.sum
+	quantiles := [3]float64{h.quantileLocked(0.5), h.quantileLocked(0.9), h.quantileLocked(0.99)}
+	var cum uint64
+	type bucketLine struct {
+		bound string
+		cum   uint64
+	}
+	lines := make([]bucketLine, 0, len(h.bounds)+1)
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		lines = append(lines, bucketLine{fmt.Sprintf("%g", bound), cum})
+	}
+	cum += h.counts[len(h.bounds)]
+	lines = append(lines, bucketLine{"+Inf", cum})
+	h.mu.Unlock()
+
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, l.bound, l.cum); err != nil {
+			return err
+		}
+	}
+	for i, q := range []string{"0.5", "0.9", "0.99"} {
+		if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", h.name, q, quantiles[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %g\n", h.name, sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", h.name, n)
+	return err
+}
+
+func writeHelp(w io.Writer, name, help string) error {
+	if help == "" {
+		return nil
+	}
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	return err
+}
+
+// LatencyBuckets is a general-purpose exponential bucket layout for
+// request latencies in seconds (10 µs … 10 s).
+func LatencyBuckets() []float64 {
+	return []float64{
+		1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// SizeBuckets is a power-of-two layout for batch sizes and counts.
+func SizeBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128}
+}
+
+type renderable interface {
+	write(w io.Writer) error
+}
+
+// Registry holds named metrics and renders them in sorted-name order, so
+// two scrapes of an idle server are byte-identical.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]renderable
+	ordered []string // sorted names
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]renderable)}
+}
+
+// register panics on duplicate names: metric registration happens at
+// server construction, so a collision is a programmer error.
+func (r *Registry) register(name string, m renderable) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(check.Invariantf("metrics: duplicate metric %q", name))
+	}
+	r.byName[name] = m
+	i := sort.SearchStrings(r.ordered, name)
+	r.ordered = append(r.ordered, "")
+	copy(r.ordered[i+1:], r.ordered[i:])
+	r.ordered[i] = name
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(name, c)
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(name, g)
+	return g
+}
+
+// NewHistogram registers and returns a histogram over the given ascending
+// bucket bounds.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 || !sort.Float64sAreSorted(bounds) {
+		panic(check.Invariantf("metrics: histogram %q needs ascending bounds", name))
+	}
+	h := &Histogram{
+		name:   name,
+		help:   help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.register(name, h)
+	return h
+}
+
+// WriteText renders every metric in sorted-name order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.ordered...)
+	byName := make([]renderable, len(names))
+	for i, n := range names {
+		byName[i] = r.byName[n]
+	}
+	r.mu.Unlock()
+	for _, m := range byName {
+		if err := m.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "a counter")
+	g := r.NewGauge("g", "a gauge")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat", "latency", []float64{1, 2, 4, 8})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+	// 100 observations uniform in (0, 4]: median should land near 2.
+	for i := 1; i <= 100; i++ {
+		h.Observe(4 * float64(i) / 100)
+	}
+	if n := h.Count(); n != 100 {
+		t.Fatalf("count = %d, want 100", n)
+	}
+	med := h.Quantile(0.5)
+	if med < 1 || med > 3 {
+		t.Fatalf("median = %v, want ≈2", med)
+	}
+	if q := h.Quantile(1); q > 8 {
+		t.Fatalf("q1 = %v beyond last bound", q)
+	}
+	// Overflow observations clamp to the last bound.
+	h.Observe(1e9)
+	if q := h.Quantile(1); q != 8 {
+		t.Fatalf("overflow quantile = %v, want 8", q)
+	}
+	if math.IsNaN(h.Sum()) {
+		t.Fatal("sum is NaN")
+	}
+}
+
+func TestWriteTextDeterministicAndSorted(t *testing.T) {
+	r := NewRegistry()
+	// Registered out of order; exposition must sort by name.
+	r.NewCounter("zzz_total", "last")
+	r.NewGauge("aaa", "first")
+	r.NewHistogram("mmm", "middle", []float64{1, 2})
+
+	var a, b strings.Builder
+	if err := r.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two scrapes of an idle registry differ")
+	}
+	out := a.String()
+	ia := strings.Index(out, "aaa")
+	im := strings.Index(out, "mmm")
+	iz := strings.Index(out, "zzz_total")
+	if ia < 0 || im < 0 || iz < 0 || !(ia < im && im < iz) {
+		t.Fatalf("metrics not in sorted order:\n%s", out)
+	}
+	if !strings.Contains(out, `mmm_bucket{le="+Inf"}`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.NewCounter("x", "")
+	r.NewCounter("x", "")
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	h := r.NewHistogram("h", "", LatencyBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i) * 1e-5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}

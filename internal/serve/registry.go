@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"quq/internal/baselines"
+	"quq/internal/data"
+	"quq/internal/ptq"
+	"quq/internal/tensor"
+	"quq/internal/vit"
+)
+
+// Key identifies one quantized-model registry entry: everything that
+// determines the calibration artifact.
+type Key struct {
+	Config string     // model name from the zoo ("ViT-S", ..., "ViT-Nano")
+	Method string     // quantization method name ("QUQ", "BaseQ", ...)
+	Bits   int        // uniform weight/activation bit-width
+	Regime ptq.Regime // partial (GEMM-only) or full quantization
+}
+
+// String renders the key the way /models and logs display it.
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s/w%da%d/%s", k.Config, k.Method, k.Bits, k.Bits, k.Regime)
+}
+
+// ParseRegime maps the wire names onto ptq regimes. The empty string
+// defaults to partial — the paper's headline (Table 2) setting.
+func ParseRegime(s string) (ptq.Regime, error) {
+	switch strings.ToLower(s) {
+	case "", "partial":
+		return ptq.Partial, nil
+	case "full":
+		return ptq.Full, nil
+	}
+	return 0, fmt.Errorf("%w: regime %q (want \"partial\" or \"full\")", ErrBadRequest, s)
+}
+
+// Method construction is by name so the registry key stays a value type.
+// The table lists every ptq.Method in the repo; order is the menu order
+// /models advertises.
+var methodNames = []string{"QUQ", "BaseQ", "PTQ4ViT", "APQ-ViT", "FQ-ViT", "BiScaled-FxP"}
+
+func newMethod(name string) (ptq.Method, bool) {
+	switch name {
+	case "", "QUQ":
+		return ptq.NewQUQ(), true
+	case "BaseQ":
+		return baselines.BaseQ{}, true
+	case "PTQ4ViT":
+		return baselines.PTQ4ViT{}, true
+	case "APQ-ViT":
+		return baselines.APQViT{}, true
+	case "FQ-ViT":
+		return baselines.FQViT{}, true
+	case "BiScaled-FxP":
+		return baselines.BiScaled{}, true
+	}
+	return nil, false
+}
+
+// MethodNames lists the quantization methods the registry can build.
+func MethodNames() []string { return append([]string(nil), methodNames...) }
+
+// Registry errors. ErrBadRequest wraps every client-side validation
+// failure so the HTTP layer can map the whole family to 400.
+var (
+	ErrBadRequest    = errors.New("serve: bad request")
+	ErrUnknownModel  = fmt.Errorf("%w: unknown model", ErrBadRequest)
+	ErrUnknownMethod = fmt.Errorf("%w: unknown method", ErrBadRequest)
+)
+
+// RegistryOptions configures model construction.
+type RegistryOptions struct {
+	// Seed drives synthetic weights and calibration images (default 2024,
+	// the experiments' seed).
+	Seed uint64
+	// CalibImages per model (default 32, the paper's protocol).
+	CalibImages int
+	// MaxSamplesPerSite caps calibration reservoirs (0 = ptq default).
+	MaxSamplesPerSite int
+	// Checkpoint optionally points at a trained ViT-Nano checkpoint
+	// (artifacts/vit-nano.ckpt); when set, the ViT-Nano base model is
+	// loaded from it instead of using synthetic weights.
+	Checkpoint string
+	// MaxBits bounds requested bit-widths (default 16; ptq enforces the
+	// lower bound of 3).
+	MaxBits int
+}
+
+func (o *RegistryOptions) defaults() {
+	if o.Seed == 0 {
+		o.Seed = 2024
+	}
+	if o.CalibImages == 0 {
+		o.CalibImages = 32
+	}
+	if o.MaxBits == 0 {
+		o.MaxBits = 16
+	}
+}
+
+// entry is one singleflight build slot: the first Get for a key creates
+// it, builds synchronously, then closes ready; concurrent callers wait.
+type entry struct {
+	key     Key
+	ready   chan struct{}
+	qm      *ptq.QuantizedModel
+	err     error
+	buildMS float64
+}
+
+// baseEntry is the per-config singleflight slot for the FP32 base model
+// and its calibration set, shared by every method/bits/regime entry of
+// that config.
+type baseEntry struct {
+	ready chan struct{}
+	model vit.Model
+	calib []*tensor.Tensor
+	err   error
+}
+
+// Registry lazily builds and caches quantized models. All methods are
+// safe for concurrent use.
+type Registry struct {
+	opts    RegistryOptions
+	met     *Metrics
+	configs map[string]vit.Config
+	names   []string // sorted config names
+
+	mu      sync.Mutex
+	bases   map[string]*baseEntry
+	entries map[Key]*entry
+}
+
+// NewRegistry builds a registry over the proxy zoo plus ViT-Nano.
+// met may be nil (no instrumentation).
+func NewRegistry(opts RegistryOptions, met *Metrics) *Registry {
+	opts.defaults()
+	r := &Registry{
+		opts:    opts,
+		met:     met,
+		configs: make(map[string]vit.Config),
+		bases:   make(map[string]*baseEntry),
+		entries: make(map[Key]*entry),
+	}
+	for _, cfg := range append(append([]vit.Config(nil), vit.ZooConfigs...), vit.ViTNano) {
+		r.configs[cfg.Name] = cfg
+		r.names = append(r.names, cfg.Name)
+	}
+	sort.Strings(r.names)
+	return r
+}
+
+// Config returns the zoo configuration for a model name.
+func (r *Registry) Config(name string) (vit.Config, bool) {
+	cfg, ok := r.configs[name]
+	return cfg, ok
+}
+
+// ConfigNames lists the servable models in sorted order.
+func (r *Registry) ConfigNames() []string { return append([]string(nil), r.names...) }
+
+// validate rejects malformed keys before they occupy a build slot.
+func (r *Registry) validate(key Key) error {
+	if _, ok := r.configs[key.Config]; !ok {
+		return fmt.Errorf("%w %q", ErrUnknownModel, key.Config)
+	}
+	if _, ok := newMethod(key.Method); !ok {
+		return fmt.Errorf("%w %q", ErrUnknownMethod, key.Method)
+	}
+	if key.Bits < 3 || key.Bits > r.opts.MaxBits {
+		return fmt.Errorf("%w: bits %d out of range [3, %d]", ErrBadRequest, key.Bits, r.opts.MaxBits)
+	}
+	if key.Regime != ptq.Partial && key.Regime != ptq.Full {
+		return fmt.Errorf("%w: unknown regime", ErrBadRequest)
+	}
+	return nil
+}
+
+// Get returns the quantized model for key, building it on first use.
+// Exactly one caller performs the build; concurrent callers block until
+// it finishes (or their context expires — the build itself is not
+// cancelled, since its result is cached for every future request).
+// The boolean reports whether the model was already cached.
+func (r *Registry) Get(ctx context.Context, key Key) (*ptq.QuantizedModel, bool, error) {
+	if err := r.validate(key); err != nil {
+		return nil, false, err
+	}
+	r.mu.Lock()
+	e, cached := r.entries[key]
+	if !cached {
+		e = &entry{key: key, ready: make(chan struct{})}
+		r.entries[key] = e
+	}
+	r.mu.Unlock()
+
+	if cached {
+		if r.met != nil {
+			r.met.CacheHits.Inc()
+		}
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+		return e.qm, true, e.err
+	}
+
+	if r.met != nil {
+		r.met.CacheMisses.Inc()
+	}
+	start := time.Now()
+	e.qm, e.err = r.build(key)
+	e.buildMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if r.met != nil {
+		r.met.BuildSeconds.Observe(time.Since(start).Seconds())
+	}
+	close(e.ready)
+	return e.qm, false, e.err
+}
+
+// build constructs the quantized model for a validated key.
+func (r *Registry) build(key Key) (*ptq.QuantizedModel, error) {
+	base, calib, err := r.baseModel(key.Config)
+	if err != nil {
+		return nil, err
+	}
+	method, _ := newMethod(key.Method)
+	return ptq.Quantize(base, method, ptq.CalibOptions{
+		Bits:              key.Bits,
+		Regime:            key.Regime,
+		Images:            calib,
+		MaxSamplesPerSite: r.opts.MaxSamplesPerSite,
+	})
+}
+
+// baseModel returns the FP32 base model and calibration set for a config,
+// building them once (their own singleflight: two different method keys
+// on the same config must not duplicate the work or diverge on seeds).
+func (r *Registry) baseModel(name string) (vit.Model, []*tensor.Tensor, error) {
+	r.mu.Lock()
+	be, ok := r.bases[name]
+	if !ok {
+		be = &baseEntry{ready: make(chan struct{})}
+		r.bases[name] = be
+	}
+	r.mu.Unlock()
+	if ok {
+		<-be.ready
+		return be.model, be.calib, be.err
+	}
+
+	cfg := r.configs[name]
+	seed := r.baseSeed(name)
+	if name == vit.ViTNano.Name && r.opts.Checkpoint != "" {
+		be.model, be.err = vit.LoadFile(cfg, r.opts.Checkpoint)
+	} else {
+		be.model = vit.New(cfg, seed)
+	}
+	if be.err == nil {
+		be.calib = data.CalibrationSet(cfg, r.opts.CalibImages, seed)
+	}
+	close(be.ready)
+	return be.model, be.calib, be.err
+}
+
+// baseSeed derives the per-config seed with the experiments' convention
+// (BuildZoo offsets the shared seed by 1000 per zoo position); ViT-Nano
+// sits after the zoo.
+func (r *Registry) baseSeed(name string) uint64 {
+	for i, cfg := range vit.ZooConfigs {
+		if cfg.Name == name {
+			return r.opts.Seed + uint64(i)*1000
+		}
+	}
+	return r.opts.Seed + uint64(len(vit.ZooConfigs))*1000
+}
+
+// EntryInfo is the /models view of one registry entry.
+type EntryInfo struct {
+	Key     string  `json:"key"`
+	Ready   bool    `json:"ready"`
+	Error   string  `json:"error,omitempty"`
+	BuildMS float64 `json:"build_ms,omitempty"`
+}
+
+// Entries snapshots the registry in deterministic (key-string) order.
+func (r *Registry) Entries() []EntryInfo {
+	r.mu.Lock()
+	list := make([]*entry, 0, len(r.entries))
+	// Map order is irrelevant here: the snapshot is sorted below.
+	for _, e := range r.entries {
+		list = append(list, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].key.String() < list[j].key.String() })
+	out := make([]EntryInfo, 0, len(list))
+	for _, e := range list {
+		info := EntryInfo{Key: e.key.String()}
+		select {
+		case <-e.ready:
+			info.Ready = e.err == nil
+			info.BuildMS = e.buildMS
+			if e.err != nil {
+				info.Error = e.err.Error()
+			}
+		default:
+		}
+		out = append(out, info)
+	}
+	return out
+}

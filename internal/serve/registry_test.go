@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"quq/internal/ptq"
+	"quq/internal/vit"
+)
+
+// testRegistryOptions keeps calibration cheap: ViT-Nano, 2 images, small
+// reservoirs.
+func testRegistryOptions() RegistryOptions {
+	return RegistryOptions{Seed: 7, CalibImages: 2, MaxSamplesPerSite: 2048}
+}
+
+func nanoKey(method string, regime ptq.Regime) Key {
+	return Key{Config: vit.ViTNano.Name, Method: method, Bits: 6, Regime: regime}
+}
+
+// TestRegistrySingleflight is the calibrate-exactly-once guarantee: 16
+// concurrent first requests for one key must produce one build (one
+// cache miss) and the identical *QuantizedModel pointer.
+func TestRegistrySingleflight(t *testing.T) {
+	met := NewMetrics()
+	r := NewRegistry(testRegistryOptions(), met)
+	key := nanoKey("BaseQ", ptq.Partial)
+
+	const callers = 16
+	models := make([]*ptq.QuantizedModel, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			qm, _, err := r.Get(context.Background(), key)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			models[i] = qm
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if models[i] != models[0] {
+			t.Fatal("concurrent Gets returned different model instances")
+		}
+	}
+	if got := met.CacheMisses.Value(); got != 1 {
+		t.Fatalf("cache misses = %d, want exactly 1 calibration", got)
+	}
+	if got := met.CacheHits.Value(); got != callers-1 {
+		t.Fatalf("cache hits = %d, want %d", got, callers-1)
+	}
+
+	// A second key on the same config reuses the base model: one more
+	// miss, no divergent base build.
+	if _, cached, err := r.Get(context.Background(), nanoKey("BaseQ", ptq.Full)); err != nil || cached {
+		t.Fatalf("second key: cached=%v err=%v", cached, err)
+	}
+	if got := met.CacheMisses.Value(); got != 2 {
+		t.Fatalf("cache misses after second key = %d, want 2", got)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	r := NewRegistry(testRegistryOptions(), nil)
+	cases := []Key{
+		{Config: "no-such-model", Method: "QUQ", Bits: 6, Regime: ptq.Partial},
+		{Config: vit.ViTNano.Name, Method: "no-such-method", Bits: 6, Regime: ptq.Partial},
+		{Config: vit.ViTNano.Name, Method: "QUQ", Bits: 2, Regime: ptq.Partial},
+		{Config: vit.ViTNano.Name, Method: "QUQ", Bits: 99, Regime: ptq.Partial},
+	}
+	for _, key := range cases {
+		if _, _, err := r.Get(context.Background(), key); err == nil {
+			t.Fatalf("key %v accepted, want validation error", key)
+		}
+	}
+	if _, err := ParseRegime("bogus"); err == nil {
+		t.Fatal("bogus regime accepted")
+	}
+	if reg, err := ParseRegime(""); err != nil || reg != ptq.Partial {
+		t.Fatalf("empty regime = %v, %v; want partial", reg, err)
+	}
+}
+
+func TestRegistryEntriesDeterministic(t *testing.T) {
+	r := NewRegistry(testRegistryOptions(), nil)
+	for _, m := range []string{"BaseQ", "QUQ"} {
+		if _, _, err := r.Get(context.Background(), nanoKey(m, ptq.Partial)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := r.Entries()
+	b := r.Entries()
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("entries = %d, want 2", len(a))
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key {
+			t.Fatal("two Entries snapshots ordered differently")
+		}
+		if !a[i].Ready {
+			t.Fatalf("entry %s not ready after Get returned", a[i].Key)
+		}
+	}
+	if a[0].Key >= a[1].Key {
+		t.Fatalf("entries not sorted: %s >= %s", a[0].Key, a[1].Key)
+	}
+}

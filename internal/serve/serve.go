@@ -1,0 +1,73 @@
+// Package serve is quq-serve's serving layer: a concurrent, batched
+// HTTP/JSON inference service over the repo's PTQ stack. It amortizes
+// the calibrate-once artifact the paper's whole premise rests on — a
+// ptq.QuantizedModel is built exactly once per (model, method, bits,
+// regime) key by a singleflight registry, then shared read-only across
+// every request (the concurrency contract documented on
+// ptq.QuantizedModel and vit.Model).
+//
+// The pieces:
+//
+//   - Registry (registry.go): lazily builds and caches quantized models,
+//     deduplicating concurrent first requests so each key calibrates
+//     exactly once;
+//   - Batcher (batcher.go): a micro-batching scheduler — requests land
+//     in a bounded queue, are coalesced per model key under a
+//     max-batch / max-linger deadline, and execute on a GOMAXPROCS-sized
+//     worker pool;
+//   - Server (server.go): the HTTP surface (POST /v1/classify,
+//     POST /v1/quantize, GET /models, /healthz, /metrics) with panic
+//     recovery, request size limits, per-request timeouts, queue
+//     backpressure (429) and graceful drain;
+//   - metrics (metrics/): the stdlib-only instrumentation behind
+//     /metrics.
+package serve
+
+import (
+	"quq/internal/serve/metrics"
+)
+
+// Metrics bundles every instrument the serving layer updates; the
+// /metrics endpoint renders the underlying registry.
+type Metrics struct {
+	Registry *metrics.Registry
+
+	// HTTP surface.
+	Requests *metrics.Counter   // requests accepted by any endpoint
+	Failures *metrics.Counter   // responses with a 5xx status
+	Rejected *metrics.Counter   // 429s from queue backpressure
+	Panics   *metrics.Counter   // handler/worker panics recovered
+	Latency  *metrics.Histogram // request wall time, seconds
+
+	// Micro-batching.
+	Images     *metrics.Counter   // images classified
+	BatchSize  *metrics.Histogram // images per dispatched batch
+	QueueDepth *metrics.Gauge     // items admitted and not yet finished
+
+	// Model registry.
+	CacheHits    *metrics.Counter   // registry lookups that found an entry
+	CacheMisses  *metrics.Counter   // lookups that triggered a calibration
+	BuildSeconds *metrics.Histogram // calibration wall time, seconds
+}
+
+// NewMetrics builds the full instrument set on a fresh registry.
+func NewMetrics() *Metrics {
+	r := metrics.NewRegistry()
+	return &Metrics{
+		Registry: r,
+
+		Requests: r.NewCounter("quq_serve_requests_total", "HTTP requests accepted"),
+		Failures: r.NewCounter("quq_serve_failures_total", "HTTP responses with status >= 500"),
+		Rejected: r.NewCounter("quq_serve_rejected_total", "requests rejected by queue backpressure (429)"),
+		Panics:   r.NewCounter("quq_serve_panics_total", "panics recovered in handlers or batch workers"),
+		Latency:  r.NewHistogram("quq_serve_request_seconds", "request latency in seconds", metrics.LatencyBuckets()),
+
+		Images:     r.NewCounter("quq_serve_images_total", "images classified"),
+		BatchSize:  r.NewHistogram("quq_serve_batch_size", "images per dispatched micro-batch", metrics.SizeBuckets()),
+		QueueDepth: r.NewGauge("quq_serve_queue_depth", "images admitted and not yet finished"),
+
+		CacheHits:    r.NewCounter("quq_serve_model_cache_hits_total", "registry lookups served from cache"),
+		CacheMisses:  r.NewCounter("quq_serve_model_cache_misses_total", "registry lookups that calibrated a model"),
+		BuildSeconds: r.NewHistogram("quq_serve_model_build_seconds", "model calibration wall time in seconds", metrics.LatencyBuckets()),
+	}
+}

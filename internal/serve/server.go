@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"quq/internal/data"
+	"quq/internal/ptq"
+	"quq/internal/tensor"
+	"quq/internal/vit"
+)
+
+// Config assembles the server from its tunables.
+type Config struct {
+	Registry RegistryOptions
+	Batcher  BatcherOptions
+	// RequestTimeout bounds one request end-to-end, including a
+	// first-request calibration (default 60s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps the request body (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxImagesPerRequest caps the images in one classify call
+	// (default 64).
+	MaxImagesPerRequest int
+}
+
+func (c *Config) defaults() {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxImagesPerRequest <= 0 {
+		c.MaxImagesPerRequest = 64
+	}
+}
+
+// Server is the HTTP inference service.
+type Server struct {
+	cfg     Config
+	met     *Metrics
+	reg     *Registry
+	bat     *Batcher
+	handler http.Handler
+}
+
+// New assembles the service.
+func New(cfg Config) *Server {
+	cfg.defaults()
+	met := NewMetrics()
+	s := &Server{
+		cfg: cfg,
+		met: met,
+		reg: NewRegistry(cfg.Registry, met),
+		bat: NewBatcher(cfg.Batcher, met),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	mux.HandleFunc("POST /v1/quantize", s.handleQuantize)
+	mux.HandleFunc("GET /models", s.handleModels)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handler = s.middleware(mux)
+	return s
+}
+
+// Handler returns the fully wrapped HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Registry exposes the model registry (introspection, warm-up, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics exposes the instrument set.
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Drain stops admission and waits for in-flight batches (graceful
+// shutdown; pair with http.Server.Shutdown).
+func (s *Server) Drain(ctx context.Context) error { return s.bat.Drain(ctx) }
+
+// middleware wraps the mux with, outermost first: panic recovery,
+// request accounting and latency, body size limiting, and the
+// per-request timeout context.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.met.Requests.Inc()
+		defer func() {
+			s.met.Latency.Observe(time.Since(start).Seconds())
+			if rec := recover(); rec != nil {
+				s.met.Panics.Inc()
+				s.met.Failures.Inc()
+				http.Error(w, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
+			}
+		}()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// modelRequest is the key-selecting part of a request body; zero values
+// pick the defaults (QUQ, 6 bits, partial — the paper's headline
+// setting).
+type modelRequest struct {
+	Model  string `json:"model"`
+	Method string `json:"method"`
+	Bits   int    `json:"bits"`
+	Regime string `json:"regime"`
+}
+
+// key validates and normalizes the selection.
+func (m *modelRequest) key() (Key, error) {
+	regime, err := ParseRegime(m.Regime)
+	if err != nil {
+		return Key{}, err
+	}
+	k := Key{Config: m.Model, Method: m.Method, Bits: m.Bits, Regime: regime}
+	if k.Config == "" {
+		k.Config = vit.ViTNano.Name
+	}
+	if k.Method == "" {
+		k.Method = "QUQ"
+	}
+	if k.Bits == 0 {
+		k.Bits = 6
+	}
+	return k, nil
+}
+
+type classifyRequest struct {
+	modelRequest
+	Images [][]float64 `json:"images"`
+}
+
+type classifyResult struct {
+	ArgMax int       `json:"argmax"`
+	Logits []float64 `json:"logits"`
+}
+
+type classifyResponse struct {
+	Key     string           `json:"key"`
+	Results []classifyResult `json:"results"`
+}
+
+// handleClassify decodes images, resolves (building if needed) the
+// quantized model, routes the images through the micro-batcher and
+// returns per-image logits.
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req classifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	if len(req.Images) == 0 {
+		s.writeError(w, fmt.Errorf("%w: no images", ErrBadRequest))
+		return
+	}
+	if len(req.Images) > s.cfg.MaxImagesPerRequest {
+		s.writeError(w, fmt.Errorf("%w: %d images exceeds the per-request limit %d",
+			ErrBadRequest, len(req.Images), s.cfg.MaxImagesPerRequest))
+		return
+	}
+	key, err := req.key()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	cfg, ok := s.reg.Config(key.Config)
+	if !ok {
+		s.writeError(w, fmt.Errorf("%w %q", ErrUnknownModel, key.Config))
+		return
+	}
+	images := make([]*tensor.Tensor, len(req.Images))
+	for i, flat := range req.Images {
+		img, err := data.ImageFromFlat(cfg, flat)
+		if err != nil {
+			s.writeError(w, fmt.Errorf("%w: image %d: %v", ErrBadRequest, i, err))
+			return
+		}
+		images[i] = img
+	}
+
+	qm, _, err := s.reg.Get(r.Context(), key)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	items, err := s.bat.Submit(key.String(), qm, images)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := Await(r.Context(), items); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := classifyResponse{Key: key.String(), Results: make([]classifyResult, len(items))}
+	for i, it := range items {
+		if it.Err != nil {
+			s.writeError(w, it.Err)
+			return
+		}
+		resp.Results[i] = classifyResult{ArgMax: it.Out.ArgMax(), Logits: it.Out.Data()}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+type quantizeResponse struct {
+	Key     string  `json:"key"`
+	Cached  bool    `json:"cached"`
+	BuildMS float64 `json:"build_ms"`
+}
+
+// handleQuantize warms a registry entry without classifying anything.
+func (s *Server) handleQuantize(w http.ResponseWriter, r *http.Request) {
+	var req modelRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	key, err := req.key()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	start := time.Now()
+	_, cached, err := s.reg.Get(r.Context(), key)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, quantizeResponse{
+		Key:     key.String(),
+		Cached:  cached,
+		BuildMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+type modelInfo struct {
+	Name      string `json:"name"`
+	Variant   string `json:"variant"`
+	ImageSize int    `json:"image_size"`
+	Channels  int    `json:"channels"`
+	Classes   int    `json:"classes"`
+	Pixels    int    `json:"pixels"` // flat image length /v1/classify expects
+}
+
+type modelsResponse struct {
+	Models  []modelInfo `json:"models"`
+	Methods []string    `json:"methods"`
+	Entries []EntryInfo `json:"entries"`
+}
+
+// handleModels lists servable configs, methods, and cached entries.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	resp := modelsResponse{Methods: MethodNames(), Entries: s.reg.Entries()}
+	for _, name := range s.reg.ConfigNames() {
+		cfg, _ := s.reg.Config(name)
+		resp.Models = append(resp.Models, modelInfo{
+			Name:      cfg.Name,
+			Variant:   cfg.Variant.String(),
+			ImageSize: cfg.ImageSize,
+			Channels:  cfg.Channels,
+			Classes:   cfg.Classes,
+			Pixels:    cfg.Channels * cfg.ImageSize * cfg.ImageSize,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.met.Registry.WriteText(w); err != nil {
+		// The client hung up mid-scrape; nothing useful left to do.
+		s.met.Failures.Inc()
+	}
+}
+
+// writeJSON writes a JSON response; an encode failure means the client
+// disconnected, which only the failure counter needs to know.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.met.Failures.Inc()
+	}
+}
+
+// writeError maps an error onto the HTTP status taxonomy: client
+// mistakes to 400, backpressure to 429 (with Retry-After), draining to
+// 503, timeouts to 504, everything else to 500.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		code = http.StatusGatewayTimeout
+	}
+	if code >= 500 {
+		s.met.Failures.Inc()
+	}
+	s.writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// compile-time link: the registry's products satisfy the classifier
+// interface the batch path relies on.
+var _ ptq.Classifier = (*ptq.QuantizedModel)(nil)

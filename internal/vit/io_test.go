@@ -1,0 +1,151 @@
+package vit
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"quq/internal/tensor"
+)
+
+// paramSnapshot copies every parameter slice into a name-keyed map.
+func paramSnapshot(m Model) map[string][]float64 {
+	out := make(map[string][]float64)
+	m.Params(func(name string, data []float64) {
+		out[name] = append([]float64(nil), data...)
+	})
+	return out
+}
+
+// TestSaveLoadRoundTripZoo round-trips every zoo config plus ViT-Nano
+// through the checkpoint container and demands bit-identical parameters.
+func TestSaveLoadRoundTripZoo(t *testing.T) {
+	configs := append([]Config{ViTNano}, ZooConfigs...)
+	for i, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			m := New(cfg, 2024+uint64(i)*1000)
+			var buf bytes.Buffer
+			if err := Save(m, &buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := Load(cfg, bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := paramSnapshot(m)
+			gotParams := paramSnapshot(got)
+			if len(want) != len(gotParams) {
+				t.Fatalf("param count: saved %d, loaded %d", len(want), len(gotParams))
+			}
+			for name, w := range want {
+				g, ok := gotParams[name]
+				if !ok {
+					t.Fatalf("loaded model missing parameter %q", name)
+				}
+				if len(g) != len(w) {
+					t.Fatalf("parameter %q: saved %d values, loaded %d", name, len(w), len(g))
+				}
+				for j := range w {
+					if g[j] != w[j] {
+						t.Fatalf("parameter %q[%d]: %v != %v (not bit-identical)", name, j, g[j], w[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSaveLoadForwardIdentity: a reloaded ViT-Nano must produce
+// bit-identical logits, which is what the serving checkpoint path
+// actually relies on.
+func TestSaveLoadForwardIdentity(t *testing.T) {
+	m := New(ViTNano, 99)
+	var buf bytes.Buffer
+	if err := Save(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(ViTNano, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.New(ViTNano.Channels, ViTNano.ImageSize, ViTNano.ImageSize)
+	for i := range img.Data() {
+		img.Data()[i] = float64(i%17)/17 - 0.5
+	}
+	want := m.Forward(img, ForwardOpts{}).Data()
+	out := got.Forward(img, ForwardOpts{}).Data()
+	for j := range want {
+		if out[j] != want[j] {
+			t.Fatalf("logit %d: %v != %v after reload", j, out[j], want[j])
+		}
+	}
+}
+
+// TestSaveFileLoadFile exercises the filesystem wrappers.
+func TestSaveFileLoadFile(t *testing.T) {
+	m := New(ViTNano, 7)
+	path := filepath.Join(t.TempDir(), "nano.ckpt")
+	if err := SaveFile(m, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(ViTNano, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := paramSnapshot(m)
+	for name, w := range paramSnapshot(got) {
+		for j := range w {
+			if w[j] != want[name][j] {
+				t.Fatalf("parameter %q differs after file round trip", name)
+			}
+		}
+	}
+	if _, err := LoadFile(ViTNano, filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Fatal("LoadFile on a missing path succeeded")
+	}
+}
+
+// TestLoadRejectsCorruptCheckpoints walks the error taxonomy: bad magic,
+// truncation, and architecture mismatch must all fail loudly rather
+// than produce a silently wrong model.
+func TestLoadRejectsCorruptCheckpoints(t *testing.T) {
+	m := New(ViTNano, 7)
+	var buf bytes.Buffer
+	if err := Save(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		copy(bad, "NOTAVIT0")
+		if _, err := Load(ViTNano, bytes.NewReader(bad)); err == nil ||
+			!strings.Contains(err.Error(), "magic") {
+			t.Fatalf("err = %v, want bad-magic error", err)
+		}
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{4, len(checkpointMagic) + 2, len(blob) / 2, len(blob) - 3} {
+			if _, err := Load(ViTNano, bytes.NewReader(blob[:n])); err == nil {
+				t.Fatalf("truncation at %d bytes accepted", n)
+			}
+		}
+	})
+
+	t.Run("config mismatch", func(t *testing.T) {
+		// A ViT-Nano checkpoint cannot populate a ViT-S: parameter shapes
+		// (and for Swin, names) differ.
+		if _, err := Load(ZooConfigs[0], bytes.NewReader(blob)); err == nil {
+			t.Fatal("ViT-Nano checkpoint loaded into ViT-S")
+		}
+	})
+
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Load(ViTNano, bytes.NewReader(nil)); err == nil {
+			t.Fatal("empty checkpoint accepted")
+		}
+	})
+}

@@ -9,6 +9,16 @@ import (
 
 // Model is the common interface of the ViT/DeiT and Swin implementations:
 // a classifier over single images with instrumentable internals.
+//
+// Concurrency: Forward, Config, NumBlocks and Features treat the model
+// as read-only — both implementations allocate every intermediate tensor
+// per call and never write to parameter storage — so a model may serve
+// concurrent Forward calls from multiple goroutines. Mutating operations
+// (ForEachWeight used for in-place weight quantization, Params used by
+// training and checkpoint loading, Clone's source enumeration) must not
+// run concurrently with Forward. Taps are invoked on the calling
+// goroutine; a Tap that closes over shared state needs its own
+// synchronization.
 type Model interface {
 	// Config returns the model's configuration.
 	Config() Config
