@@ -29,4 +29,23 @@ go run ./cmd/quq-serve -smoke
 # (batched vs unbatched img/s — batched must not be slower).
 go test -run '^$' -bench BenchmarkServeThroughput -benchtime 20x .
 
+# quq-shard smoke: 3 in-process quq-serve shards behind the
+# consistent-hash front-end — multi-key routing, one calibration per
+# key fleet-wide (asserted via merged /metrics), failover + ejection.
+go run ./cmd/quq-shard -smoke
+
+# Sharded throughput benchmark; regenerates artifacts/BENCH_shard.json
+# (direct vs proxied img/s).
+go test -run '^$' -bench BenchmarkShardThroughput -benchtime 5x .
+
+# Doc gate: ARCHITECTURE.md's package inventory must cover every
+# package in the module (quqvet's docmissing check covers the inverse:
+# every package documents itself in source).
+for pkg in $(go list ./...); do
+  grep -Fq -- "$pkg" ARCHITECTURE.md || {
+    echo "ARCHITECTURE.md: missing package $pkg" >&2
+    exit 1
+  }
+done
+
 gofmt -l . | tee /dev/stderr | wc -l | grep -qx 0

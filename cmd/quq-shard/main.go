@@ -1,0 +1,374 @@
+// Command quq-shard runs the consistent-hash sharding front-end: it
+// hashes each registry key (model, method, bits, regime) onto a ring of
+// quq-serve backends with bounded-load virtual nodes, proxies inference
+// to the owning shard, health-checks the fleet, and aggregates every
+// shard's /metrics into one deterministic cluster exposition.
+//
+// Usage:
+//
+//	quq-shard -backends host1:8642,host2:8642[,...] [-addr :8641] [flags]
+//	quq-shard -smoke    # spawn 3 in-process quq-serve shards, self-test
+//
+// Endpoints:
+//
+//	POST /v1/classify   proxied to the shard owning the request's key
+//	POST /v1/quantize   proxied likewise (warms exactly one shard)
+//	GET  /models        fleet-merged registry view
+//	GET  /shards        ring topology, per-backend health and load
+//	GET  /healthz       front-end liveness (503 when no shard is healthy)
+//	GET  /metrics       merged cluster exposition (front-end + shards)
+//
+// Retries with backoff apply only to connection failures; HTTP
+// responses — 429 backpressure above all — are relayed as-is.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"quq/internal/data"
+	"quq/internal/serve"
+	"quq/internal/serve/metrics"
+	"quq/internal/shard"
+	"quq/internal/vit"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8641", "listen address")
+		backends      = flag.String("backends", "", "comma-separated quq-serve backend addresses")
+		vnodes        = flag.Int("vnodes", 128, "virtual nodes per backend")
+		loadFactor    = flag.Float64("load-factor", 1.25, "bounded-load factor c (<= 0 disables load bounding)")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "health-probe period (<= 0 disables the probe loop)")
+		probeTimeout  = flag.Duration("probe-timeout", time.Second, "per-probe timeout")
+		failAfter     = flag.Int("fail-after", 2, "consecutive probe failures before ejection")
+		retries       = flag.Int("retries", 2, "connection-failure retries per backend (never retries HTTP responses)")
+		backoff       = flag.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per attempt)")
+		timeout       = flag.Duration("timeout", 120*time.Second, "per-request timeout, including first-request calibration")
+		maxBody       = flag.Int64("max-body", 8<<20, "request body size limit in bytes")
+		smoke         = flag.Bool("smoke", false, "spawn 3 in-process quq-serve shards and run the multi-key self-test")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+
+	opts := shard.Options{
+		VNodes:         *vnodes,
+		MaxLoadFactor:  *loadFactor,
+		ProbeInterval:  *probeInterval,
+		ProbeTimeout:   *probeTimeout,
+		FailAfter:      *failAfter,
+		Retries:        *retries,
+		RetryBackoff:   *backoff,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+	}
+
+	if *smoke {
+		if err := runSmoke(opts); err != nil {
+			log.Fatalf("smoke: %v", err)
+		}
+		log.Printf("smoke: ok")
+		return
+	}
+
+	if *backends == "" {
+		log.Fatal("quq-shard: -backends is required (or use -smoke)")
+	}
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			opts.Backends = append(opts.Backends, b)
+		}
+	}
+	if err := run(opts, *addr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run serves until SIGINT/SIGTERM, then shuts down gracefully.
+func run(opts shard.Options, addr string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	f := shard.New(opts)
+	defer f.Close()
+	httpSrv := &http.Server{Addr: addr, Handler: f.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("quq-shard listening on %s, %d backends", addr, len(opts.Backends))
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received; shutting down")
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("bye")
+	return nil
+}
+
+// smokeShard is one in-process quq-serve backend.
+type smokeShard struct {
+	srv     *serve.Server
+	httpSrv *http.Server
+	addr    string
+}
+
+// startShard boots one quq-serve instance on an ephemeral loopback port.
+func startShard(cfg serve.Config) (*smokeShard, error) {
+	s := serve.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	go func() {
+		// Serve exits with ErrServerClosed on Shutdown/Close; the smoke
+		// verdict comes from the round trips, not this goroutine.
+		_ = httpSrv.Serve(ln)
+	}()
+	return &smokeShard{srv: s, httpSrv: httpSrv, addr: ln.Addr().String()}, nil
+}
+
+// runSmoke is the acceptance demonstration: three shards, four registry
+// keys each calibrated on exactly one shard (proven by the aggregated
+// metrics), canonicalized spellings hitting the warm cache, then a
+// backend kill with failover and ejection.
+func runSmoke(opts shard.Options) error {
+	cfg := serve.Config{
+		Registry: serve.RegistryOptions{Seed: 2024, CalibImages: 2},
+	}
+	const nShards = 3
+	shards := make([]*smokeShard, nShards)
+	for i := range shards {
+		s, err := startShard(cfg)
+		if err != nil {
+			return fmt.Errorf("starting shard %d: %w", i, err)
+		}
+		shards[i] = s
+		opts.Backends = append(opts.Backends, s.addr)
+	}
+	defer func() {
+		for _, s := range shards {
+			_ = s.httpSrv.Close()
+		}
+	}()
+
+	// Probing is manual in the smoke so health transitions are
+	// deterministic; a single transport attempt keeps failover instant.
+	opts.ProbeInterval = -1
+	opts.Retries = -1
+	f := shard.New(opts)
+	defer f.Close()
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	front := &http.Server{Handler: f.Handler()}
+	go func() { _ = front.Serve(fln) }()
+	defer front.Close()
+	base := "http://" + fln.Addr().String()
+	log.Printf("smoke: front-end %s over %d shards", base, nShards)
+
+	// Four distinct registry keys on the cheap ViT-Nano config. The
+	// third deliberately uses sloppy spelling: canonicalization must map
+	// it to the same shard (and later the same cache entry) as "BaseQ".
+	img := data.Images(vit.ViTNano, 1, 4242)[0].Data()
+	selections := []map[string]any{
+		{"model": "ViT-Nano", "method": "QUQ", "bits": 6},
+		{"model": "ViT-Nano", "method": "BaseQ", "bits": 6},
+		{"model": "vit-nano", "method": "baseq", "bits": 4},
+		{"model": "ViT-Nano", "method": "FQ-ViT", "bits": 6},
+	}
+	served := map[string]string{} // key -> shard addr
+	for _, sel := range selections {
+		sel["images"] = [][]float64{img}
+		key, addr, err := classifyVia(base, sel)
+		if err != nil {
+			return err
+		}
+		served[key] = addr
+		log.Printf("smoke: %-28s -> shard %s", key, addr)
+	}
+	if len(served) != len(selections) {
+		return fmt.Errorf("expected %d distinct keys, saw %d", len(selections), len(served))
+	}
+
+	// Replay the first key with a different spelling: same shard, and —
+	// proven below via cache-miss counters — no recalibration.
+	warm := map[string]any{"model": "VIT-NANO", "method": "quq", "bits": 6, "regime": "Partial",
+		"images": [][]float64{img}}
+	key, addr, err := classifyVia(base, warm)
+	if err != nil {
+		return err
+	}
+	if served[key] == "" || served[key] != addr {
+		return fmt.Errorf("respelled key %s routed to %s, originally %s", key, addr, served[key])
+	}
+
+	// Aggregated metrics: exactly one calibration per distinct key
+	// fleet-wide, and at least one cache hit from the respelled replay.
+	page, err := scrapeMetrics(base)
+	if err != nil {
+		return err
+	}
+	if misses, ok := page.Scalar("quq_serve_model_cache_misses_total"); !ok || misses != float64(len(selections)) {
+		return fmt.Errorf("aggregated cache misses = %v (ok=%v), want %d: a key calibrated on more than one shard",
+			misses, ok, len(selections))
+	}
+	if hits, ok := page.Scalar("quq_serve_model_cache_hits_total"); !ok || hits < 1 {
+		return fmt.Errorf("aggregated cache hits = %v (ok=%v), want >= 1", hits, ok)
+	}
+	log.Printf("smoke: aggregated metrics confirm %d keys, each calibrated exactly once", len(selections))
+
+	// Kill the shard owning the first key: the survivors must serve it.
+	victimKey, victimAddr := "", ""
+	for k, a := range served {
+		victimKey, victimAddr = k, a
+		break
+	}
+	for k, a := range served {
+		if k < victimKey { // deterministic choice: lowest key
+			victimKey, victimAddr = k, a
+		}
+	}
+	var victimSel map[string]any
+	for _, sel := range selections {
+		k, err := keyOf(sel)
+		if err != nil {
+			return fmt.Errorf("canonicalizing smoke selection: %w", err)
+		}
+		if k == victimKey {
+			victimSel = sel
+		}
+	}
+	for _, s := range shards {
+		if "http://"+s.addr == victimAddr {
+			_ = s.httpSrv.Close()
+		}
+	}
+	log.Printf("smoke: killed shard %s (owned %s)", victimAddr, victimKey)
+
+	_, failoverAddr, err := classifyVia(base, victimSel)
+	if err != nil {
+		return fmt.Errorf("failover classify: %w", err)
+	}
+	if failoverAddr == victimAddr {
+		return fmt.Errorf("key %s still served by the killed shard", victimKey)
+	}
+	if got := f.Metrics().Ejections.Value(); got != 1 {
+		return fmt.Errorf("ejections = %d, want 1", got)
+	}
+	log.Printf("smoke: %s failed over to %s", victimKey, failoverAddr)
+
+	// A probe round confirms the fleet view: two healthy survivors.
+	f.ProbeNow()
+	var hz struct {
+		Healthy  int `json:"healthy"`
+		Backends int `json:"backends"`
+	}
+	if err := getJSON(base+"/healthz", &hz); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if hz.Healthy != nShards-1 || hz.Backends != nShards {
+		return fmt.Errorf("healthz = %+v, want %d/%d healthy", hz, nShards-1, nShards)
+	}
+	log.Printf("smoke: healthz reports %d/%d shards healthy after ejection", hz.Healthy, hz.Backends)
+	return nil
+}
+
+// keyOf canonicalizes one smoke selection the same way the front-end
+// does.
+func keyOf(sel map[string]any) (string, error) {
+	bits, _ := sel["bits"].(int)
+	model, _ := sel["model"].(string)
+	method, _ := sel["method"].(string)
+	regime, _ := sel["regime"].(string)
+	key, err := serve.KeyFromWire(model, method, bits, regime)
+	if err != nil {
+		return "", err
+	}
+	return key.String(), nil
+}
+
+// classifyVia posts one classify request through the front-end,
+// returning the served key and the shard that handled it.
+func classifyVia(base string, sel map[string]any) (key, addr string, err error) {
+	buf, err := json.Marshal(sel)
+	if err != nil {
+		return "", "", err
+	}
+	resp, err := http.Post(base+"/v1/classify", "application/json", strings.NewReader(string(buf)))
+	if err != nil {
+		return "", "", err
+	}
+	var out struct {
+		Key     string `json:"key"`
+		Results []struct {
+			ArgMax int `json:"argmax"`
+		} `json:"results"`
+	}
+	derr := json.NewDecoder(resp.Body).Decode(&out)
+	if cerr := resp.Body.Close(); cerr != nil && derr == nil {
+		derr = cerr
+	}
+	if derr != nil {
+		return "", "", derr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", "", fmt.Errorf("classify: status %d", resp.StatusCode)
+	}
+	if len(out.Results) != 1 {
+		return "", "", fmt.Errorf("classify: %d results, want 1", len(out.Results))
+	}
+	return out.Key, resp.Header.Get(shard.BackendHeader), nil
+}
+
+// scrapeMetrics fetches and parses the front-end's aggregated
+// exposition.
+func scrapeMetrics(base string) (*metrics.Exposition, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	page, perr := metrics.ParseText(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil && perr == nil {
+		perr = cerr
+	}
+	if perr != nil {
+		return nil, perr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: status %d", resp.StatusCode)
+	}
+	return page, nil
+}
+
+// getJSON fetches and decodes one JSON page, tolerating non-200
+// statuses (healthz deliberately returns 503 with a body).
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	derr := json.NewDecoder(resp.Body).Decode(out)
+	if cerr := resp.Body.Close(); cerr != nil && derr == nil {
+		derr = cerr
+	}
+	return derr
+}

@@ -42,7 +42,7 @@ type Analyzer struct {
 
 // Analyzers returns the quqvet registry in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{IntOnly, Pow2, DetIter, ErrDrop, PanicAudit, Directives}
+	return []*Analyzer{IntOnly, Pow2, DetIter, ErrDrop, PanicAudit, DocMissing, Directives}
 }
 
 // Diagnostic is one finding.

@@ -160,6 +160,18 @@ func TestPanicAuditSkipsMain(t *testing.T) {
 	}
 }
 
+func TestDocMissingFixture(t *testing.T) {
+	runFixture(t, DocMissing, "docmissing", "quq/internal/docmissing")
+}
+
+func TestDocMissingMalformedFixture(t *testing.T) {
+	runFixture(t, DocMissing, "docmissingbad", "quq/internal/docmissingbad")
+}
+
+func TestDocMissingConformingFixture(t *testing.T) {
+	runFixture(t, DocMissing, "docmissingok", "quq/internal/docmissingok")
+}
+
 func TestDirectiveFixture(t *testing.T) {
 	runFixture(t, Directives, "directive", "quq/internal/directivefixture")
 }
@@ -197,7 +209,7 @@ func TestRegistry(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"intonly", "pow2", "detiter", "errdrop", "panicaudit", "directive"} {
+	for _, want := range []string{"intonly", "pow2", "detiter", "errdrop", "panicaudit", "docmissing", "directive"} {
 		if !names[want] {
 			t.Fatalf("registry missing %q", want)
 		}

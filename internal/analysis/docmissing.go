@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DocMissing enforces the repo's documentation contract: every package
+// opens with a godoc package comment naming its role — for library
+// packages one starting "Package <name> ..." (the godoc convention, and
+// what ARCHITECTURE.md's inventory is generated against), for commands
+// any package doc (idiomatically "Command <name> ..."). The check has no
+// suppression directive: a package either documents itself or fails vet.
+var DocMissing = &Analyzer{
+	Name: "docmissing",
+	Doc:  "every package must carry a package doc comment (library docs start \"Package <name>\")",
+	Run:  runDocMissing,
+}
+
+func runDocMissing(pass *Pass) {
+	if len(pass.Files) == 0 {
+		return
+	}
+	var documented []*ast.File
+	for _, f := range pass.Files {
+		if f.Doc != nil {
+			documented = append(documented, f)
+		}
+	}
+	name := pass.Files[0].Name.Name
+
+	if len(documented) == 0 {
+		// Anchor the finding on the lexicographically first file so the
+		// diagnostic position is stable regardless of load order.
+		first := pass.Files[0]
+		for _, f := range pass.Files[1:] {
+			if pass.Fset.Position(f.Package).Filename < pass.Fset.Position(first.Package).Filename {
+				first = f
+			}
+		}
+		pass.Reportf(first.Package, "package %s has no package doc comment; document its paper section or serving role", name)
+		return
+	}
+	if name == "main" {
+		return
+	}
+	want := "Package " + name
+	for _, f := range documented {
+		text := strings.TrimSpace(f.Doc.Text())
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return
+		}
+	}
+	pass.Reportf(documented[0].Doc.Pos(), "package doc comment must start with %q (godoc convention)", want)
+}

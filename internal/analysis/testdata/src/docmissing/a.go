@@ -1,0 +1,3 @@
+package docmissing // want `package docmissing has no package doc comment`
+
+func A() int { return 1 }

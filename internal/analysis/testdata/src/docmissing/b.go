@@ -1,0 +1,4 @@
+package docmissing
+
+// B is documented, but the package itself is not.
+func B() int { return 2 }

@@ -1,0 +1,5 @@
+// This package comment exists but ignores the godoc convention. // want `package doc comment must start with "Package docmissingbad"`
+// More prose that still never names the package.
+package docmissingbad
+
+func Bad() int { return 3 }

@@ -1,0 +1,7 @@
+// Package docmissingok demonstrates a conforming package comment: one
+// file opens with the godoc-conventional sentence, and that satisfies
+// the check for the whole package.
+package docmissingok
+
+// Ok does nothing interesting.
+func Ok() int { return 4 }

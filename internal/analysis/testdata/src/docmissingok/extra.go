@@ -1,0 +1,4 @@
+package docmissingok
+
+// Extra lives in a docless file; doc.go documents the package.
+func Extra() int { return 5 }

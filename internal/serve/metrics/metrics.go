@@ -114,7 +114,15 @@ func (h *Histogram) Quantile(q float64) float64 {
 }
 
 func (h *Histogram) quantileLocked(q float64) float64 {
-	if h.n == 0 {
+	return bucketQuantile(h.bounds, h.counts, h.n, q)
+}
+
+// bucketQuantile estimates the q-quantile from per-bucket counts (len
+// bounds+1, last bucket overflow) by linear interpolation inside the
+// containing bucket. It is shared by live Histograms and by merged
+// Expositions so both report identical quantile semantics.
+func bucketQuantile(bounds []float64, counts []uint64, n uint64, q float64) float64 {
+	if n == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -123,21 +131,21 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	rank := q * float64(h.n)
+	rank := q * float64(n)
 	var cum float64
-	for i, c := range h.counts {
+	for i, c := range counts {
 		next := cum + float64(c)
 		if next >= rank && c > 0 {
 			lo := 0.0
 			if i > 0 {
-				lo = h.bounds[i-1]
+				lo = bounds[i-1]
 			}
-			if i >= len(h.bounds) {
+			if i >= len(bounds) {
 				// Overflow bucket: no finite upper bound to interpolate
 				// toward; report the last bound as a floor.
-				return h.bounds[len(h.bounds)-1]
+				return bounds[len(bounds)-1]
 			}
-			hi := h.bounds[i]
+			hi := bounds[i]
 			frac := (rank - cum) / float64(c)
 			if math.IsNaN(frac) || frac < 0 {
 				frac = 0
@@ -146,7 +154,7 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 		}
 		cum = next
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 func (h *Histogram) write(w io.Writer) error {

@@ -47,6 +47,98 @@ func ParseRegime(s string) (ptq.Regime, error) {
 // /models advertises.
 var methodNames = []string{"QUQ", "BaseQ", "PTQ4ViT", "APQ-ViT", "FQ-ViT", "BiScaled-FxP"}
 
+// canonicalNames maps the lower-cased spelling of every method and model
+// name to its canonical form. Key canonicalization is load-bearing for
+// sharding: quq-shard hashes the canonical key string onto the ring, so
+// "Quq" and "quq" must resolve to one spelling (and one shard) before
+// hashing, not after.
+var canonicalNames = sync.OnceValue(func() map[string]string {
+	m := make(map[string]string)
+	for _, name := range methodNames {
+		m[strings.ToLower(name)] = name
+	}
+	for _, cfg := range append(append([]vit.Config(nil), vit.ZooConfigs...), vit.ViTNano) {
+		m[strings.ToLower(cfg.Name)] = cfg.Name
+	}
+	return m
+})
+
+// CanonicalMethod resolves a wire method name, case-insensitively, to
+// its canonical registry spelling; the empty string defaults to QUQ.
+func CanonicalMethod(name string) (string, bool) {
+	if name == "" {
+		return "QUQ", true
+	}
+	canon, ok := canonicalNames()[strings.ToLower(name)]
+	return canon, ok && isMethod(canon)
+}
+
+// CanonicalConfig resolves a wire model name, case-insensitively, to its
+// canonical zoo spelling; the empty string defaults to ViT-Nano.
+func CanonicalConfig(name string) (string, bool) {
+	if name == "" {
+		return vit.ViTNano.Name, true
+	}
+	canon, ok := canonicalNames()[strings.ToLower(name)]
+	return canon, ok && !isMethod(canon)
+}
+
+func isMethod(canon string) bool {
+	for _, name := range methodNames {
+		if name == canon {
+			return true
+		}
+	}
+	return false
+}
+
+// Key bit-width protocol bounds: ptq enforces the lower bound, the
+// default RegistryOptions.MaxBits the upper. CanonicalKey applies both so
+// a front-end can reject garbage before hashing.
+const (
+	MinBits = 3
+	MaxBits = 16
+)
+
+// CanonicalKey fills a key's defaults (ViT-Nano, QUQ, 6 bits) and
+// normalizes model/method spelling, rejecting unknown enum values and
+// out-of-protocol bit-widths. Every key is canonicalized before it is
+// hashed (quq-shard) or used as a cache key (Registry.Get), so the two
+// can never disagree on identity.
+func CanonicalKey(k Key) (Key, error) {
+	cfg, ok := CanonicalConfig(k.Config)
+	if !ok {
+		return Key{}, fmt.Errorf("%w %q", ErrUnknownModel, k.Config)
+	}
+	k.Config = cfg
+	method, ok := CanonicalMethod(k.Method)
+	if !ok {
+		return Key{}, fmt.Errorf("%w %q", ErrUnknownMethod, k.Method)
+	}
+	k.Method = method
+	if k.Bits == 0 {
+		k.Bits = 6
+	}
+	if k.Bits < MinBits || k.Bits > MaxBits {
+		return Key{}, fmt.Errorf("%w: bits %d out of range [%d, %d]", ErrBadRequest, k.Bits, MinBits, MaxBits)
+	}
+	if k.Regime != ptq.Partial && k.Regime != ptq.Full {
+		return Key{}, fmt.Errorf("%w: unknown regime", ErrBadRequest)
+	}
+	return k, nil
+}
+
+// KeyFromWire canonicalizes the wire form of a key selection — the
+// (model, method, bits, regime) fields of a classify/quantize body —
+// shared by the serving layer and the quq-shard front-end.
+func KeyFromWire(model, method string, bits int, regime string) (Key, error) {
+	rg, err := ParseRegime(regime)
+	if err != nil {
+		return Key{}, err
+	}
+	return CanonicalKey(Key{Config: model, Method: method, Bits: bits, Regime: rg})
+}
+
 func newMethod(name string) (ptq.Method, bool) {
 	switch name {
 	case "", "QUQ":
@@ -185,11 +277,17 @@ func (r *Registry) validate(key Key) error {
 }
 
 // Get returns the quantized model for key, building it on first use.
-// Exactly one caller performs the build; concurrent callers block until
-// it finishes (or their context expires — the build itself is not
-// cancelled, since its result is cached for every future request).
-// The boolean reports whether the model was already cached.
+// The key is canonicalized first, so two spellings of one selection can
+// never occupy two build slots. Exactly one caller performs the build;
+// concurrent callers block until it finishes (or their context expires —
+// the build itself is not cancelled, since its result is cached for
+// every future request). The boolean reports whether the model was
+// already cached.
 func (r *Registry) Get(ctx context.Context, key Key) (*ptq.QuantizedModel, bool, error) {
+	key, err := CanonicalKey(key)
+	if err != nil {
+		return nil, false, err
+	}
 	if err := r.validate(key); err != nil {
 		return nil, false, err
 	}

@@ -86,6 +86,74 @@ func TestRegistryValidation(t *testing.T) {
 	}
 }
 
+// TestCanonicalKey pins the canonical form: case-insensitive model and
+// method spelling, defaults for empty fields, and rejection of unknown
+// enum values. The canonical string is what quq-shard hashes, so "Quq"
+// and "quq" resolving to one spelling is what keeps one selection on one
+// shard.
+func TestCanonicalKey(t *testing.T) {
+	for _, c := range []struct {
+		model, method string
+		bits          int
+		regime        string
+		want          string
+	}{
+		{"", "", 0, "", "ViT-Nano/QUQ/w6a6/partial"},
+		{"vit-nano", "quq", 6, "partial", "ViT-Nano/QUQ/w6a6/partial"},
+		{"VIT-NANO", "Quq", 6, "PARTIAL", "ViT-Nano/QUQ/w6a6/partial"},
+		{"ViT-S", "fq-vit", 8, "Full", "ViT-S/FQ-ViT/w8a8/full"},
+		{"swin-t", "biscaled-fxp", 4, "", "Swin-T/BiScaled-FxP/w4a4/partial"},
+	} {
+		key, err := KeyFromWire(c.model, c.method, c.bits, c.regime)
+		if err != nil {
+			t.Fatalf("KeyFromWire(%q, %q, %d, %q): %v", c.model, c.method, c.bits, c.regime, err)
+		}
+		if key.String() != c.want {
+			t.Errorf("KeyFromWire(%q, %q, %d, %q) = %s; want %s",
+				c.model, c.method, c.bits, c.regime, key, c.want)
+		}
+	}
+
+	for _, c := range []struct {
+		model, method string
+		bits          int
+		regime        string
+	}{
+		{"no-such-model", "QUQ", 6, ""},
+		{"ViT-Nano", "no-such-method", 6, ""},
+		{"ViT-Nano", "QUQ", 2, ""},
+		{"ViT-Nano", "QUQ", 17, ""},
+		{"ViT-Nano", "QUQ", 6, "bogus"},
+		// A method name where a model belongs (and vice versa) must not
+		// canonicalize across namespaces.
+		{"QUQ", "QUQ", 6, ""},
+		{"ViT-Nano", "ViT-S", 6, ""},
+	} {
+		if key, err := KeyFromWire(c.model, c.method, c.bits, c.regime); err == nil {
+			t.Errorf("KeyFromWire(%q, %q, %d, %q) = %s; want error",
+				c.model, c.method, c.bits, c.regime, key)
+		}
+	}
+}
+
+// TestRegistryCanonicalizationDedupes proves the fix at the cache level:
+// two spellings of one selection share a single build slot.
+func TestRegistryCanonicalizationDedupes(t *testing.T) {
+	met := NewMetrics()
+	r := NewRegistry(testRegistryOptions(), met)
+	for _, method := range []string{"BaseQ", "baseq", "BASEQ"} {
+		if _, _, err := r.Get(context.Background(), nanoKey(method, ptq.Partial)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := met.CacheMisses.Value(); got != 1 {
+		t.Fatalf("cache misses across spellings = %d, want exactly 1", got)
+	}
+	if entries := r.Entries(); len(entries) != 1 {
+		t.Fatalf("registry entries = %d, want 1 canonical entry", len(entries))
+	}
+}
+
 func TestRegistryEntriesDeterministic(t *testing.T) {
 	r := NewRegistry(testRegistryOptions(), nil)
 	for _, m := range []string{"BaseQ", "QUQ"} {

@@ -11,7 +11,6 @@ import (
 	"quq/internal/data"
 	"quq/internal/ptq"
 	"quq/internal/tensor"
-	"quq/internal/vit"
 )
 
 // Config assembles the server from its tunables.
@@ -114,23 +113,11 @@ type modelRequest struct {
 	Regime string `json:"regime"`
 }
 
-// key validates and normalizes the selection.
+// key validates and canonicalizes the selection (defaults, spelling,
+// enum membership) via the same KeyFromWire the quq-shard front-end
+// hashes with, so routing and caching always agree on key identity.
 func (m *modelRequest) key() (Key, error) {
-	regime, err := ParseRegime(m.Regime)
-	if err != nil {
-		return Key{}, err
-	}
-	k := Key{Config: m.Model, Method: m.Method, Bits: m.Bits, Regime: regime}
-	if k.Config == "" {
-		k.Config = vit.ViTNano.Name
-	}
-	if k.Method == "" {
-		k.Method = "QUQ"
-	}
-	if k.Bits == 0 {
-		k.Bits = 6
-	}
-	return k, nil
+	return KeyFromWire(m.Model, m.Method, m.Bits, m.Regime)
 }
 
 type classifyRequest struct {

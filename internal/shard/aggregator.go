@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"quq/internal/serve/metrics"
+)
+
+// handleMetrics renders the cluster view: the front-end's own
+// instruments merged with every healthy backend's /metrics exposition.
+// Scrapes fan out concurrently; merging is commutative sums and the
+// final rendering is sorted by name, so the page is byte-deterministic
+// for a given fleet state regardless of scrape arrival order.
+func (f *Front) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	merged, err := f.aggregate(r.Context())
+	if err != nil {
+		f.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := merged.WriteText(w); err != nil {
+		// The client hung up mid-scrape; nothing useful left to do.
+		f.met.Failures.Inc()
+	}
+}
+
+// aggregate scrapes and merges the fleet. A backend that fails to
+// scrape is skipped (and counted): a flapping backend must not take the
+// whole cluster view down with it.
+func (f *Front) aggregate(ctx context.Context) (*metrics.Exposition, error) {
+	f.met.Healthy.Set(int64(f.ring.HealthyCount()))
+
+	backends := f.ring.Backends() // sorted by address
+	pages := make([]*metrics.Exposition, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		if !b.Healthy() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *Backend) {
+			defer wg.Done()
+			page, err := f.scrape(ctx, b)
+			if err != nil {
+				f.met.ScrapeErrors.Inc()
+				return
+			}
+			pages[i] = page
+		}(i, b)
+	}
+	wg.Wait()
+
+	// Merge after the fan-in, in backend-address order. Merge is
+	// commutative, so the order only matters for error attribution.
+	merged := metrics.NewExposition()
+	var own bytes.Buffer
+	if err := f.met.Registry.WriteText(&own); err != nil {
+		return nil, err
+	}
+	ownPage, err := metrics.ParseText(&own)
+	if err != nil {
+		return nil, err
+	}
+	if err := merged.Merge(ownPage); err != nil {
+		return nil, err
+	}
+	for i, page := range pages {
+		if page == nil {
+			continue
+		}
+		if err := merged.Merge(page); err != nil {
+			return nil, fmt.Errorf("merging %s: %w", backends[i].Addr(), err)
+		}
+	}
+	return merged, nil
+}
+
+// scrape fetches and parses one backend's exposition.
+func (f *Front) scrape(ctx context.Context, b *Backend) (*metrics.Exposition, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.addr+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	page, err := metrics.ParseText(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s/metrics: status %d", b.addr, resp.StatusCode)
+	}
+	return page, nil
+}

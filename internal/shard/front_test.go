@@ -1,0 +1,391 @@
+package shard_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"quq/internal/serve/metrics"
+	"quq/internal/shard"
+)
+
+// fakeBackend is a minimal stand-in for quq-serve: it records how many
+// classify requests it saw, answers /healthz according to a switch, and
+// serves a small metrics page.
+type fakeBackend struct {
+	srv      *httptest.Server
+	requests atomic.Int64
+	healthy  atomic.Bool
+	status   atomic.Int64 // classify status code; 0 means 200
+}
+
+func newFakeBackend(t *testing.T, name string) *fakeBackend {
+	t.Helper()
+	fb := &fakeBackend{}
+	fb.healthy.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
+		fb.requests.Add(1)
+		code := int(fb.status.Load())
+		if code == 0 {
+			code = http.StatusOK
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		w.WriteHeader(code)
+		fmt.Fprintf(w, `{"backend":%q}`, name)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !fb.healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(w, "# HELP quq_serve_requests_total fake\nquq_serve_requests_total %d\n", fb.requests.Load())
+	})
+	fb.srv = httptest.NewServer(mux)
+	t.Cleanup(fb.srv.Close)
+	return fb
+}
+
+// newFront builds a front-end over the given backends with background
+// probing disabled and no transport retries, so every health transition
+// in a test is explicit.
+func newFront(t *testing.T, backends ...*fakeBackend) (*shard.Front, []string) {
+	t.Helper()
+	addrs := make([]string, len(backends))
+	for i, b := range backends {
+		addrs[i] = b.srv.URL
+	}
+	f := shard.New(shard.Options{
+		Backends:      addrs,
+		ProbeInterval: -1,
+		Retries:       -1,
+		RetryBackoff:  1,
+	})
+	t.Cleanup(f.Close)
+	return f, addrs
+}
+
+func classify(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/classify", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// TestFrontRoutesDeterministically: the backend that serves a key is the
+// ring owner, and repeated requests for the same key never move while
+// the fleet is stable.
+func TestFrontRoutesDeterministically(t *testing.T) {
+	b0, b1, b2 := newFakeBackend(t, "b0"), newFakeBackend(t, "b1"), newFakeBackend(t, "b2")
+	f, _ := newFront(t, b0, b1, b2)
+
+	seen := map[string]string{}
+	for _, model := range []string{"ViT-Nano", "ViT-S", "Swin-T", "DeiT-B"} {
+		body := fmt.Sprintf(`{"model":%q,"method":"QUQ","bits":6}`, model)
+		var first string
+		for i := 0; i < 3; i++ {
+			w := classify(t, f.Handler(), body)
+			if w.Code != http.StatusOK {
+				t.Fatalf("classify %s: status %d: %s", model, w.Code, w.Body)
+			}
+			got := w.Header().Get(shard.BackendHeader)
+			if got == "" {
+				t.Fatal("response missing backend header")
+			}
+			if first == "" {
+				first = got
+			} else if got != first {
+				t.Fatalf("key %s moved %s -> %s on a stable fleet", model, first, got)
+			}
+		}
+		seen[model] = first
+		key := fmt.Sprintf("%s/QUQ/w6a6/partial", model)
+		owner, _ := f.Ring().Owner(key)
+		if owner.Addr() != first {
+			t.Fatalf("key %s served by %s but ring owner is %s", key, first, owner.Addr())
+		}
+	}
+}
+
+// TestFrontCanonicalizesBeforeHashing: "quq"/"Quq"/"QUQ" (and model-case
+// variants) are one key, hence one backend — the canonicalization
+// contract that keeps routing and backend caching in agreement.
+func TestFrontCanonicalizesBeforeHashing(t *testing.T) {
+	b0, b1, b2 := newFakeBackend(t, "b0"), newFakeBackend(t, "b1"), newFakeBackend(t, "b2")
+	f, _ := newFront(t, b0, b1, b2)
+
+	variants := []string{
+		`{"model":"ViT-S","method":"QUQ","bits":6}`,
+		`{"model":"vit-s","method":"quq","bits":6}`,
+		`{"model":"VIT-S","method":"Quq","bits":6,"regime":"Partial"}`,
+	}
+	var want string
+	for i, body := range variants {
+		w := classify(t, f.Handler(), body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("variant %d: status %d: %s", i, w.Code, w.Body)
+		}
+		got := w.Header().Get(shard.BackendHeader)
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("spelling variant %d routed to %s, canonical went to %s", i, got, want)
+		}
+	}
+}
+
+// TestFrontRejectsUnknownEnums: bogus model/method/bits/regime are 400s
+// at the front-end — no backend ever sees them.
+func TestFrontRejectsUnknownEnums(t *testing.T) {
+	b0, b1 := newFakeBackend(t, "b0"), newFakeBackend(t, "b1")
+	f, _ := newFront(t, b0, b1)
+
+	bad := []string{
+		`{"model":"ResNet-50","method":"QUQ"}`,
+		`{"model":"ViT-S","method":"GPTQ"}`,
+		`{"model":"ViT-S","method":"QUQ","bits":2}`,
+		`{"model":"ViT-S","method":"QUQ","bits":17}`,
+		`{"model":"ViT-S","method":"QUQ","regime":"turbo"}`,
+		`not json`,
+	}
+	for _, body := range bad {
+		w := classify(t, f.Handler(), body)
+		if w.Code != http.StatusBadRequest {
+			t.Fatalf("body %s: status %d, want 400", body, w.Code)
+		}
+	}
+	if n := b0.requests.Load() + b1.requests.Load(); n != 0 {
+		t.Fatalf("backends saw %d requests for invalid selections", n)
+	}
+}
+
+// TestFrontPropagatesBackpressure: a backend 429 is relayed with its
+// Retry-After, counted, and — critically — never retried or failed over:
+// exactly one backend attempt.
+func TestFrontPropagatesBackpressure(t *testing.T) {
+	b0, b1 := newFakeBackend(t, "b0"), newFakeBackend(t, "b1")
+	b0.status.Store(http.StatusTooManyRequests)
+	b1.status.Store(http.StatusTooManyRequests)
+	f, _ := newFront(t, b0, b1)
+
+	w := classify(t, f.Handler(), `{"model":"ViT-S","method":"QUQ","bits":6}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 relayed without Retry-After")
+	}
+	if n := b0.requests.Load() + b1.requests.Load(); n != 1 {
+		t.Fatalf("backpressured request hit backends %d times, want exactly 1", n)
+	}
+	if got := f.Metrics().Backpressure.Value(); got != 1 {
+		t.Fatalf("backpressure counter = %d, want 1", got)
+	}
+}
+
+// TestFrontFailsOverOnConnectionFailure: killing the owning backend
+// ejects it passively and the survivor serves its keys; a later probe
+// round readmits a recovered backend.
+func TestFrontFailsOverOnConnectionFailure(t *testing.T) {
+	b0, b1, b2 := newFakeBackend(t, "b0"), newFakeBackend(t, "b1"), newFakeBackend(t, "b2")
+	f, _ := newFront(t, b0, b1, b2)
+
+	body := `{"model":"ViT-S","method":"QUQ","bits":6}`
+	w := classify(t, f.Handler(), body)
+	ownerAddr := w.Header().Get(shard.BackendHeader)
+	var owner *fakeBackend
+	for _, fb := range []*fakeBackend{b0, b1, b2} {
+		if fb.srv.URL == ownerAddr {
+			owner = fb
+		}
+	}
+	owner.srv.Close() // kill the owning backend
+
+	w = classify(t, f.Handler(), body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("failover request: status %d: %s", w.Code, w.Body)
+	}
+	survivor := w.Header().Get(shard.BackendHeader)
+	if survivor == ownerAddr {
+		t.Fatal("request routed to the killed backend")
+	}
+	if got := f.Metrics().Ejections.Value(); got != 1 {
+		t.Fatalf("ejections = %d, want 1", got)
+	}
+	if got := f.Metrics().Failovers.Value(); got == 0 {
+		t.Fatal("failover not counted")
+	}
+	if got := f.Ring().HealthyCount(); got != 2 {
+		t.Fatalf("healthy count = %d, want 2", got)
+	}
+
+	// The survivor keeps serving the key on subsequent requests.
+	w = classify(t, f.Handler(), body)
+	if got := w.Header().Get(shard.BackendHeader); got != survivor {
+		t.Fatalf("key moved again: %s -> %s", survivor, got)
+	}
+}
+
+// TestProberEjectsAndReadmits: consecutive probe failures eject a
+// backend; the first healthy probe readmits it and it resumes owning
+// exactly its old arcs.
+func TestProberEjectsAndReadmits(t *testing.T) {
+	b0, b1 := newFakeBackend(t, "b0"), newFakeBackend(t, "b1")
+	f, addrs := newFront(t, b0, b1)
+
+	b0.healthy.Store(false)
+	f.ProbeNow() // one failure: below FailAfter=2, still admitted
+	if got := f.Ring().HealthyCount(); got != 2 {
+		t.Fatalf("after 1 failed probe: healthy = %d, want 2", got)
+	}
+	f.ProbeNow() // second consecutive failure: ejected
+	if got := f.Ring().HealthyCount(); got != 1 {
+		t.Fatalf("after 2 failed probes: healthy = %d, want 1", got)
+	}
+	if got := f.Metrics().Ejections.Value(); got != 1 {
+		t.Fatalf("ejections = %d, want 1", got)
+	}
+
+	b0.healthy.Store(true)
+	f.ProbeNow()
+	if got := f.Ring().HealthyCount(); got != 2 {
+		t.Fatalf("after recovery probe: healthy = %d, want 2", got)
+	}
+	if got := f.Metrics().Readmissions.Value(); got != 1 {
+		t.Fatalf("readmissions = %d, want 1", got)
+	}
+	_ = addrs
+}
+
+// TestFrontHealthz: ok with admitted backends, 503 once the fleet is
+// gone.
+func TestFrontHealthz(t *testing.T) {
+	b0 := newFakeBackend(t, "b0")
+	f, _ := newFront(t, b0)
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	f.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz with live backend: %d", w.Code)
+	}
+
+	b0.healthy.Store(false)
+	f.ProbeNow()
+	f.ProbeNow()
+	w = httptest.NewRecorder()
+	f.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with dead fleet: %d, want 503", w.Code)
+	}
+}
+
+// TestFrontAggregatesMetrics: /metrics merges every backend's page with
+// the front-end's own instruments into one deterministic exposition.
+func TestFrontAggregatesMetrics(t *testing.T) {
+	b0, b1, b2 := newFakeBackend(t, "b0"), newFakeBackend(t, "b1"), newFakeBackend(t, "b2")
+	f, _ := newFront(t, b0, b1, b2)
+
+	// Generate some traffic so backend counters are non-zero.
+	for _, model := range []string{"ViT-Nano", "ViT-S", "Swin-T", "DeiT-B"} {
+		body := fmt.Sprintf(`{"model":%q,"method":"QUQ","bits":6}`, model)
+		if w := classify(t, f.Handler(), body); w.Code != http.StatusOK {
+			t.Fatalf("classify %s: %d", model, w.Code)
+		}
+	}
+	total := b0.requests.Load() + b1.requests.Load() + b2.requests.Load()
+	if total != 4 {
+		t.Fatalf("backends saw %d requests, want 4", total)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	f.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d: %s", w.Code, w.Body)
+	}
+	page, err := metrics.ParseText(bytes.NewReader(w.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("aggregated page does not parse: %v", err)
+	}
+	if got, ok := page.Scalar("quq_serve_requests_total"); !ok || got != float64(total) {
+		t.Fatalf("aggregated quq_serve_requests_total = %v (ok=%v), want %d", got, ok, total)
+	}
+	if got, ok := page.Scalar("quq_shard_requests_total"); !ok || got < 4 {
+		t.Fatalf("aggregated quq_shard_requests_total = %v (ok=%v), want >= 4", got, ok)
+	}
+	if got, ok := page.Scalar("quq_shard_healthy_backends"); !ok || got != 3 {
+		t.Fatalf("quq_shard_healthy_backends = %v (ok=%v), want 3", got, ok)
+	}
+
+	// Determinism: two scrapes with no traffic in between (metrics
+	// requests themselves mutate shard counters, so strip those).
+	w2 := httptest.NewRecorder()
+	f.Handler().ServeHTTP(w2, req)
+	p1, err1 := metrics.ParseText(bytes.NewReader(w.Body.Bytes()))
+	p2, err2 := metrics.ParseText(bytes.NewReader(w2.Body.Bytes()))
+	if err1 != nil || err2 != nil {
+		t.Fatalf("reparse: %v / %v", err1, err2)
+	}
+	if v1, _ := p1.Scalar("quq_serve_requests_total"); true {
+		if v2, _ := p2.Scalar("quq_serve_requests_total"); v1 != v2 {
+			t.Fatalf("backend counters drifted between idle scrapes: %v vs %v", v1, v2)
+		}
+	}
+	if len(p1.Names()) != len(p2.Names()) {
+		t.Fatal("scrapes disagree on the metric name set")
+	}
+}
+
+// TestFrontShards: topology endpoint reports every backend with health
+// and the ring parameters.
+func TestFrontShards(t *testing.T) {
+	b0, b1 := newFakeBackend(t, "b0"), newFakeBackend(t, "b1")
+	f, addrs := newFront(t, b0, b1)
+
+	req := httptest.NewRequest(http.MethodGet, "/shards", nil)
+	w := httptest.NewRecorder()
+	f.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/shards status %d", w.Code)
+	}
+	var resp struct {
+		VNodes   int `json:"vnodes"`
+		Backends []struct {
+			Addr    string `json:"addr"`
+			Healthy bool   `json:"healthy"`
+		} `json:"backends"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.VNodes != 128 {
+		t.Fatalf("vnodes = %d, want default 128", resp.VNodes)
+	}
+	if len(resp.Backends) != 2 {
+		t.Fatalf("backends = %d, want 2", len(resp.Backends))
+	}
+	got := map[string]bool{}
+	for _, b := range resp.Backends {
+		got[b.Addr] = b.Healthy
+	}
+	for _, a := range addrs {
+		if healthy, ok := got[a]; !ok || !healthy {
+			t.Fatalf("backend %s missing or unhealthy in /shards: %v", a, got)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Prober watches backend health: every interval it GETs each backend's
+// /healthz; FailAfter consecutive failures eject the backend from
+// routing, and the first healthy probe afterwards readmits it. Ejection
+// only flips the health bit — the backend keeps its virtual nodes, so
+// when it returns, exactly the arcs it always owned come back to it (key
+// remapping stays limited to the moved arc in both directions).
+type Prober struct {
+	ring      *Ring
+	client    *http.Client
+	interval  time.Duration
+	timeout   time.Duration
+	failAfter int
+	met       *Metrics
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewProber builds a prober over the ring. met may be nil.
+func NewProber(ring *Ring, client *http.Client, interval, timeout time.Duration, failAfter int, met *Metrics) *Prober {
+	return &Prober{
+		ring:      ring,
+		client:    client,
+		interval:  interval,
+		timeout:   timeout,
+		failAfter: failAfter,
+		met:       met,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Start launches the background probe loop. A non-positive interval
+// disables it (ProbeNow still works, which is how tests and -smoke drive
+// health transitions deterministically).
+func (p *Prober) Start() {
+	if p.interval <= 0 {
+		close(p.done)
+		return
+	}
+	go p.loop()
+}
+
+func (p *Prober) loop() {
+	defer close(p.done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.ProbeNow()
+		}
+	}
+}
+
+// Stop terminates the probe loop and waits for it to exit.
+func (p *Prober) Stop() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	<-p.done
+}
+
+// ProbeNow runs one synchronous probe round over every backend.
+func (p *Prober) ProbeNow() {
+	for _, b := range p.ring.Backends() {
+		p.probe(b)
+	}
+	if p.met != nil {
+		p.met.Healthy.Set(int64(p.ring.HealthyCount()))
+	}
+}
+
+// probe checks one backend and applies the ejection/re-admission policy.
+func (p *Prober) probe(b *Backend) {
+	if p.probeOK(b) {
+		b.probeFails.Store(0)
+		if !b.healthy.Swap(true) && p.met != nil {
+			p.met.Readmissions.Inc()
+		}
+		return
+	}
+	fails := b.probeFails.Add(1)
+	if int(fails) >= p.failAfter {
+		eject(b, p.met)
+	}
+}
+
+// probeOK reports whether one /healthz round trip succeeded.
+func (p *Prober) probeOK(b *Backend) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.addr+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return false
+	}
+	// The body is irrelevant; draining it would only delay the round.
+	if err := resp.Body.Close(); err != nil {
+		return false
+	}
+	return resp.StatusCode == http.StatusOK
+}
+
+// eject marks a backend unhealthy (idempotently), counting the
+// transition. Shared by the prober and the proxy's passive
+// connection-failure path.
+func eject(b *Backend, met *Metrics) {
+	if b.healthy.Swap(false) && met != nil {
+		met.Ejections.Inc()
+	}
+}

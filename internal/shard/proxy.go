@@ -1,0 +1,350 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"quq/internal/serve"
+)
+
+// BackendHeader names the response header the front-end stamps with the
+// address of the backend that served a proxied request.
+const BackendHeader = "X-Quq-Shard"
+
+// Front is the sharding front-end: an http.Handler that routes
+// inference traffic onto the ring and aggregates fleet observability.
+type Front struct {
+	opts    Options
+	ring    *Ring
+	prober  *Prober
+	met     *Metrics
+	client  *http.Client
+	handler http.Handler
+}
+
+// New assembles a front-end over opts.Backends and starts its prober.
+func New(opts Options) *Front {
+	opts.defaults()
+	met := NewShardMetrics()
+	ring := NewRing(opts.VNodes, opts.MaxLoadFactor)
+	for _, addr := range opts.Backends {
+		ring.Add(normalizeAddr(addr))
+	}
+	met.Healthy.Set(int64(ring.HealthyCount()))
+	client := &http.Client{Transport: opts.Transport}
+	f := &Front{
+		opts:   opts,
+		ring:   ring,
+		met:    met,
+		client: client,
+		prober: NewProber(ring, client, opts.ProbeInterval, opts.ProbeTimeout, opts.FailAfter, met),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/classify", f.handleProxy)
+	mux.HandleFunc("POST /v1/quantize", f.handleProxy)
+	mux.HandleFunc("GET /models", f.handleModels)
+	mux.HandleFunc("GET /shards", f.handleShards)
+	mux.HandleFunc("GET /healthz", f.handleHealthz)
+	mux.HandleFunc("GET /metrics", f.handleMetrics)
+	f.handler = f.middleware(mux)
+	f.prober.Start()
+	return f
+}
+
+// normalizeAddr turns "host:port" into a base URL.
+func normalizeAddr(addr string) string {
+	addr = strings.TrimSuffix(addr, "/")
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return addr
+}
+
+// Handler returns the front-end's HTTP handler.
+func (f *Front) Handler() http.Handler { return f.handler }
+
+// Ring exposes the hash ring (introspection, smoke assertions).
+func (f *Front) Ring() *Ring { return f.ring }
+
+// Metrics exposes the front-end's own instrument set.
+func (f *Front) Metrics() *Metrics { return f.met }
+
+// ProbeNow forces one synchronous health-probe round.
+func (f *Front) ProbeNow() { f.prober.ProbeNow() }
+
+// Close stops the background prober.
+func (f *Front) Close() { f.prober.Stop() }
+
+// middleware wraps the mux with panic recovery, request accounting,
+// body limiting and the per-request timeout.
+func (f *Front) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		f.met.Requests.Inc()
+		defer func() {
+			f.met.Latency.Observe(time.Since(start).Seconds())
+			if rec := recover(); rec != nil {
+				f.met.Failures.Inc()
+				http.Error(w, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
+			}
+		}()
+		r.Body = http.MaxBytesReader(w, r.Body, f.opts.MaxBodyBytes)
+		ctx, cancel := context.WithTimeout(r.Context(), f.opts.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// handleProxy routes one classify/quantize request: canonicalize the
+// key selection (unknown enums are rejected here, before hashing — the
+// same spelling rules the backend registry applies), pick the owning
+// backend, and relay its response. Connection failures retry with
+// backoff on the same backend, then eject it and fail over to the next
+// ring successor; HTTP responses — 429 backpressure above all — are
+// relayed as-is, never retried.
+func (f *Front) handleProxy(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		f.writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	var sel struct {
+		Model  string `json:"model"`
+		Method string `json:"method"`
+		Bits   int    `json:"bits"`
+		Regime string `json:"regime"`
+	}
+	if err := json.Unmarshal(body, &sel); err != nil {
+		f.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	key, err := serve.KeyFromWire(sel.Model, sel.Method, sel.Bits, sel.Regime)
+	if err != nil {
+		f.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	exclude := map[*Backend]bool{}
+	for {
+		b, err := f.ring.Pick(key.String(), exclude)
+		if err != nil {
+			f.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("%w for key %s", err, key))
+			return
+		}
+		if len(exclude) > 0 {
+			f.met.Failovers.Inc()
+		}
+		resp, err := f.forward(r.Context(), b, r.URL.Path, body)
+		if err != nil {
+			// The backend is unreachable after retries: eject it so the
+			// ring stops routing there until a probe readmits it, and move
+			// this request to the next successor.
+			eject(b, f.met)
+			f.met.Healthy.Set(int64(f.ring.HealthyCount()))
+			exclude[b] = true
+			if r.Context().Err() != nil {
+				f.writeError(w, http.StatusGatewayTimeout, r.Context().Err())
+				return
+			}
+			continue
+		}
+		f.relay(w, resp, b)
+		return
+	}
+}
+
+// forward posts body to one backend, retrying connection failures with
+// doubling backoff. Any HTTP response, whatever its status, is final.
+func (f *Front) forward(ctx context.Context, b *Backend, path string, body []byte) (*http.Response, error) {
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	var lastErr error
+	backoff := f.opts.RetryBackoff
+	for attempt := 0; attempt <= f.opts.Retries; attempt++ {
+		if attempt > 0 {
+			f.met.Retries.Inc()
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.addr+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := f.client.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}
+
+// relay copies one backend response to the client, stamping which shard
+// served it.
+func (f *Front) relay(w http.ResponseWriter, resp *http.Response, b *Backend) {
+	defer func() {
+		// A failed drain or close only matters to the connection pool;
+		// the response bytes were already relayed to the client.
+		//quq:errdrop-ok best-effort drain for connection reuse; bytes already relayed
+		_, _ = io.Copy(io.Discard, resp.Body)
+		//quq:errdrop-ok response already relayed; nothing left to report to the client
+		resp.Body.Close()
+	}()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set(BackendHeader, b.addr)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		f.met.Backpressure.Inc()
+	}
+	if resp.StatusCode >= 500 {
+		f.met.Failures.Inc()
+	}
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// The client hung up mid-relay; the failure counter is the only
+		// remaining audience.
+		f.met.Failures.Inc()
+	}
+}
+
+// shardInfo is the /shards view of one backend.
+type shardInfo struct {
+	Addr     string `json:"addr"`
+	Healthy  bool   `json:"healthy"`
+	Inflight int64  `json:"inflight"`
+}
+
+type shardsResponse struct {
+	VNodes        int         `json:"vnodes"`
+	MaxLoadFactor float64     `json:"max_load_factor"`
+	Backends      []shardInfo `json:"backends"`
+}
+
+// handleShards reports ring topology and per-backend health/load.
+func (f *Front) handleShards(w http.ResponseWriter, r *http.Request) {
+	resp := shardsResponse{VNodes: f.opts.VNodes, MaxLoadFactor: f.opts.MaxLoadFactor}
+	for _, b := range f.ring.Backends() {
+		resp.Backends = append(resp.Backends, shardInfo{
+			Addr:     b.Addr(),
+			Healthy:  b.Healthy(),
+			Inflight: b.Inflight(),
+		})
+	}
+	f.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz is the front-end's own liveness view: healthy while at
+// least one backend is admitted.
+func (f *Front) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy := f.ring.HealthyCount()
+	f.met.Healthy.Set(int64(healthy))
+	code := http.StatusOK
+	status := "ok"
+	if healthy == 0 {
+		code = http.StatusServiceUnavailable
+		status = "no healthy backends"
+	}
+	f.writeJSON(w, code, map[string]any{
+		"status":   status,
+		"healthy":  healthy,
+		"backends": len(f.ring.Backends()),
+	})
+}
+
+// handleModels aggregates the fleet's /models: configs and methods from
+// the first reachable backend (identical across a homogeneous fleet),
+// cached registry entries merged from every healthy backend and sorted
+// for a deterministic cluster view.
+func (f *Front) handleModels(w http.ResponseWriter, r *http.Request) {
+	type modelsPage struct {
+		Models  []json.RawMessage `json:"models"`
+		Methods []json.RawMessage `json:"methods"`
+		Entries []serve.EntryInfo `json:"entries"`
+	}
+	var first *modelsPage
+	var entries []serve.EntryInfo
+	for _, b := range f.ring.Backends() {
+		if !b.Healthy() {
+			continue
+		}
+		var page modelsPage
+		if err := f.getJSON(r.Context(), b.addr+"/models", &page); err != nil {
+			f.met.ScrapeErrors.Inc()
+			continue
+		}
+		if first == nil {
+			first = &page
+		}
+		entries = append(entries, page.Entries...)
+	}
+	if first == nil {
+		f.writeError(w, http.StatusServiceUnavailable, ErrNoBackends)
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	f.writeJSON(w, http.StatusOK, modelsPage{Models: first.Models, Methods: first.Methods, Entries: entries})
+}
+
+// getJSON fetches and decodes one backend JSON page.
+func (f *Front) getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return json.Unmarshal(body, out)
+}
+
+// writeJSON writes a JSON response; an encode failure means the client
+// disconnected, which only the failure counter needs to know.
+func (f *Front) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		f.met.Failures.Inc()
+	}
+}
+
+// writeError renders an error with the front-end's status taxonomy.
+func (f *Front) writeError(w http.ResponseWriter, code int, err error) {
+	if errors.Is(err, serve.ErrBadRequest) {
+		code = http.StatusBadRequest
+	}
+	if code >= 500 {
+		f.met.Failures.Inc()
+	}
+	f.writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,243 @@
+package shard
+
+import (
+	"errors"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrNoBackends is returned when no healthy backend can serve a key.
+var ErrNoBackends = errors.New("shard: no healthy backends")
+
+// Backend is one quq-serve instance on the ring. Health and load are
+// atomics: the prober, the proxy path and introspection read them
+// concurrently.
+type Backend struct {
+	addr       string // normalized base URL, e.g. "http://127.0.0.1:8642"
+	healthy    atomic.Bool
+	inflight   atomic.Int64
+	probeFails atomic.Int32
+}
+
+// Addr returns the backend's base URL.
+func (b *Backend) Addr() string { return b.addr }
+
+// Healthy reports whether the backend is currently admitted.
+func (b *Backend) Healthy() bool { return b.healthy.Load() }
+
+// Inflight returns the number of requests currently proxied to the
+// backend.
+func (b *Backend) Inflight() int64 { return b.inflight.Load() }
+
+// Ring is a consistent-hash ring with virtual nodes and bounded-load
+// overflow. Placement depends only on the backend address set and the
+// key bytes — FNV-1a hashing, no map iteration, no randomness, no time —
+// so every front-end process computes identical ownership. All methods
+// are safe for concurrent use.
+type Ring struct {
+	vnodes        int
+	maxLoadFactor float64
+
+	mu       sync.RWMutex
+	backends map[string]*Backend
+	points   []ringPoint // sorted by (hash, addr, replica)
+}
+
+// ringPoint is one virtual node.
+type ringPoint struct {
+	hash    uint64
+	replica int
+	b       *Backend
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// backend and bounded-load factor (<= 0 disables load bounding).
+func NewRing(vnodes int, maxLoadFactor float64) *Ring {
+	if vnodes <= 0 {
+		vnodes = 128
+	}
+	return &Ring{
+		vnodes:        vnodes,
+		maxLoadFactor: maxLoadFactor,
+		backends:      map[string]*Backend{},
+	}
+}
+
+// hashString is FNV-1a 64 — stable across processes and Go versions,
+// unlike maphash.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	//quq:errdrop-ok hash.Hash.Write is documented to never return an error
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Add inserts a backend (healthy, idle) and claims its virtual-node
+// arcs. Re-adding an existing address is a no-op returning the existing
+// backend.
+func (r *Ring) Add(addr string) *Backend {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if b, ok := r.backends[addr]; ok {
+		return b
+	}
+	b := &Backend{addr: addr}
+	b.healthy.Store(true)
+	r.backends[addr] = b
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{
+			hash:    hashString(addr + "#" + strconv.Itoa(i)),
+			replica: i,
+			b:       b,
+		})
+	}
+	r.sortLocked()
+	return b
+}
+
+// Remove deletes a backend; only the arcs it owned are remapped (each
+// moves to its ring successor).
+func (r *Ring) Remove(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.backends[addr]; !ok {
+		return
+	}
+	delete(r.backends, addr)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.b.addr != addr {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// sortLocked orders the points; hash ties (vanishingly rare with 64-bit
+// FNV) break on address then replica so ownership stays deterministic
+// regardless of Add order.
+func (r *Ring) sortLocked() {
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		if a.b.addr != b.b.addr {
+			return a.b.addr < b.b.addr
+		}
+		return a.replica < b.replica
+	})
+}
+
+// Owner returns the primary owner of a key — the first virtual node at
+// or after the key's hash — ignoring health and load. This is the pure
+// consistent-hash placement the remapping guarantees are stated over.
+func (r *Ring) Owner(key string) (*Backend, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil, false
+	}
+	return r.points[r.startLocked(key)].b, true
+}
+
+// startLocked finds the index of the first point at or after the key's
+// hash position (wrapping).
+func (r *Ring) startLocked(key string) int {
+	h := hashString(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Pick returns the backend that should serve a key right now: the first
+// ring successor that is healthy, not excluded, and under the bounded-
+// load threshold. If every healthy candidate is over the bound, the
+// first healthy one is used anyway (shedding load is the backend's 429
+// backpressure's job, not the router's). Excluded backends are ones the
+// caller already failed against this request.
+func (r *Ring) Pick(key string, exclude map[*Backend]bool) (*Backend, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil, ErrNoBackends
+	}
+	start := r.startLocked(key)
+	bound := r.loadBoundLocked()
+	var fallback *Backend
+	seen := make(map[*Backend]bool, len(r.backends))
+	for n := 0; n < len(r.points); n++ {
+		p := r.points[(start+n)%len(r.points)]
+		if seen[p.b] {
+			continue
+		}
+		seen[p.b] = true
+		if exclude[p.b] || !p.b.healthy.Load() {
+			continue
+		}
+		if fallback == nil {
+			fallback = p.b
+		}
+		if bound == 0 || p.b.inflight.Load() < bound {
+			return p.b, nil
+		}
+	}
+	if fallback == nil {
+		return nil, ErrNoBackends
+	}
+	return fallback, nil
+}
+
+// loadBoundLocked computes the bounded-load threshold: ceil(c * (total
+// in-flight + 1) / healthy backends), the classic consistent-hashing-
+// with-bounded-loads bound. Zero means unbounded.
+func (r *Ring) loadBoundLocked() int64 {
+	if r.maxLoadFactor <= 0 {
+		return 0
+	}
+	var total int64
+	var healthy int64
+	for _, b := range r.backends {
+		if b.healthy.Load() {
+			healthy++
+			total += b.inflight.Load()
+		}
+	}
+	if healthy == 0 {
+		return 0
+	}
+	bound := int64(r.maxLoadFactor * float64(total+1) / float64(healthy))
+	if bound < 1 {
+		bound = 1
+	}
+	return bound
+}
+
+// Backends snapshots the ring membership sorted by address.
+func (r *Ring) Backends() []*Backend {
+	r.mu.RLock()
+	list := make([]*Backend, 0, len(r.backends))
+	// Map order is irrelevant here: the snapshot is sorted below.
+	for _, b := range r.backends {
+		list = append(list, b)
+	}
+	r.mu.RUnlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].addr < list[j].addr })
+	return list
+}
+
+// HealthyCount returns the number of admitted backends.
+func (r *Ring) HealthyCount() int {
+	n := 0
+	for _, b := range r.Backends() {
+		if b.Healthy() {
+			n++
+		}
+	}
+	return n
+}

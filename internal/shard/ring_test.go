@@ -1,0 +1,220 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys generates a deterministic registry-key-shaped corpus.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ViT-%d/QUQ/w6a6/partial", i)
+	}
+	return keys
+}
+
+func ownerMap(r *Ring, keys []string) map[string]string {
+	owners := make(map[string]string, len(keys))
+	for _, k := range keys {
+		b, ok := r.Owner(k)
+		if !ok {
+			panic("ring has no backends")
+		}
+		owners[k] = b.Addr()
+	}
+	return owners
+}
+
+// TestRingOwnerDeterministic: identical key -> identical backend across
+// independently built rings, regardless of Add order. This is what lets
+// two quq-shard processes (or a restarted one) agree on placement with
+// no coordination.
+func TestRingOwnerDeterministic(t *testing.T) {
+	addrs := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	a := NewRing(128, 0)
+	for _, addr := range addrs {
+		a.Add(addr)
+	}
+	b := NewRing(128, 0)
+	for i := range addrs {
+		b.Add(addrs[len(addrs)-1-i]) // reverse order
+	}
+	keys := testKeys(2000)
+	oa, ob := ownerMap(a, keys), ownerMap(b, keys)
+	for _, k := range keys {
+		if oa[k] != ob[k] {
+			t.Fatalf("key %q owned by %s in one ring, %s in the other", k, oa[k], ob[k])
+		}
+	}
+}
+
+// TestRingRemappingOnAdd: adding one backend to N must move only ~1/(N+1)
+// of the keyspace, and every moved key must move TO the new backend
+// (consistent hashing moves only the arcs the newcomer claims).
+func TestRingRemappingOnAdd(t *testing.T) {
+	const n = 3
+	r := NewRing(128, 0)
+	for i := 0; i < n; i++ {
+		r.Add(fmt.Sprintf("http://backend-%d:86", i))
+	}
+	keys := testKeys(4000)
+	before := ownerMap(r, keys)
+
+	newcomer := "http://backend-new:86"
+	r.Add(newcomer)
+	after := ownerMap(r, keys)
+
+	moved := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			moved++
+			if after[k] != newcomer {
+				t.Fatalf("key %q moved %s -> %s, not to the new backend", k, before[k], after[k])
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	// Ideal is 1/(n+1) = 0.25; allow vnode-variance slack.
+	if want, slack := 1.0/(n+1), 0.10; frac > want+slack {
+		t.Fatalf("adding one backend moved %.1f%% of keys; want <= %.1f%%", 100*frac, 100*(want+slack))
+	}
+	if moved == 0 {
+		t.Fatal("adding a backend moved nothing; ring is not partitioning")
+	}
+}
+
+// TestRingRemappingOnRemove: removing one backend must move exactly the
+// keys it owned (each to a survivor) and leave every other key in place.
+func TestRingRemappingOnRemove(t *testing.T) {
+	const n = 4
+	r := NewRing(128, 0)
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("http://backend-%d:86", i)
+		r.Add(addrs[i])
+	}
+	keys := testKeys(4000)
+	before := ownerMap(r, keys)
+
+	victim := addrs[1]
+	r.Remove(victim)
+	after := ownerMap(r, keys)
+
+	moved := 0
+	for _, k := range keys {
+		switch {
+		case before[k] == victim:
+			moved++
+			if after[k] == victim {
+				t.Fatalf("key %q still owned by removed backend", k)
+			}
+		case before[k] != after[k]:
+			t.Fatalf("key %q moved %s -> %s although its owner survived", k, before[k], after[k])
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if want, slack := 1.0/n, 0.10; frac > want+slack {
+		t.Fatalf("removed backend owned %.1f%% of keys; want ~%.1f%%", 100*frac, 100*want)
+	}
+}
+
+// TestRingSpreadsKeys: with vnodes, no backend owns a grossly
+// disproportionate share.
+func TestRingSpreadsKeys(t *testing.T) {
+	const n = 3
+	r := NewRing(128, 0)
+	for i := 0; i < n; i++ {
+		r.Add(fmt.Sprintf("http://backend-%d:86", i))
+	}
+	counts := map[string]int{}
+	keys := testKeys(6000)
+	for _, k := range keys {
+		b, _ := r.Owner(k)
+		counts[b.Addr()]++
+	}
+	for addr, c := range counts {
+		frac := float64(c) / float64(len(keys))
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("backend %s owns %.1f%% of keys; want roughly 1/3", addr, 100*frac)
+		}
+	}
+	if len(counts) != n {
+		t.Fatalf("only %d of %d backends own keys", len(counts), n)
+	}
+}
+
+// TestRingPickHealthAndFailover: Pick skips unhealthy backends and
+// honors the exclude set; with everything down it reports ErrNoBackends.
+func TestRingPickHealthAndFailover(t *testing.T) {
+	r := NewRing(64, 0)
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("http://backend-%d:86", i))
+	}
+	key := "ViT-S/QUQ/w6a6/partial"
+	owner, _ := r.Owner(key)
+	if picked, err := r.Pick(key, nil); err != nil || picked != owner {
+		t.Fatalf("healthy Pick = %v, %v; want the owner %s", picked, err, owner.Addr())
+	}
+
+	owner.healthy.Store(false)
+	second, err := r.Pick(key, nil)
+	if err != nil || second == owner {
+		t.Fatalf("Pick with unhealthy owner = %v, %v; want a successor", second, err)
+	}
+
+	// Excluding the successor too walks further around the ring.
+	third, err := r.Pick(key, map[*Backend]bool{second: true})
+	if err != nil || third == owner || third == second {
+		t.Fatalf("Pick excluding successor = %v, %v; want the third backend", third, err)
+	}
+
+	owner.healthy.Store(true)
+	if picked, _ := r.Pick(key, nil); picked != owner {
+		t.Fatal("readmitted owner did not get its arc back")
+	}
+
+	for _, b := range r.Backends() {
+		b.healthy.Store(false)
+	}
+	if _, err := r.Pick(key, nil); err == nil {
+		t.Fatal("Pick with all backends down must fail")
+	}
+}
+
+// TestRingBoundedLoad: a backend far above the fleet-average load spills
+// its keys to a successor; once it drains, placement snaps back.
+func TestRingBoundedLoad(t *testing.T) {
+	r := NewRing(64, 1.25)
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("http://backend-%d:86", i))
+	}
+	key := "DeiT-B/QUQ/w8a8/full"
+	owner, _ := r.Owner(key)
+
+	owner.inflight.Store(100)
+	spilled, err := r.Pick(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spilled == owner {
+		t.Fatal("overloaded owner was not spilled")
+	}
+
+	owner.inflight.Store(0)
+	back, _ := r.Pick(key, nil)
+	if back != owner {
+		t.Fatal("drained owner did not get its arc back")
+	}
+
+	// With load bounding disabled the overloaded owner keeps its keys.
+	u := NewRing(64, 0)
+	for i := 0; i < 3; i++ {
+		u.Add(fmt.Sprintf("http://backend-%d:86", i))
+	}
+	uo, _ := u.Owner(key)
+	uo.inflight.Store(100)
+	if picked, _ := u.Pick(key, nil); picked != uo {
+		t.Fatal("unbounded ring must ignore load")
+	}
+}

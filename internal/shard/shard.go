@@ -1,0 +1,140 @@
+// Package shard is quq-shard's sharding layer: a consistent-hash HTTP
+// front-end that partitions the quantized-model registry keyspace across
+// a fleet of quq-serve backends, so large-zoo calibration cost — the
+// once-per-key price QUQ's PRA calibration and grid-search refinement
+// pay at load time — is spent on exactly one shard per key instead of
+// once per process.
+//
+// The pieces:
+//
+//   - Ring (ring.go): a consistent-hash ring with virtual nodes and
+//     bounded-load overflow. Keys are canonical serve.Key strings
+//     (serve.CanonicalKey runs before hashing, so "Quq" and "quq" land
+//     on one shard); hashing is FNV-1a, so two processes always agree
+//     on ownership, and adding or removing one backend only remaps the
+//     arcs it owns (~1/N of the keyspace);
+//   - Prober (prober.go): periodic /healthz probes with
+//     consecutive-failure ejection and re-admission on recovery;
+//   - Front (proxy.go): the HTTP surface — it canonicalizes the key in
+//     a classify/quantize body, picks the owning backend, proxies with
+//     retry-with-backoff on connection failures (never on HTTP errors:
+//     a 429 is propagated backpressure, retrying it would amplify
+//     overload), and fails over to ring successors when a backend dies;
+//   - aggregation (aggregator.go): /metrics fans out to every healthy
+//     backend's Prometheus-style exposition and merges them — via
+//     metrics.ParseText/Merge — into one deterministic cluster view.
+package shard
+
+import (
+	"net/http"
+	"time"
+
+	"quq/internal/serve/metrics"
+)
+
+// Options tunes the sharding front-end.
+type Options struct {
+	// Backends lists the quq-serve base addresses ("host:port" or full
+	// http:// URLs) forming the initial ring.
+	Backends []string
+	// VNodes is the number of virtual nodes per backend (default 128);
+	// more vnodes means smoother key distribution and smaller moved arcs.
+	VNodes int
+	// MaxLoadFactor bounds per-backend load: a backend whose in-flight
+	// request count exceeds MaxLoadFactor times the fleet average spills
+	// its keys to the next ring successor (default 1.25; <= 0 disables
+	// bounding).
+	MaxLoadFactor float64
+	// ProbeInterval is the /healthz probe period (default 2s; negative
+	// disables the background prober — ProbeNow still works).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (default 1s).
+	ProbeTimeout time.Duration
+	// FailAfter is the consecutive probe failures before ejection
+	// (default 2).
+	FailAfter int
+	// Retries is how many times a proxied request is retried against the
+	// same backend on connection failure before failing over (default 2).
+	// HTTP-level responses, including 429 backpressure, are never
+	// retried.
+	Retries int
+	// RetryBackoff is the first retry delay, doubled per attempt
+	// (default 50ms).
+	RetryBackoff time.Duration
+	// RequestTimeout bounds one proxied request end-to-end, including a
+	// first-request calibration on the backend (default 120s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps the request body (default 8 MiB).
+	MaxBodyBytes int64
+	// Transport overrides the outbound HTTP transport (tests).
+	Transport http.RoundTripper
+}
+
+func (o *Options) defaults() {
+	if o.VNodes <= 0 {
+		o.VNodes = 128
+	}
+	if o.MaxLoadFactor == 0 {
+		o.MaxLoadFactor = 1.25
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.FailAfter <= 0 {
+		o.FailAfter = 2
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 120 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+}
+
+// Metrics bundles the front-end's own instruments; /metrics merges this
+// set with every backend's exposition.
+type Metrics struct {
+	Registry *metrics.Registry
+
+	Requests     *metrics.Counter   // requests accepted by any endpoint
+	Failures     *metrics.Counter   // responses with a 5xx status
+	Backpressure *metrics.Counter   // backend 429s propagated to clients
+	Retries      *metrics.Counter   // same-backend retries after connection failure
+	Failovers    *metrics.Counter   // requests re-routed to a ring successor
+	Ejections    *metrics.Counter   // backends marked unhealthy
+	Readmissions *metrics.Counter   // ejected backends readmitted by a probe
+	ScrapeErrors *metrics.Counter   // backend /metrics scrapes that failed
+	Healthy      *metrics.Gauge     // healthy backends on the ring
+	Latency      *metrics.Histogram // front-end request wall time, seconds
+}
+
+// NewShardMetrics builds the front-end instrument set on a fresh
+// registry.
+func NewShardMetrics() *Metrics {
+	r := metrics.NewRegistry()
+	return &Metrics{
+		Registry: r,
+
+		Requests:     r.NewCounter("quq_shard_requests_total", "HTTP requests accepted by the front-end"),
+		Failures:     r.NewCounter("quq_shard_failures_total", "front-end responses with status >= 500"),
+		Backpressure: r.NewCounter("quq_shard_backpressure_total", "backend 429 responses propagated to clients"),
+		Retries:      r.NewCounter("quq_shard_retries_total", "same-backend retries after connection failure"),
+		Failovers:    r.NewCounter("quq_shard_failovers_total", "requests re-routed to a ring successor"),
+		Ejections:    r.NewCounter("quq_shard_ejections_total", "backends marked unhealthy"),
+		Readmissions: r.NewCounter("quq_shard_readmissions_total", "ejected backends readmitted after a healthy probe"),
+		ScrapeErrors: r.NewCounter("quq_shard_scrape_errors_total", "backend /metrics scrapes that failed"),
+		Healthy:      r.NewGauge("quq_shard_healthy_backends", "healthy backends on the ring"),
+		Latency:      r.NewHistogram("quq_shard_request_seconds", "front-end request latency in seconds", metrics.LatencyBuckets()),
+	}
+}
