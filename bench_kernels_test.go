@@ -1,0 +1,437 @@
+// Kernel-layer benchmarks: GEMM throughput of the tiled kernels against
+// the scalar reference across proxy-scale shapes, plus the end-to-end
+// quantized forward before and after the kernel layer. Results land in
+// artifacts/BENCH_kernels.json.
+//
+// The "before" side is measured in the same run as the "after" side: a
+// line-for-line replica of the pre-kernel-layer forward (scalar
+// zero-skip GEMMs, strided per-head attention loops, an allocation per
+// intermediate, Clone + per-element Value at every quantizer site) lives
+// below in test code. Measuring both sides back to back makes the
+// speedup ratio immune to machine-load drift between sessions, which on
+// this single-core reproduction is far larger than the benchmark
+// variance.
+package quq_test
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"quq/internal/data"
+	"quq/internal/mathx"
+	"quq/internal/ptq"
+	"quq/internal/rng"
+	"quq/internal/tensor"
+	"quq/internal/vit"
+)
+
+// kernelShapes are the GEMM shapes of one ViT-Nano block (QKV,
+// per-head attention, MLP) plus a larger proxy for the tile interior.
+var kernelShapes = []struct {
+	Name    string
+	M, K, N int
+}{
+	{"qkv", 17, 48, 144},
+	{"attn_scores", 17, 16, 17},
+	{"attn_ctx", 17, 17, 16},
+	{"mlp_fc1", 17, 48, 192},
+	{"mlp_fc2", 17, 192, 48},
+	{"proxy", 96, 384, 96},
+}
+
+// benchQuantizedModel builds the ViT-Nano quantized model used by the
+// forward benchmarks and the alloc-budget test.
+func benchQuantizedModel(tb testing.TB) (*ptq.QuantizedModel, *tensor.Tensor) {
+	tb.Helper()
+	m := vit.New(vit.ViTNano, 1)
+	calib := data.CalibrationSet(vit.ViTNano, 4, 3)
+	qm, err := ptq.Quantize(m, ptq.NewQUQ(), ptq.CalibOptions{Bits: 6, Regime: ptq.Full, Images: calib})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return qm, data.Images(vit.ViTNano, 1, 2)[0]
+}
+
+// --- pre-PR forward replica ---
+//
+// The functions below are a line-for-line copy of the forward path as it
+// existed before the kernel layer: Linear.Apply was an allocating scalar
+// i-k-j GEMM with a zero-skip plus a separate AddRowVector pass,
+// attention ran strided per-head dot-product loops, and the activation
+// quantizer cloned each tensor and called Params.Value per element. They
+// are the timing baseline and the bit-identity oracle for the end-to-end
+// benchmark.
+
+// refTap replays Tap.apply's nil/replace semantics.
+func refTap(tap vit.Tap, site vit.Site, x *tensor.Tensor) *tensor.Tensor {
+	if tap == nil {
+		return x
+	}
+	if y := tap(site, x); y != nil {
+		return y
+	}
+	return x
+}
+
+// refLinearApply is the pre-kernel-layer Linear.Apply.
+func refLinearApply(l *vit.Linear, in *tensor.Tensor) *tensor.Tensor {
+	m, k := in.Dim(0), in.Dim(1)
+	out := tensor.New(m, l.Out())
+	for i := 0; i < m; i++ {
+		arow := in.Row(i)
+		orow := out.Row(i)
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := l.W.Row(kk)
+			for j := range brow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out.AddRowVector(l.B)
+}
+
+// refBlockForward is the pre-kernel-layer Block.Forward, taps included.
+func refBlockForward(b *vit.Block, x *tensor.Tensor, nSeq, blk int, tap vit.Tap) *tensor.Tensor {
+	dim := x.Dim(1)
+	s := x.Dim(0)
+	t := s / nSeq
+	heads := b.Heads
+	dh := dim / heads
+	scale := 1 / math.Sqrt(float64(dh))
+
+	h := b.LN1.Apply(x)
+	h = refTap(tap, vit.Site{Block: blk, Name: "ln1.out", Kind: vit.KindGEMMIn}, h)
+	qkvOut := refLinearApply(b.QKV, h)
+
+	q, k, v := tensor.New(s, dim), tensor.New(s, dim), tensor.New(s, dim)
+	for r := 0; r < s; r++ {
+		row := qkvOut.Row(r)
+		copy(q.Row(r), row[:dim])
+		copy(k.Row(r), row[dim:2*dim])
+		copy(v.Row(r), row[2*dim:])
+	}
+	q = refTap(tap, vit.Site{Block: blk, Name: "attn.q", Kind: vit.KindGEMMIn}, q)
+	k = refTap(tap, vit.Site{Block: blk, Name: "attn.k", Kind: vit.KindGEMMIn}, k)
+	v = refTap(tap, vit.Site{Block: blk, Name: "attn.v", Kind: vit.KindGEMMIn}, v)
+
+	scores := tensor.New(nSeq*heads*t, t)
+	for sq := 0; sq < nSeq; sq++ {
+		for hd := 0; hd < heads; hd++ {
+			for i := 0; i < t; i++ {
+				qrow := q.Row(sq*t + i)[hd*dh : (hd+1)*dh]
+				srow := scores.Row((sq*heads+hd)*t + i)
+				for j := 0; j < t; j++ {
+					krow := k.Row(sq*t + j)[hd*dh : (hd+1)*dh]
+					var dot float64
+					for e := range qrow {
+						dot += qrow[e] * krow[e]
+					}
+					srow[j] = dot * scale
+				}
+			}
+		}
+	}
+	scores = refTap(tap, vit.Site{Block: blk, Name: "attn.softmax_in", Kind: vit.KindActivation}, scores)
+	for r := 0; r < scores.Dim(0); r++ {
+		mathx.SoftmaxInPlace(scores.Row(r))
+	}
+	scores = refTap(tap, vit.Site{Block: blk, Name: "attn.softmax_out", Kind: vit.KindGEMMIn}, scores)
+
+	ctx := tensor.New(s, dim)
+	for sq := 0; sq < nSeq; sq++ {
+		for hd := 0; hd < heads; hd++ {
+			for i := 0; i < t; i++ {
+				prow := scores.Row((sq*heads+hd)*t + i)
+				crow := ctx.Row(sq*t + i)[hd*dh : (hd+1)*dh]
+				for j := 0; j < t; j++ {
+					p := prow[j]
+					if p == 0 {
+						continue
+					}
+					vrow := v.Row(sq*t + j)[hd*dh : (hd+1)*dh]
+					for e := range crow {
+						crow[e] += p * vrow[e]
+					}
+				}
+			}
+		}
+	}
+	ctx = refTap(tap, vit.Site{Block: blk, Name: "attn.proj_in", Kind: vit.KindGEMMIn}, ctx)
+	o := refLinearApply(b.Proj, ctx)
+	o = refTap(tap, vit.Site{Block: blk, Name: "attn.proj_out", Kind: vit.KindActivation}, o)
+
+	x = x.Add(o)
+	x = refTap(tap, vit.Site{Block: blk, Name: "resid1.out", Kind: vit.KindActivation}, x)
+
+	h = b.LN2.Apply(x)
+	h = refTap(tap, vit.Site{Block: blk, Name: "ln2.out", Kind: vit.KindGEMMIn}, h)
+	h = refLinearApply(b.FC1, h)
+	h = refTap(tap, vit.Site{Block: blk, Name: "mlp.gelu_in", Kind: vit.KindActivation}, h)
+	h.Apply(mathx.Gelu)
+	h = refTap(tap, vit.Site{Block: blk, Name: "mlp.gelu_out", Kind: vit.KindGEMMIn}, h)
+	h = refLinearApply(b.FC2, h)
+	h = refTap(tap, vit.Site{Block: blk, Name: "mlp.fc2_out", Kind: vit.KindActivation}, h)
+
+	x = x.Add(h)
+	x = refTap(tap, vit.Site{Block: blk, Name: "resid2.out", Kind: vit.KindActivation}, x)
+	return x
+}
+
+// refModelForward is the pre-kernel-layer ViT.Forward (ViT/DeiT variant
+// without distillation or register tokens — the ViT-Nano shape the
+// benchmark runs).
+func refModelForward(tb testing.TB, m *vit.ViT, img *tensor.Tensor, tap vit.Tap) *tensor.Tensor {
+	tb.Helper()
+	if m.Dist != nil || m.Reg != nil {
+		tb.Fatal("pre-PR replica covers the plain ViT token layout only")
+	}
+	cfg := m.Config()
+	patches := vit.Patchify(img, cfg.PatchSize)
+	patches = refTap(tap, vit.Site{Block: -1, Name: "patch.in", Kind: vit.KindGEMMIn}, patches)
+	emb := refLinearApply(m.Patch, patches)
+
+	tokens := tensor.New(emb.Dim(0)+1, cfg.Dim)
+	copy(tokens.Row(0), m.Cls)
+	for r := 0; r < emb.Dim(0); r++ {
+		copy(tokens.Row(r+1), emb.Row(r))
+	}
+	tokens.AddInPlace(m.Pos)
+	x := refTap(tap, vit.Site{Block: -1, Name: "embed.out", Kind: vit.KindActivation}, tokens)
+
+	for i, b := range m.Blocks {
+		x = refBlockForward(b, x, 1, i, tap)
+	}
+	x = m.Final.Apply(x)
+	x = refTap(tap, vit.Site{Block: -1, Name: "head.in", Kind: vit.KindGEMMIn}, x)
+
+	cls := tensor.New(1, cfg.Dim)
+	copy(cls.Row(0), x.Row(0))
+	return refLinearApply(m.Head, cls).Reshape(cfg.Classes)
+}
+
+// preprForward replays the full pre-kernel-layer quantized forward bit
+// for bit: the replica model forward above, with the old
+// activation-quantizer shape (Clone, then a per-element Params.Value
+// loop) at every calibrated site.
+func preprForward(tb testing.TB, qm *ptq.QuantizedModel, img *tensor.Tensor) *tensor.Tensor {
+	tb.Helper()
+	m, ok := qm.Model.(*vit.ViT)
+	if !ok {
+		tb.Fatalf("pre-PR replica needs *vit.ViT, got %T", qm.Model)
+	}
+	tap := func(site vit.Site, x *tensor.Tensor) *tensor.Tensor {
+		tq, ok := qm.Acts[site.Key()]
+		if !ok {
+			return x
+		}
+		p := tq.(ptq.QUQTensorQuantizer).Params
+		out := x.Clone()
+		d := out.Data()
+		for i, v := range d {
+			d[i] = p.Value(v)
+		}
+		return out
+	}
+	return refModelForward(tb, m, img, tap)
+}
+
+// measureForwardPaired times the pre-PR replica and the optimized
+// forward interleaved: each round runs a burst of both, and the order
+// within the round alternates, so slow machine-load drift contributes
+// equally to both sums and cancels out of the ratio. On this shared
+// single-core box the drift between two sequentially-run benchmarks is
+// far larger than the difference being measured, which makes the usual
+// run-A-then-run-B structure meaningless.
+func measureForwardPaired(tb testing.TB, qm *ptq.QuantizedModel, img *tensor.Tensor, rounds, opsPerRound int) (preprNs, optNs float64) {
+	tb.Helper()
+	// Warm both paths (arena, pack pools, branch predictors).
+	preprForward(tb, qm, img)
+	qm.Forward(img)
+	var tPre, tOpt time.Duration
+	for r := 0; r < rounds; r++ {
+		runPre := func() {
+			t0 := time.Now()
+			for i := 0; i < opsPerRound; i++ {
+				preprForward(tb, qm, img)
+			}
+			tPre += time.Since(t0)
+		}
+		runOpt := func() {
+			t0 := time.Now()
+			for i := 0; i < opsPerRound; i++ {
+				qm.Forward(img)
+			}
+			tOpt += time.Since(t0)
+		}
+		if r%2 == 0 {
+			runPre()
+			runOpt()
+		} else {
+			runOpt()
+			runPre()
+		}
+	}
+	n := float64(rounds * opsPerRound)
+	return float64(tPre.Nanoseconds()) / n, float64(tOpt.Nanoseconds()) / n
+}
+
+// BenchmarkKernels measures the tiled kernels against the scalar
+// reference — per-shape GEMM throughput and the end-to-end quantized
+// forward — and records the speedups in artifacts/BENCH_kernels.json.
+func BenchmarkKernels(b *testing.B) {
+	type shapeResult struct {
+		Shape      string  `json:"shape"`
+		M          int     `json:"m"`
+		K          int     `json:"k"`
+		N          int     `json:"n"`
+		NaiveNs    float64 `json:"naive_ns_per_op"`
+		TiledNs    float64 `json:"tiled_ns_per_op"`
+		TiledGFLOP float64 `json:"tiled_gflop_per_sec"`
+		Speedup    float64 `json:"speedup"`
+	}
+	results := make([]shapeResult, len(kernelShapes))
+	src := rng.New(2024)
+	for si, s := range kernelShapes {
+		x := tensor.New(s.M, s.K)
+		w := tensor.New(s.K, s.N)
+		for i := range x.Data() {
+			x.Data()[i] = src.Norm()
+		}
+		for i := range w.Data() {
+			w.Data()[i] = src.Norm()
+		}
+		dst := tensor.New(s.M, s.N)
+		res := &results[si]
+		*res = shapeResult{Shape: s.Name, M: s.M, K: s.K, N: s.N}
+		b.Run("gemm/"+s.Name+"/naive", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulRef(x, w)
+			}
+			res.NaiveNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		})
+		b.Run("gemm/"+s.Name+"/tiled", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(dst, x, w)
+			}
+			res.TiledNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		})
+		if res.TiledNs > 0 {
+			res.TiledGFLOP = float64(2*s.M*s.K*s.N) / res.TiledNs
+		}
+		if res.NaiveNs > 0 && res.TiledNs > 0 {
+			res.Speedup = res.NaiveNs / res.TiledNs
+		}
+	}
+
+	qm, img := benchQuantizedModel(b)
+	// The optimized path must reproduce the pre-kernel-layer logits bit
+	// for bit before any timing is worth recording.
+	want := preprForward(b, qm, img)
+	got := qm.Forward(img)
+	identical := true
+	for i, w := range want.Data() {
+		if math.Float64bits(got.Data()[i]) != math.Float64bits(w) {
+			identical = false
+			b.Errorf("logit %d: optimized %v, pre-PR reference %v", i, got.Data()[i], w)
+		}
+	}
+
+	preprNs, optNs := measureForwardPaired(b, qm, img, 12, 3)
+	b.Run("forward/paired", func(b *testing.B) {
+		// The interleaved measurement already ran; surface its numbers in
+		// the standard benchmark output. The b.N loop only keeps the
+		// framework's timing sane for the reported row.
+		for i := 0; i < b.N; i++ {
+			qm.Forward(img)
+		}
+		b.ReportMetric(preprNs, "prepr-ns/fwd")
+		b.ReportMetric(optNs, "optimized-ns/fwd")
+		b.ReportMetric(preprNs/optNs, "speedup")
+	})
+	allocs := testing.AllocsPerRun(5, func() { qm.Forward(img) })
+
+	artifact := struct {
+		Note               string        `json:"note"`
+		Workers            int           `json:"intra_op_workers"`
+		GEMM               []shapeResult `json:"gemm"`
+		ForwardPrePRNs     float64       `json:"forward_prepr_ns_per_op"`
+		ForwardOptimizedNs float64       `json:"forward_optimized_ns_per_op"`
+		ForwardSpeedup     float64       `json:"forward_speedup"`
+		ForwardAllocsPerOp float64       `json:"forward_allocs_per_op"`
+		LogitsBitIdentical bool          `json:"logits_bit_identical"`
+	}{
+		Note: "pre-PR side replayed in the same run by a line-for-line replica of the " +
+			"pre-kernel-layer forward, so the speedup ratio is immune to machine-load drift",
+		Workers:            tensor.IntraOpWorkers(),
+		GEMM:               results,
+		ForwardPrePRNs:     preprNs,
+		ForwardOptimizedNs: optNs,
+		ForwardSpeedup:     preprNs / optNs,
+		ForwardAllocsPerOp: allocs,
+		LogitsBitIdentical: identical,
+	}
+	buf, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.MkdirAll("artifacts", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join("artifacts", "BENCH_kernels.json"), append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("forward: pre-PR %.0f ns, optimized %.0f ns (%.2fx), %.0f allocs/op, bit-identical=%v",
+		preprNs, optNs, preprNs/optNs, allocs, identical)
+}
+
+// TestForwardLogitsMatchPrePR asserts — independently of the benchmark —
+// that the kernel-layer forward reproduces the pre-kernel-layer logits
+// bit for bit, serial and with the intra-op budget raised.
+func TestForwardLogitsMatchPrePR(t *testing.T) {
+	qm, img := benchQuantizedModel(t)
+	want := preprForward(t, qm, img)
+	check := func(label string) {
+		t.Helper()
+		got := qm.Forward(img)
+		for i, w := range want.Data() {
+			if math.Float64bits(got.Data()[i]) != math.Float64bits(w) {
+				t.Fatalf("%s: logit %d = %v, pre-PR reference %v", label, i, got.Data()[i], w)
+			}
+		}
+	}
+	check("serial")
+	tensor.SetIntraOpWorkers(4)
+	t.Cleanup(func() { tensor.SetIntraOpWorkers(1) })
+	check("parallel")
+}
+
+// forwardAllocBudget is the steady-state allocation ceiling for one
+// quantized ViT-Nano forward. Measured: 797 allocs/op with the kernel
+// layer (783 before it — the arena and destination-passing kernels pay
+// for the pooling headers they add). The ceiling leaves headroom for
+// compiler-version jitter while still catching a lost arena (which
+// costs hundreds of allocations per forward).
+const forwardAllocBudget = 860
+
+// TestForwardAllocBudget fails if the steady-state quantized forward
+// starts allocating above the recorded budget — the cheap canary for
+// "someone dropped tensor reuse on the hot path".
+func TestForwardAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector drops sync.Pool reuse; allocs/op is not meaningful")
+	}
+	qm, img := benchQuantizedModel(t)
+	qm.Forward(img) // warm the arena and pack pools
+	allocs := testing.AllocsPerRun(5, func() { qm.Forward(img) })
+	if allocs > forwardAllocBudget {
+		t.Fatalf("steady-state forward allocates %.0f/op, budget %d", allocs, forwardAllocBudget)
+	}
+}

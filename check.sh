@@ -16,10 +16,19 @@ go run ./cmd/quq-vet ./...
 
 go test -race ./...
 
-# Short fuzz smoke of the two property-based targets. `go test -fuzz`
+# Short fuzz smoke of the property-based targets. `go test -fuzz`
 # takes exactly one package per invocation.
 go test -fuzz=FuzzPRA -fuzztime=5s -run=^$ ./internal/quant/
 go test -fuzz=FuzzQUBRoundtrip -fuzztime=5s -run=^$ ./internal/qub/
+go test -fuzz=FuzzGEMMEquivalence -fuzztime=5s -run=^$ ./internal/tensor/
+
+# Kernel-layer smoke: per-shape GEMM naive-vs-tiled plus the end-to-end
+# quantized forward against the in-run pre-kernel-layer replica;
+# regenerates artifacts/BENCH_kernels.json. The benchmark itself asserts
+# the optimized logits are bit-identical to the replica's before timing.
+# (The allocation-regression gate is TestForwardAllocBudget, which runs
+# with the suite above.)
+go test -run '^$' -bench BenchmarkKernels -benchtime 20x .
 
 # quq-serve smoke: boot the inference service on an ephemeral port and
 # drive one quantize + classify round trip through the real HTTP stack.

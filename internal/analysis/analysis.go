@@ -42,7 +42,7 @@ type Analyzer struct {
 
 // Analyzers returns the quqvet registry in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{IntOnly, Pow2, DetIter, ErrDrop, PanicAudit, DocMissing, Directives}
+	return []*Analyzer{IntOnly, Pow2, DetIter, ErrDrop, PanicAudit, HotAlloc, DocMissing, Directives}
 }
 
 // Diagnostic is one finding.
@@ -231,8 +231,13 @@ var Directives = &Analyzer{
 	Name: "directive",
 	Doc:  "quq: suppression directives must use a known token and state a reason",
 	Run: func(pass *Pass) {
-		known := map[string]bool{}
-		for _, a := range []*Analyzer{IntOnly, Pow2, DetIter, ErrDrop, PanicAudit} {
+		known := map[string]bool{
+			// hotpath is a marker, not a suppression: it declares a
+			// function steady-state and the hotalloc analyzer enforces
+			// the no-allocation claim it makes. It still needs a reason.
+			hotpathToken: true,
+		}
+		for _, a := range []*Analyzer{IntOnly, Pow2, DetIter, ErrDrop, PanicAudit, HotAlloc} {
 			known[a.Directive] = true
 		}
 		for _, f := range pass.Files {
@@ -243,7 +248,7 @@ var Directives = &Analyzer{
 						continue
 					}
 					if !known[d.token] {
-						pass.Reportf(c.Pos(), "unknown directive //quq:%s (known: float-ok, maporder-ok, errdrop-ok, panic-ok)", d.token)
+						pass.Reportf(c.Pos(), "unknown directive //quq:%s (known: float-ok, maporder-ok, errdrop-ok, panic-ok, hotalloc-ok, hotpath)", d.token)
 						continue
 					}
 					if d.reason == "" {

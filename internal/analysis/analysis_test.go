@@ -172,6 +172,10 @@ func TestDocMissingConformingFixture(t *testing.T) {
 	runFixture(t, DocMissing, "docmissingok", "quq/internal/docmissingok")
 }
 
+func TestHotAllocFixture(t *testing.T) {
+	runFixture(t, HotAlloc, "hotalloc", "quq/internal/hotallocfixture")
+}
+
 func TestDirectiveFixture(t *testing.T) {
 	runFixture(t, Directives, "directive", "quq/internal/directivefixture")
 }
@@ -209,7 +213,7 @@ func TestRegistry(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"intonly", "pow2", "detiter", "errdrop", "panicaudit", "docmissing", "directive"} {
+	for _, want := range []string{"intonly", "pow2", "detiter", "errdrop", "panicaudit", "hotalloc", "docmissing", "directive"} {
 		if !names[want] {
 			t.Fatalf("registry missing %q", want)
 		}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// tensorPkg is the kernel-layer package whose allocating constructors
+// and methods hotalloc polices.
+const tensorPkg = "quq/internal/tensor"
+
+// tensorAllocFuncs are package-level tensor constructors that allocate a
+// fresh backing array on every call.
+var tensorAllocFuncs = map[string]bool{
+	"New":       true,
+	"Zeros":     true,
+	"FromSlice": true,
+	"MatMul":    true,
+	"MatMulT":   true,
+}
+
+// tensorAllocMethods are Tensor methods that allocate their result.
+var tensorAllocMethods = map[string]bool{
+	"Clone":     true,
+	"Transpose": true,
+	"Add":       true,
+}
+
+// hotpathToken marks a function as steady-state per-forward code. It is
+// a declaration, not a suppression: the hotalloc analyzer enforces the
+// claim it makes.
+const hotpathToken = "hotpath"
+
+// HotAlloc flags fresh tensor allocations inside functions whose doc
+// comment carries a //quq:hotpath directive. Hot functions run once per
+// forward pass (or per GEMM); their scratch must come from an Arena or a
+// caller-provided destination so the steady state allocates nothing —
+// that is the claim the //quq:hotpath marker makes, and this check keeps
+// the marker honest. Arena.New/NewUninit are the sanctioned scratch path
+// and are not flagged. A deliberate allocation (e.g. a tensor that
+// escapes to a tap) carries //quq:hotalloc-ok with its justification.
+var HotAlloc = &Analyzer{
+	Name:      "hotalloc",
+	Doc:       "functions marked //quq:hotpath must not allocate tensors (arena scratch or destination passing only)",
+	Directive: "hotalloc-ok",
+	Run:       runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDirective(fn.Doc, hotpathToken) {
+				continue
+			}
+			name := fn.Name.Name
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pass.Info, call)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != tensorPkg {
+					return true
+				}
+				sig, ok := callee.Type().(*types.Signature)
+				if !ok {
+					return true
+				}
+				if sig.Recv() == nil {
+					if tensorAllocFuncs[callee.Name()] {
+						pass.Reportf(call.Pos(), "tensor allocation tensor.%s in //quq:hotpath function %s (use arena scratch or a destination-passing kernel)", callee.Name(), name)
+					}
+				} else if recvNamed(sig.Recv().Type()) == "Tensor" && tensorAllocMethods[callee.Name()] {
+					pass.Reportf(call.Pos(), "tensor allocation Tensor.%s in //quq:hotpath function %s (use arena scratch or a destination-passing kernel)", callee.Name(), name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// hasDirective reports whether the comment group contains a
+// //quq:<token> directive.
+func hasDirective(doc *ast.CommentGroup, token string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if d, ok := parseDirective(c.Text); ok && d.token == token {
+			return true
+		}
+	}
+	return false
+}
+
+// recvNamed returns the name of a method receiver's named type,
+// dereferencing one pointer level.
+func recvNamed(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return n.Obj().Name()
+}

@@ -1,0 +1,53 @@
+// Package hotalloc is the fixture corpus for the hotalloc analyzer:
+// functions whose doc comment carries //quq:hotpath must not allocate
+// tensors — scratch comes from an Arena or a caller-provided
+// destination.
+package hotalloc
+
+import "quq/internal/tensor"
+
+// hot is a marked steady-state kernel; every allocating tensor call in
+// its body is a finding.
+//
+//quq:hotpath fixture: marked steady-state
+func hot(dst, a, b *tensor.Tensor) *tensor.Tensor {
+	t := tensor.New(2, 2)               // want `tensor allocation tensor\.New in //quq:hotpath function hot`
+	u := t.Clone()                      // want `tensor allocation Tensor\.Clone in //quq:hotpath function hot`
+	_ = u.Transpose()                   // want `tensor allocation Tensor\.Transpose in //quq:hotpath function hot`
+	_ = a.Add(b)                        // want `tensor allocation Tensor\.Add in //quq:hotpath function hot`
+	_ = tensor.MatMul(a, b)             // want `tensor allocation tensor\.MatMul in //quq:hotpath function hot`
+	return tensor.MatMulInto(dst, a, b) // destination passing: not flagged
+}
+
+// hotArena uses the sanctioned scratch path; Arena methods share names
+// with the package constructors but are not allocations in the steady
+// state.
+//
+//quq:hotpath fixture: arena scratch only
+func hotArena(a, b *tensor.Tensor) *tensor.Tensor {
+	ar := tensor.GetArena()
+	defer ar.Release()
+	x := ar.NewUninit(2, 2) // arena scratch: not flagged
+	y := ar.New(2, 2)       // arena scratch: not flagged
+	tensor.MatMulInto(x, a, b)
+	ar.Put(y)
+	escapes := tensor.New(2, 2) //quq:hotalloc-ok fixture: documented deliberate allocation
+	tensor.AddInto(escapes, x, x)
+	return escapes
+}
+
+// cold has no hotpath marker and may allocate freely.
+func cold(a *tensor.Tensor) *tensor.Tensor {
+	return tensor.New(3, 3).Add(a.Clone())
+}
+
+// hotLiteral checks that allocations inside a function literal declared
+// in a hot function are still attributed to the hot function.
+//
+//quq:hotpath fixture: nested literal
+func hotLiteral() {
+	f := func() *tensor.Tensor {
+		return tensor.Zeros(1, 1) // want `tensor allocation tensor\.Zeros in //quq:hotpath function hotLiteral`
+	}
+	f()
+}

@@ -18,6 +18,17 @@ import (
 // This is the batch primitive behind quq-serve's micro-batching
 // scheduler; it is exported so non-HTTP callers (benchmarks, bulk
 // evaluation) get the same amortization.
+//
+// Interaction with intra-op parallelism: the kernel layer's worker
+// budget (tensor.SetIntraOpWorkers) defaults to 1, so under ForwardBatch
+// every image's GEMMs run serially inside their goroutine and the two
+// levels of parallelism never multiply. Raising the intra-op budget is
+// safe — the budget is a process-wide token pool, so batch workers share
+// (budget−1) extra kernel goroutines rather than spawning budget each —
+// but for throughput-oriented batch serving the inter-image fan-out here
+// is the better use of cores; keep the intra-op budget at 1 and spend
+// the cores on `workers` instead. Reserve SetIntraOpWorkers(n>1) for
+// latency-oriented single-image callers.
 func (q *QuantizedModel) ForwardBatch(images []*tensor.Tensor, workers int) []*tensor.Tensor {
 	out := make([]*tensor.Tensor, len(images))
 	if len(images) == 0 {

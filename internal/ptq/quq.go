@@ -31,10 +31,12 @@ type QUQTensorQuantizer struct {
 	Params *quant.Params
 }
 
-// Apply implements TensorQuantizer.
+// Apply implements TensorQuantizer. It quantizes x into a fresh tensor
+// (x is left untouched — callers may still hold it, e.g. as a residual)
+// rather than cloning first, saving a copy pass per site.
 func (q QUQTensorQuantizer) Apply(x *tensor.Tensor) *tensor.Tensor {
-	out := x.Clone()
-	q.Params.QuantizeSlice(out.Data(), out.Data())
+	out := tensor.New(x.Shape()...)
+	q.Params.QuantizeSlice(out.Data(), x.Data())
 	return out
 }
 

@@ -299,6 +299,25 @@ func roundMag(v float64) int64 {
 	return saturatingRound(v)
 }
 
+// two52 = 2^52, the magic constant of the add-subtract rounding trick.
+const two52 = float64(1 << 52)
+
+// roundMagFast rounds a non-negative, non-NaN quotient to the nearest
+// integer, ties to even. For y < 2^52 the add-subtract sequence is exact
+// round-to-nearest-even (the FP add rounds the real sum onto the ulp-1
+// grid of [2^52, 2^53)), so it matches roundMag bit for bit. For y ≥ 2^52
+// (including +Inf) it returns MaxInt64 where roundMag would return the
+// exact integer; both exceed every representable MaxMag (≤ 2^15), so the
+// downstream slot-selection and clipping comparisons are unaffected.
+// Callers must route NaN through roundMag instead: int64(NaN) is
+// implementation-defined and the slow path's quirk must be preserved.
+func roundMagFast(y float64) int64 {
+	if y < two52 {
+		return int64((y + two52) - two52)
+	}
+	return math.MaxInt64
+}
+
 // Dequantize converts a code back to its real value.
 func (p *Params) Dequantize(c Code) float64 {
 	v := float64(c.Mag) * p.Slots[c.Slot].Delta
@@ -316,12 +335,118 @@ func (p *Params) Value(x float64) float64 {
 
 // QuantizeSlice fake-quantizes every element of xs into out (which may
 // alias xs). It panics if the lengths differ.
+//
+// This is the per-forward hot loop (every activation site runs it), so it
+// specializes Value: the slot parameters are hoisted out of the loop and
+// the per-element branches operate on locals. The arithmetic — which Δ
+// divides x, how the quotient rounds and clips, what multiplies back —
+// is step-for-step the same as Quantize+Dequantize, so the results are
+// bit-identical to Value; quant_test.go asserts this element-wise.
 func (p *Params) QuantizeSlice(out, xs []float64) {
 	if len(out) != len(xs) {
 		panic(check.Invariant("quant: QuantizeSlice length mismatch"))
 	}
+	// Slot parameters hoisted into scalars so the per-element branches
+	// never copy a SlotParams struct.
+	fpE, fpD, fpM := p.Slots[FPos].Enabled, p.Slots[FPos].Delta, p.Slots[FPos].MaxMag
+	cpE, cpD, cpM := p.Slots[CPos].Enabled, p.Slots[CPos].Delta, p.Slots[CPos].MaxMag
+	fnE, fnD, fnM := p.Slots[FNeg].Enabled, p.Slots[FNeg].Delta, p.Slots[FNeg].MaxMag
+	cnE, cnD, cnM := p.Slots[CNeg].Enabled, p.Slots[CNeg].Delta, p.Slots[CNeg].MaxMag
+	// All zero-magnitude codes normalize onto the canonical zero slot,
+	// whose dequantized value is −0.0 when that slot is negative.
+	zeroVal := p.Dequantize(Code{Slot: p.zeroSlot(), Mag: 0})
 	for i, x := range xs {
-		out[i] = p.Value(x)
+		if x > 0 {
+			var mag int64
+			var delta float64
+			if fpE {
+				mag = roundMagFast(x / fpD)
+				if mag <= fpM || !cpE {
+					if mag > fpM {
+						mag = fpM
+					}
+					delta = fpD
+					goto emitPos
+				}
+			}
+			if !cpE {
+				// No subrange on this side: clip to zero.
+				out[i] = zeroVal
+				continue
+			}
+			mag = roundMagFast(x / cpD)
+			if mag > cpM {
+				mag = cpM
+			}
+			delta = cpD
+		emitPos:
+			if mag == 0 {
+				out[i] = zeroVal
+				continue
+			}
+			out[i] = float64(mag) * delta
+		} else if x < 0 {
+			x = -x
+			var mag int64
+			var delta float64
+			if fnE {
+				mag = roundMagFast(x / fnD)
+				if mag <= fnM || !cnE {
+					if mag > fnM {
+						mag = fnM
+					}
+					delta = fnD
+					goto emitNeg
+				}
+			}
+			if !cnE {
+				out[i] = zeroVal
+				continue
+			}
+			mag = roundMagFast(x / cnD)
+			if mag > cnM {
+				mag = cnM
+			}
+			delta = cnD
+		emitNeg:
+			if mag == 0 {
+				out[i] = zeroVal
+				continue
+			}
+			out[i] = -(float64(mag) * delta)
+		} else if x == 0 {
+			out[i] = zeroVal
+		} else {
+			// NaN: Quantize's `x > 0` is false, so NaN routes through
+			// the negative slots (negated NaN stays NaN); replicate.
+			var mag int64
+			var delta float64
+			if fnE {
+				mag = roundMag(x / fnD)
+				if mag <= fnM || !cnE {
+					if mag > fnM {
+						mag = fnM
+					}
+					delta = fnD
+					goto emitNaNNeg
+				}
+			}
+			if !cnE {
+				out[i] = zeroVal
+				continue
+			}
+			mag = roundMag(x / cnD)
+			if mag > cnM {
+				mag = cnM
+			}
+			delta = cnD
+		emitNaNNeg:
+			if mag == 0 {
+				out[i] = zeroVal
+				continue
+			}
+			out[i] = -(float64(mag) * delta)
+		}
 	}
 }
 

@@ -234,18 +234,62 @@ func TestQuantizeWrongSideOfOneSided(t *testing.T) {
 	}
 }
 
+// TestQuantizeSliceMatchesValue pins the specialized hot loop to the
+// scalar Quantize+Dequantize path bit for bit (QuantizeSlice's doc
+// promises bit-identity, including the sign of zero), across every slot
+// configuration the calibrator can produce and the edge values that
+// exercise the clipping, zero-normalization and saturation branches.
 func TestQuantizeSliceMatchesValue(t *testing.T) {
 	src := rng.New(8)
-	xs := make([]float64, 1000)
-	for i := range xs {
-		xs[i] = src.Laplace(1)
+	calib := make([]float64, 4096)
+	for i := range calib {
+		calib[i] = src.Laplace(1)
 	}
-	p := PRA(xs, 6, DefaultPRAOptions())
-	out := make([]float64, len(xs))
-	p.QuantizeSlice(out, xs)
-	for i, x := range xs {
-		if out[i] != p.Value(x) {
-			t.Fatalf("QuantizeSlice[%d] = %v, want %v", i, out[i], p.Value(x))
+	onePos := make([]float64, 4096)
+	oneNeg := make([]float64, 4096)
+	for i := range onePos {
+		onePos[i] = src.Exp(1)
+		oneNeg[i] = -src.Exp(1)
+	}
+	params := map[string]*Params{
+		"pra-two-sided":   PRA(calib, 6, DefaultPRAOptions()),
+		"pra-one-sided+":  PRA(onePos, 6, DefaultPRAOptions()),
+		"pra-one-sided-":  PRA(oneNeg, 6, DefaultPRAOptions()),
+		"uniform-special": ParamsForUniform(0.125, 6),
+	}
+	edges := []float64{
+		0, math.Copysign(0, -1), 1e-300, -1e-300, 1e300, -1e300,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		math.MaxFloat64, -math.MaxFloat64, math.NaN(),
+	}
+	for name, p := range params {
+		xs := append([]float64(nil), edges...)
+		for i := 0; i < 2000; i++ {
+			switch {
+			case src.Float64() < 0.1:
+				xs = append(xs, 0)
+			case src.Float64() < 0.05:
+				xs = append(xs, src.Gauss(0, 1e6)) // deep in the clip region
+			default:
+				xs = append(xs, src.Laplace(1))
+			}
+		}
+		out := make([]float64, len(xs))
+		p.QuantizeSlice(out, xs)
+		for i, x := range xs {
+			want := p.Value(x)
+			if math.Float64bits(out[i]) != math.Float64bits(want) {
+				t.Fatalf("%s: QuantizeSlice(%v) = %v (bits %016x), want %v (bits %016x)",
+					name, x, out[i], math.Float64bits(out[i]), want, math.Float64bits(want))
+			}
+		}
+		// In-place aliasing must produce the same results.
+		alias := append([]float64(nil), xs...)
+		p.QuantizeSlice(alias, alias)
+		for i := range alias {
+			if math.Float64bits(alias[i]) != math.Float64bits(out[i]) {
+				t.Fatalf("%s: aliased QuantizeSlice diverged at %d", name, i)
+			}
 		}
 	}
 }

@@ -1,0 +1,539 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"quq/internal/check"
+)
+
+// This file is the kernel layer: cache-blocked, register-tiled GEMM with
+// destination-passing variants and optional row-partitioned intra-op
+// parallelism. Every kernel obeys one determinism contract:
+//
+//	each output element is the serial reduction
+//	    out[i][j] = fl(... fl(fl(a[i][0]·b[0][j]) + a[i][1]·b[1][j]) ...)
+//	with the inner index ascending,
+//
+// which is exactly what the original scalar loops computed. Register
+// tiling reuses operand loads across a 4×4 tile of outputs but keeps one
+// accumulator per element, cache blocking only reorders *which* elements
+// are in flight, and parallelism partitions output rows across workers —
+// none of the three changes any element's reduction order, so blocked,
+// tiled and parallel results are bit-identical to the reference kernels
+// for finite inputs. (The reference MatMul skips a[i][kk]==0 terms; a
+// skipped term contributes ±0 to a running sum that is never −0, which
+// cannot change the accumulator's bit pattern. Only non-finite operands,
+// where 0·±Inf is NaN, can tell the kernels apart; no model tensor
+// contains them.) The equivalence and fuzz tests in gemm_test.go assert
+// bit-identity against the Ref oracles over randomized shapes.
+
+const (
+	// mrTile×nrTile is the register micro-tile: 16 accumulators live in
+	// registers while each inner-loop iteration issues 8 loads and 16
+	// multiply-adds, versus 2 loads per multiply-add in the scalar loops.
+	mrTile = 4
+	nrTile = 4
+	// parallelMinMACs is the size cutover for intra-op parallelism:
+	// below this many multiply-accumulates the fork/join overhead
+	// outweighs the work and the kernel stays on the cheap serial path.
+	// Proxy-scale forward shapes (ViT-Nano attention is 17×16×17) never
+	// cross it; calibration sweeps and large batched GEMMs do.
+	parallelMinMACs = 1 << 18
+	// minRowsPerWorker bounds the split granularity so a worker always
+	// has enough rows to amortize its goroutine.
+	minRowsPerWorker = 16
+)
+
+// intraOpExtra is the process-wide pool of *extra* GEMM workers: a kernel
+// always runs on its calling goroutine and may additionally borrow up to
+// budget−1 helpers from this pool. Because the pool is global, batch-level
+// fan-out (ptq.ForwardBatch, the quq-serve batcher) and intra-op fan-out
+// draw from one budget and can never multiply into oversubscription.
+var intraOpExtra atomic.Int32
+
+// intraOpN is the configured budget, reported by IntraOpWorkers.
+var intraOpN atomic.Int32
+
+// SetIntraOpWorkers sets the process-wide intra-op worker budget: the
+// maximum number of goroutines (including the caller) a single GEMM may
+// use. The default budget is 1 — every kernel is serial unless a binary
+// opts in — which is also the required setting under per-image fan-out
+// (quq-serve workers, ptq.ForwardBatch with workers>1), where parallelism
+// across images already saturates the cores. Intended to be called once
+// at startup, before kernels run; worker counts never affect results
+// (outputs are bit-identical at any budget), only timing.
+func SetIntraOpWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	intraOpN.Store(int32(n))
+	intraOpExtra.Store(int32(n - 1))
+}
+
+// IntraOpWorkers returns the configured intra-op worker budget.
+func IntraOpWorkers() int {
+	if n := intraOpN.Load(); n > 1 {
+		return int(n)
+	}
+	return 1
+}
+
+// acquireExtra takes up to max extra workers from the pool.
+func acquireExtra(max int) int {
+	for {
+		cur := intraOpExtra.Load()
+		if cur <= 0 || max <= 0 {
+			return 0
+		}
+		take := int32(max)
+		if take > cur {
+			take = cur
+		}
+		if intraOpExtra.CompareAndSwap(cur, cur-take) {
+			return int(take)
+		}
+	}
+}
+
+func releaseExtra(n int) {
+	if n > 0 {
+		intraOpExtra.Add(int32(n))
+	}
+}
+
+// refKernels routes the destination-passing entry points through the
+// reference scalar loops instead of the tiled kernels. It exists for the
+// kernel benchmarks (naive-vs-blocked on identical surrounding code) and
+// for equivalence tests; results are bit-identical either way, so the
+// switch can only change timing.
+var refKernels atomic.Bool
+
+// SetReferenceKernels selects (true) the pre-kernel-layer scalar loops or
+// (false, the default) the blocked/tiled kernels for MatMulInto,
+// MatMulTInto and MatMulBiasInto. Benchmark and test seam only.
+func SetReferenceKernels(on bool) { refKernels.Store(on) }
+
+// matMulDims validates a (m×k) @ b (k×n) and returns the dimensions.
+func matMulDims(a, b *Tensor, op string) (m, k, n int) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(check.Invariantf("tensor: %s requires rank-2 tensors", op))
+	}
+	m, k = a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(check.Invariantf("tensor: %s inner dimension mismatch %v @ %v", op, a.shape, b.shape))
+	}
+	return m, k, n
+}
+
+// matMulTDims validates a (m×k) @ bᵀ (n×k) and returns the dimensions.
+func matMulTDims(a, b *Tensor, op string) (m, k, n int) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(check.Invariantf("tensor: %s requires rank-2 tensors", op))
+	}
+	m, k = a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(check.Invariantf("tensor: %s inner dimension mismatch %v @ %vᵀ", op, a.shape, b.shape))
+	}
+	return m, k, n
+}
+
+// checkDst validates the destination: rank-2, m×n, and storage disjoint
+// from both operands (the kernels stream operands while writing dst).
+func checkDst(dst, a, b *Tensor, m, n int, op string) {
+	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(check.Invariantf("tensor: %s destination shape %v, want [%d %d]", op, dst.shape, m, n))
+	}
+	if len(dst.data) == 0 {
+		return
+	}
+	if (len(a.data) > 0 && &dst.data[0] == &a.data[0]) || (len(b.data) > 0 && &dst.data[0] == &b.data[0]) {
+		panic(check.Invariantf("tensor: %s destination aliases an operand", op))
+	}
+}
+
+// MatMulInto computes dst = a @ b for rank-2 tensors (m×k) @ (k×n) ->
+// (m×n), writing into caller-provided storage (dst need not be zeroed;
+// every element is stored). dst must not share storage with a or b.
+// Bit-identical to MatMulRef for finite inputs; see the determinism
+// contract above.
+//
+//quq:hotpath steady-state GEMM kernel; destinations come from the caller (arena or reused buffer), never fresh allocations
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	m, k, n := matMulDims(a, b, "MatMulInto")
+	checkDst(dst, a, b, m, n, "MatMulInto")
+	if refKernels.Load() {
+		matMulRefRange(dst, a, b, nil, 0, m)
+		return dst
+	}
+	if extra := planExtra(m, k, n); extra > 0 {
+		runRows(extra, m, func(i0, i1 int) { matMulRange(dst, a, b, nil, i0, i1) })
+	} else {
+		matMulRange(dst, a, b, nil, 0, m)
+	}
+	return dst
+}
+
+// MatMulBiasInto computes dst = a @ b + bias, the bias-fused linear-layer
+// epilogue: bias (length n) is added row-wise after each element's
+// reduction completes, which is exactly MatMul followed by AddRowVector —
+// same operations, same order, one less pass over dst.
+//
+//quq:hotpath steady-state GEMM kernel; destinations come from the caller (arena or reused buffer), never fresh allocations
+func MatMulBiasInto(dst, a, b *Tensor, bias []float64) *Tensor {
+	m, k, n := matMulDims(a, b, "MatMulBiasInto")
+	checkDst(dst, a, b, m, n, "MatMulBiasInto")
+	if len(bias) != n {
+		panic(check.Invariantf("tensor: MatMulBiasInto bias length %d, want %d", len(bias), n))
+	}
+	if refKernels.Load() {
+		matMulRefRange(dst, a, b, bias, 0, m)
+		return dst
+	}
+	if extra := planExtra(m, k, n); extra > 0 {
+		runRows(extra, m, func(i0, i1 int) { matMulRange(dst, a, b, bias, i0, i1) })
+	} else {
+		matMulRange(dst, a, b, bias, 0, m)
+	}
+	return dst
+}
+
+// MatMulTInto computes dst = a @ bᵀ for rank-2 tensors (m×k) @ (n×k)ᵀ ->
+// (m×n) into caller-provided storage. Attention scores (Q @ Kᵀ) use this
+// form: both operands stream row-major and no transpose is ever
+// materialized. dst must not share storage with a or b.
+//
+//quq:hotpath steady-state GEMM kernel; destinations come from the caller (arena or reused buffer), never fresh allocations
+func MatMulTInto(dst, a, b *Tensor) *Tensor {
+	m, k, n := matMulTDims(a, b, "MatMulTInto")
+	checkDst(dst, a, b, m, n, "MatMulTInto")
+	if refKernels.Load() {
+		matMulTRefRange(dst, a, b, 0, m)
+		return dst
+	}
+	if extra := planExtra(m, k, n); extra > 0 {
+		runRows(extra, m, func(i0, i1 int) { matMulTRange(dst, a, b, i0, i1) })
+	} else {
+		matMulTRange(dst, a, b, 0, m)
+	}
+	return dst
+}
+
+// AddInto computes dst = a + b elementwise. dst may alias a or b.
+func AddInto(dst, a, b *Tensor) *Tensor {
+	a.assertSameShape(b, "AddInto")
+	dst.assertSameShape(a, "AddInto")
+	dd, ad, bd := dst.data, a.data, b.data
+	for i, av := range ad {
+		dd[i] = av + bd[i]
+	}
+	return dst
+}
+
+// planExtra decides how many extra workers a m×k×n GEMM should use and
+// acquires them from the intra-op pool (the caller must releaseExtra the
+// same count). It returns 0 — keep the cheap serial path — below the
+// size cutover, when the split would leave workers underfed, or when the
+// pool is drained. Callers keep the serial kernel call out of the
+// parallel closure so the serial path allocates nothing.
+func planExtra(m, k, n int) int {
+	if m*k*n < parallelMinMACs || m < 2*minRowsPerWorker {
+		return 0
+	}
+	want := m / minRowsPerWorker
+	if want < 2 {
+		return 0
+	}
+	return acquireExtra(want - 1)
+}
+
+// runRows splits rows [0, m) into extra+1 contiguous chunks: the extra
+// workers take the tail chunks while the caller computes the first, then
+// releases the workers. Row partitioning cannot perturb results: each
+// output element is produced by one worker running the identical serial
+// reduction, so parallel output is bit-identical to serial output.
+func runRows(extra, m int, run func(i0, i1 int)) {
+	w := extra + 1
+	chunk := (m + w - 1) / w
+	var wg sync.WaitGroup
+	for t := 1; t < w; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			run(lo, hi)
+		}(lo, hi)
+	}
+	run(0, chunk) // the caller is worker 0
+	wg.Wait()
+	releaseExtra(extra)
+}
+
+// packPool recycles the per-call B-panel pack buffers so steady-state
+// kernels allocate nothing; each concurrent kernel invocation (including
+// each intra-op worker) takes its own buffer.
+var packPool = sync.Pool{New: func() any { return new([]float64) }}
+
+func getPack(n int) (*[]float64, []float64) {
+	p := packPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	return p, (*p)[:n]
+}
+
+// getPackAndAcc returns a pooled n-element pack panel plus a 16-element
+// accumulator block for the micro-kernel, carved from one pooled buffer
+// so the steady state allocates nothing. The accumulator must live in
+// pooled memory (not the caller's frame): micro4x4 is called through a
+// function variable, so a stack-declared block would be marked escaping
+// and heap-allocated on every kernel invocation.
+func getPackAndAcc(n int) (*[]float64, []float64, *[16]float64) {
+	p, buf := getPack(n + 16)
+	return p, buf[:n:n], (*[16]float64)(buf[n : n+16])
+}
+
+// matMulRange is the blocked, register-tiled a @ b kernel over dst rows
+// [i0, i1). For each group of nrTile columns, the group is packed into a
+// contiguous k×4 panel (a pure copy — values are unchanged) so the inner
+// loop's b loads are sequential rather than strided by the row width;
+// the panel is then paired with mrTile rows of a in a 4×4 micro-kernel
+// whose 16 accumulators each see their terms in ascending-k order. bias
+// (optional, length n) is added after each element's reduction
+// completes.
+func matMulRange(dst, a, b *Tensor, bias []float64, i0, i1 int) {
+	k := a.shape[1]
+	n := b.shape[1]
+	if n == 0 {
+		return
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	pp, packed, acc := getPackAndAcc(nrTile * k)
+	j := 0
+	for ; j+nrTile <= n; j += nrTile {
+		boff := j
+		for kk := 0; kk < k; kk++ {
+			brow := bd[boff : boff+nrTile]
+			prow := packed[kk*nrTile : kk*nrTile+nrTile]
+			prow[0], prow[1], prow[2], prow[3] = brow[0], brow[1], brow[2], brow[3]
+			boff += n
+		}
+		i := i0
+		for ; i+mrTile <= i1; i += mrTile {
+			a0 := ad[(i+0)*k : (i+0)*k+k]
+			a1 := ad[(i+1)*k : (i+1)*k+k]
+			a2 := ad[(i+2)*k : (i+2)*k+k]
+			a3 := ad[(i+3)*k : (i+3)*k+k]
+			micro4x4(acc, a0, a1, a2, a3, packed, k)
+			if bias != nil {
+				b0, b1, b2, b3 := bias[j], bias[j+1], bias[j+2], bias[j+3]
+				acc[0] += b0
+				acc[1] += b1
+				acc[2] += b2
+				acc[3] += b3
+				acc[4] += b0
+				acc[5] += b1
+				acc[6] += b2
+				acc[7] += b3
+				acc[8] += b0
+				acc[9] += b1
+				acc[10] += b2
+				acc[11] += b3
+				acc[12] += b0
+				acc[13] += b1
+				acc[14] += b2
+				acc[15] += b3
+			}
+			d0 := dd[(i+0)*n+j : (i+0)*n+j+nrTile]
+			d1 := dd[(i+1)*n+j : (i+1)*n+j+nrTile]
+			d2 := dd[(i+2)*n+j : (i+2)*n+j+nrTile]
+			d3 := dd[(i+3)*n+j : (i+3)*n+j+nrTile]
+			d0[0], d0[1], d0[2], d0[3] = acc[0], acc[1], acc[2], acc[3]
+			d1[0], d1[1], d1[2], d1[3] = acc[4], acc[5], acc[6], acc[7]
+			d2[0], d2[1], d2[2], d2[3] = acc[8], acc[9], acc[10], acc[11]
+			d3[0], d3[1], d3[2], d3[3] = acc[12], acc[13], acc[14], acc[15]
+		}
+		for ; i < i1; i++ {
+			arow := ad[i*k : i*k+k]
+			var c0, c1, c2, c3 float64
+			for kk := 0; kk < k; kk++ {
+				bq := packed[kk*nrTile : kk*nrTile+nrTile]
+				av := arow[kk]
+				c0 += av * bq[0]
+				c1 += av * bq[1]
+				c2 += av * bq[2]
+				c3 += av * bq[3]
+			}
+			if bias != nil {
+				c0 += bias[j]
+				c1 += bias[j+1]
+				c2 += bias[j+2]
+				c3 += bias[j+3]
+			}
+			drow := dd[i*n+j : i*n+j+nrTile]
+			drow[0], drow[1], drow[2], drow[3] = c0, c1, c2, c3
+		}
+	}
+	for ; j < n; j++ {
+		for i := i0; i < i1; i++ {
+			arow := ad[i*k : i*k+k]
+			var s float64
+			boff := j
+			for kk := 0; kk < k; kk++ {
+				s += arow[kk] * bd[boff]
+				boff += n
+			}
+			if bias != nil {
+				s += bias[j]
+			}
+			dd[i*n+j] = s
+		}
+	}
+	packPool.Put(pp)
+}
+
+// matMulTRange is the register-tiled a @ bᵀ kernel over dst rows
+// [i0, i1): each group of nrTile b rows is packed transposed into the
+// same contiguous k×4 panel layout matMulRange uses (a pure copy —
+// values unchanged), then swept with the shared 4×4 micro-kernel, 16
+// in-register dot products advancing together in ascending-k order.
+func matMulTRange(dst, a, b *Tensor, i0, i1 int) {
+	k := a.shape[1]
+	n := b.shape[0]
+	if n == 0 {
+		return
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	pp, packed, acc := getPackAndAcc(nrTile * k)
+	j := 0
+	for ; j+nrTile <= n; j += nrTile {
+		b0 := bd[(j+0)*k : (j+0)*k+k]
+		b1 := bd[(j+1)*k : (j+1)*k+k]
+		b2 := bd[(j+2)*k : (j+2)*k+k]
+		b3 := bd[(j+3)*k : (j+3)*k+k]
+		for kk := 0; kk < k; kk++ {
+			prow := packed[kk*nrTile : kk*nrTile+nrTile]
+			prow[0], prow[1], prow[2], prow[3] = b0[kk], b1[kk], b2[kk], b3[kk]
+		}
+		i := i0
+		for ; i+mrTile <= i1; i += mrTile {
+			a0 := ad[(i+0)*k : (i+0)*k+k]
+			a1 := ad[(i+1)*k : (i+1)*k+k]
+			a2 := ad[(i+2)*k : (i+2)*k+k]
+			a3 := ad[(i+3)*k : (i+3)*k+k]
+			micro4x4(acc, a0, a1, a2, a3, packed, k)
+			d0 := dd[(i+0)*n+j : (i+0)*n+j+nrTile]
+			d1 := dd[(i+1)*n+j : (i+1)*n+j+nrTile]
+			d2 := dd[(i+2)*n+j : (i+2)*n+j+nrTile]
+			d3 := dd[(i+3)*n+j : (i+3)*n+j+nrTile]
+			d0[0], d0[1], d0[2], d0[3] = acc[0], acc[1], acc[2], acc[3]
+			d1[0], d1[1], d1[2], d1[3] = acc[4], acc[5], acc[6], acc[7]
+			d2[0], d2[1], d2[2], d2[3] = acc[8], acc[9], acc[10], acc[11]
+			d3[0], d3[1], d3[2], d3[3] = acc[12], acc[13], acc[14], acc[15]
+		}
+		for ; i < i1; i++ {
+			arow := ad[i*k : i*k+k]
+			var c0, c1, c2, c3 float64
+			for kk := 0; kk < k; kk++ {
+				bq := packed[kk*nrTile : kk*nrTile+nrTile]
+				av := arow[kk]
+				c0 += av * bq[0]
+				c1 += av * bq[1]
+				c2 += av * bq[2]
+				c3 += av * bq[3]
+			}
+			drow := dd[i*n+j : i*n+j+nrTile]
+			drow[0], drow[1], drow[2], drow[3] = c0, c1, c2, c3
+		}
+	}
+	for ; j < n; j++ {
+		brow := bd[j*k : j*k+k]
+		for i := i0; i < i1; i++ {
+			arow := ad[i*k : i*k+k]
+			var s float64
+			for kk := 0; kk < k; kk++ {
+				s += arow[kk] * brow[kk]
+			}
+			dd[i*n+j] = s
+		}
+	}
+	packPool.Put(pp)
+}
+
+// matMulRefRange is the pre-kernel-layer scalar a @ b loop (i-k-j order
+// with the zero-skip), writing rows [i0, i1) of dst. It is retained as
+// the bit-exact reference oracle for the equivalence tests and the
+// naive-vs-blocked benchmarks.
+func matMulRefRange(dst, a, b *Tensor, bias []float64, i0, i1 int) {
+	k := a.shape[1]
+	n := b.shape[1]
+	for i := i0; i < i1; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := dst.data[i*n : (i+1)*n]
+		for j := range orow {
+			orow[j] = 0
+		}
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[kk*n : (kk+1)*n]
+			for j := range brow {
+				orow[j] += av * brow[j]
+			}
+		}
+		if bias != nil {
+			for j := range orow {
+				orow[j] += bias[j]
+			}
+		}
+	}
+}
+
+// matMulTRefRange is the pre-kernel-layer scalar a @ bᵀ loop (one
+// register dot product per element), writing rows [i0, i1) of dst.
+func matMulTRefRange(dst, a, b *Tensor, i0, i1 int) {
+	k := a.shape[1]
+	n := b.shape[0]
+	for i := i0; i < i1; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := dst.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			var s float64
+			for kk := range arow {
+				s += arow[kk] * brow[kk]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// MatMulRef returns a @ b computed by the reference scalar kernel. It is
+// the oracle the blocked kernels are tested against and the baseline the
+// kernel benchmarks measure; production code uses MatMul/MatMulInto.
+func MatMulRef(a, b *Tensor) *Tensor {
+	m, _, n := matMulDims(a, b, "MatMulRef")
+	out := New(m, n)
+	matMulRefRange(out, a, b, nil, 0, m)
+	return out
+}
+
+// MatMulTRef returns a @ bᵀ computed by the reference scalar kernel; see
+// MatMulRef.
+func MatMulTRef(a, b *Tensor) *Tensor {
+	m, _, n := matMulTDims(a, b, "MatMulTRef")
+	out := New(m, n)
+	matMulTRefRange(out, a, b, 0, m)
+	return out
+}

@@ -1,0 +1,50 @@
+package tensor
+
+// The 4×4 GEMM micro-kernel behind matMulRange/matMulTRange: 16 dot
+// products of four A rows against a shared k×4 packed B panel, every
+// accumulator seeing its terms in ascending-k order. micro4x4 is a
+// variable so amd64 can swap in the AVX implementation at init when the
+// CPU supports it; both implementations perform the identical sequence
+// of IEEE-754 multiplies and adds per output element (the vector kernel
+// computes the four column lanes of one row with one VMULPD+VADDPD pair
+// — lane-wise these are the same two roundings as the scalar
+// `c += av*b`, and no FMA contraction is ever used), so swapping
+// kernels can never change a result bit.
+var micro4x4 func(c *[16]float64, a0, a1, a2, a3, bp []float64, k int) = micro4x4Go
+
+// micro4x4Go is the portable micro-kernel:
+// c[r*4+j] = Σ_kk a_r[kk]·bp[kk*4+j].
+func micro4x4Go(c *[16]float64, a0, a1, a2, a3, bp []float64, k int) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	for kk := 0; kk < k; kk++ {
+		bq := bp[kk*4 : kk*4+4]
+		b0, b1, b2, b3 := bq[0], bq[1], bq[2], bq[3]
+		av := a0[kk]
+		c00 += av * b0
+		c01 += av * b1
+		c02 += av * b2
+		c03 += av * b3
+		av = a1[kk]
+		c10 += av * b0
+		c11 += av * b1
+		c12 += av * b2
+		c13 += av * b3
+		av = a2[kk]
+		c20 += av * b0
+		c21 += av * b1
+		c22 += av * b2
+		c23 += av * b3
+		av = a3[kk]
+		c30 += av * b0
+		c31 += av * b1
+		c32 += av * b2
+		c33 += av * b3
+	}
+	c[0], c[1], c[2], c[3] = c00, c01, c02, c03
+	c[4], c[5], c[6], c[7] = c10, c11, c12, c13
+	c[8], c[9], c[10], c[11] = c20, c21, c22, c23
+	c[12], c[13], c[14], c[15] = c30, c31, c32, c33
+}

@@ -1,0 +1,37 @@
+//go:build amd64
+
+package tensor
+
+// AVX path of the 4×4 micro-kernel. The assembly kernel keeps one ymm
+// accumulator per A row (four float64 column lanes) and issues one
+// VMULPD + one VADDPD per row per k step — per lane exactly the two
+// roundings of the scalar kernel, in the same ascending-k order, and
+// never an FMA — so its results are bit-identical to micro4x4Go. The
+// equivalence and fuzz tests in gemm_test.go exercise whichever kernel
+// init selected against the scalar reference oracles.
+
+// gemmKernel4x4 computes c[r*4+j] = Σ_kk a_r[kk]·bp[kk*4+j] for r,j in
+// 0..3. k must be ≥ 1 and the pointers must address k (rows) and 4k
+// (panel) readable float64s. Implemented in gemm_micro_amd64.s.
+//
+//go:noescape
+func gemmKernel4x4(c *[16]float64, a0, a1, a2, a3, bp *float64, k int)
+
+// cpuHasAVX reports CPU and OS support for AVX (CPUID leaf 1 OSXSAVE +
+// AVX, and XCR0 enabling xmm+ymm state). Implemented in
+// gemm_micro_amd64.s.
+func cpuHasAVX() bool
+
+func micro4x4AVX(c *[16]float64, a0, a1, a2, a3, bp []float64, k int) {
+	if k == 0 {
+		*c = [16]float64{}
+		return
+	}
+	gemmKernel4x4(c, &a0[0], &a1[0], &a2[0], &a3[0], &bp[0], k)
+}
+
+func init() {
+	if cpuHasAVX() {
+		micro4x4 = micro4x4AVX
+	}
+}

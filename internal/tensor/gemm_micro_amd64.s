@@ -1,0 +1,79 @@
+#include "textflag.h"
+
+// func gemmKernel4x4(c *[16]float64, a0, a1, a2, a3, bp *float64, k int)
+//
+// Four ymm accumulators, one per A row; each lane is one output column.
+// Per k step: load the packed B panel row once, broadcast each row's A
+// element, then VMULPD + VADDPD — the same two IEEE-754 roundings, in
+// the same ascending-k order, as the scalar kernel. No FMA: fusing
+// would change the rounding and break bit-identity with the reference
+// loops.
+TEXT ·gemmKernel4x4(SB), NOSPLIT, $0-56
+	MOVQ c+0(FP), DI
+	MOVQ a0+8(FP), R8
+	MOVQ a1+16(FP), R9
+	MOVQ a2+24(FP), R10
+	MOVQ a3+32(FP), R11
+	MOVQ bp+40(FP), SI
+	MOVQ k+48(FP), CX
+
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	TESTQ CX, CX
+	JE    done
+
+loop:
+	VMOVUPD      (SI), Y0
+	VBROADCASTSD (R8), Y1
+	VMULPD       Y0, Y1, Y1
+	VADDPD       Y1, Y4, Y4
+	VBROADCASTSD (R9), Y2
+	VMULPD       Y0, Y2, Y2
+	VADDPD       Y2, Y5, Y5
+	VBROADCASTSD (R10), Y3
+	VMULPD       Y0, Y3, Y3
+	VADDPD       Y3, Y6, Y6
+	VBROADCASTSD (R11), Y1
+	VMULPD       Y0, Y1, Y1
+	VADDPD       Y1, Y7, Y7
+	ADDQ         $32, SI
+	ADDQ         $8, R8
+	ADDQ         $8, R9
+	ADDQ         $8, R10
+	ADDQ         $8, R11
+	DECQ         CX
+	JNE          loop
+
+done:
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, 32(DI)
+	VMOVUPD Y6, 64(DI)
+	VMOVUPD Y7, 96(DI)
+	VZEROUPPER
+	RET
+
+// func cpuHasAVX() bool
+//
+// CPUID leaf 1: ECX bit 27 (OSXSAVE) and bit 28 (AVX); then XGETBV to
+// confirm the OS saves xmm+ymm state (XCR0 bits 1 and 2).
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	ANDL $0x18000000, CX
+	CMPL CX, $0x18000000
+	JNE  noavx
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx
+	MOVB $1, ret+0(FP)
+	RET
+
+noavx:
+	MOVB $0, ret+0(FP)
+	RET

@@ -1,0 +1,276 @@
+package tensor
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"quq/internal/rng"
+)
+
+// randTensor fills a tensor with finite values, planting exact zeros so
+// the reference kernel's zero-skip path is exercised. The determinism
+// contract only covers finite inputs (0·±Inf is NaN under one kernel and
+// skipped under the other), which is the domain every model tensor
+// lives in.
+func randTensor(src *rng.Source, m, n int) *Tensor {
+	t := New(m, n)
+	d := t.Data()
+	for i := range d {
+		switch {
+		case src.Float64() < 0.1:
+			d[i] = 0
+		case src.Float64() < 0.15:
+			d[i] = math.Copysign(0, -1)
+		default:
+			d[i] = src.Gauss(0, 2)
+		}
+	}
+	return t
+}
+
+func assertBitEqual(t *testing.T, name string, got, want *Tensor) {
+	t.Helper()
+	gs, ws := got.Shape(), want.Shape()
+	if len(gs) != len(ws) || gs[0] != ws[0] || gs[1] != ws[1] {
+		t.Fatalf("%s: shape %v, want %v", name, gs, ws)
+	}
+	gd, wd := got.Data(), want.Data()
+	for i := range gd {
+		if math.Float64bits(gd[i]) != math.Float64bits(wd[i]) {
+			t.Fatalf("%s: element %d = %v (bits %016x), want %v (bits %016x)",
+				name, i, gd[i], math.Float64bits(gd[i]), wd[i], math.Float64bits(wd[i]))
+		}
+	}
+}
+
+// gemmShapes covers the tile interior, every edge-tile combination, and
+// the degenerate shapes (k=0, single row, single column, empty).
+var gemmShapes = []struct{ m, k, n int }{
+	{0, 3, 3}, {3, 0, 3}, {3, 3, 0},
+	{1, 1, 1}, {1, 5, 1}, {5, 1, 1}, {1, 7, 9},
+	{4, 4, 4}, {5, 5, 5}, {8, 3, 8}, {7, 2, 3},
+	{9, 17, 33}, {17, 16, 17}, {3, 129, 2}, {16, 48, 12},
+	{33, 31, 35},
+}
+
+func TestMatMulIntoMatchesRef(t *testing.T) {
+	src := rng.New(11)
+	for _, s := range gemmShapes {
+		a := randTensor(src, s.m, s.k)
+		b := randTensor(src, s.k, s.n)
+		got := MatMulInto(New(s.m, s.n), a, b)
+		assertBitEqual(t, "MatMulInto", got, MatMulRef(a, b))
+		// The allocating wrapper must agree too.
+		assertBitEqual(t, "MatMul", MatMul(a, b), got)
+	}
+}
+
+func TestMatMulTIntoMatchesRef(t *testing.T) {
+	src := rng.New(12)
+	for _, s := range gemmShapes {
+		a := randTensor(src, s.m, s.k)
+		b := randTensor(src, s.n, s.k)
+		got := MatMulTInto(New(s.m, s.n), a, b)
+		assertBitEqual(t, "MatMulTInto", got, MatMulTRef(a, b))
+		assertBitEqual(t, "MatMulT", MatMulT(a, b), got)
+	}
+}
+
+func TestMatMulBiasIntoMatchesRef(t *testing.T) {
+	src := rng.New(13)
+	for _, s := range gemmShapes {
+		a := randTensor(src, s.m, s.k)
+		b := randTensor(src, s.k, s.n)
+		bias := make([]float64, s.n)
+		for i := range bias {
+			bias[i] = src.Gauss(0, 1)
+		}
+		got := MatMulBiasInto(New(s.m, s.n), a, b, bias)
+		want := MatMulRef(a, b).AddRowVector(bias)
+		assertBitEqual(t, "MatMulBiasInto", got, want)
+	}
+}
+
+// TestReferenceKernelSeam verifies the bench seam routes through the
+// scalar loops and produces the same bits.
+func TestReferenceKernelSeam(t *testing.T) {
+	src := rng.New(14)
+	a := randTensor(src, 9, 17)
+	b := randTensor(src, 17, 33)
+	tiled := MatMulInto(New(9, 33), a, b)
+	SetReferenceKernels(true)
+	defer SetReferenceKernels(false)
+	ref := MatMulInto(New(9, 33), a, b)
+	assertBitEqual(t, "reference seam", ref, tiled)
+}
+
+// TestParallelMatchesSerial raises the intra-op budget and checks that a
+// GEMM above the size cutover — which then actually splits across
+// workers — produces bit-identical results to the serial kernel.
+func TestParallelMatchesSerial(t *testing.T) {
+	SetIntraOpWorkers(4)
+	t.Cleanup(func() { SetIntraOpWorkers(1) })
+	src := rng.New(15)
+	// 64·128·80 = 655360 MACs, above parallelMinMACs with 64 rows to split.
+	a := randTensor(src, 64, 128)
+	b := randTensor(src, 128, 80)
+	bt := b.Transpose() // [80, 128] so a @ btᵀ == a @ b
+	for round := 0; round < 4; round++ {
+		assertBitEqual(t, "parallel MatMul", MatMul(a, b), MatMulRef(a, b))
+		assertBitEqual(t, "parallel MatMulT", MatMulT(a, bt), MatMulTRef(a, bt))
+	}
+}
+
+// TestParallelConcurrentCallers hammers the worker-token pool from many
+// goroutines at once (the quq-serve shape: per-image fan-out on top of
+// an intra-op budget) and checks every result. Run under -race this also
+// proves the pool's acquire/release is sound.
+func TestParallelConcurrentCallers(t *testing.T) {
+	SetIntraOpWorkers(3)
+	t.Cleanup(func() { SetIntraOpWorkers(1) })
+	src := rng.New(16)
+	a := randTensor(src, 48, 96)
+	b := randTensor(src, 96, 64)
+	want := MatMulRef(a, b)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				got := MatMul(a, b)
+				gd, wd := got.Data(), want.Data()
+				for j := range gd {
+					if math.Float64bits(gd[j]) != math.Float64bits(wd[j]) {
+						errs <- "concurrent MatMul diverged from serial reference"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+	if IntraOpWorkers() != 3 {
+		t.Fatalf("IntraOpWorkers = %d, want 3", IntraOpWorkers())
+	}
+	// The token pool must be whole again: all extra workers returned.
+	if got := acquireExtra(2); got != 2 {
+		t.Fatalf("token pool leaked: acquired %d of 2 extra workers", got)
+	}
+	releaseExtra(2)
+}
+
+func TestAddInto(t *testing.T) {
+	src := rng.New(17)
+	a := randTensor(src, 5, 7)
+	b := randTensor(src, 5, 7)
+	want := New(5, 7)
+	for i := range want.Data() {
+		want.Data()[i] = a.Data()[i] + b.Data()[i]
+	}
+	assertBitEqual(t, "AddInto", AddInto(New(5, 7), a, b), want)
+	assertBitEqual(t, "Add", a.Add(b), want)
+	// AddInto may alias its operands.
+	aCopy := a.Clone()
+	assertBitEqual(t, "AddInto aliased", AddInto(aCopy, aCopy, b), want)
+}
+
+func TestMatMulIntoRejectsBadDst(t *testing.T) {
+	a, b := New(3, 4), New(4, 5)
+	for name, fn := range map[string]func(){
+		"shape":    func() { MatMulInto(New(3, 4), a, b) },
+		"aliasing": func() { MatMulInto(a, a, b) },
+		"bias":     func() { MatMulBiasInto(New(3, 5), a, b, make([]float64, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestArenaReuse(t *testing.T) {
+	ar := GetArena()
+	defer ar.Release()
+	x := ar.NewUninit(4, 6)
+	x.Fill(7)
+	base := &x.Data()[0]
+	ar.Put(x)
+
+	// Same element count comes back as the same storage, reshaped.
+	y := ar.NewUninit(6, 4)
+	if &y.Data()[0] != base {
+		t.Fatal("NewUninit did not recycle the Put tensor")
+	}
+	if y.Dim(0) != 6 || y.Dim(1) != 4 {
+		t.Fatalf("recycled shape %v, want [6 4]", y.Shape())
+	}
+	if y.Data()[0] != 7 {
+		t.Fatal("NewUninit should not clear recycled storage")
+	}
+	ar.Put(y)
+
+	// New clears the recycled storage.
+	z := ar.New(24)
+	if &z.Data()[0] != base {
+		t.Fatal("New did not recycle the Put tensor")
+	}
+	for i, v := range z.Data() {
+		if v != 0 {
+			t.Fatalf("New left stale value %v at %d", v, i)
+		}
+	}
+	ar.Put(z)
+
+	// A different element count is a miss: fresh storage.
+	w := ar.NewUninit(5, 5)
+	if &w.Data()[0] == base {
+		t.Fatal("NewUninit recycled across different element counts")
+	}
+}
+
+// FuzzGEMMEquivalence fuzzes randomized shapes and finite contents
+// through every kernel entry point, asserting bit-identity against the
+// scalar reference oracle — serial and with the parallel budget raised.
+func FuzzGEMMEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(4), uint8(5))
+	f.Add(int64(2), uint8(0), uint8(1), uint8(9))
+	f.Add(int64(3), uint8(1), uint8(0), uint8(1))
+	f.Add(int64(4), uint8(17), uint8(16), uint8(17))
+	f.Add(int64(5), uint8(65), uint8(33), uint8(70))
+	f.Fuzz(func(t *testing.T, seed int64, m8, k8, n8 uint8) {
+		m, k, n := int(m8%80), int(k8%80), int(n8%80)
+		src := rng.New(uint64(seed))
+		a := randTensor(src, m, k)
+		b := randTensor(src, k, n)
+		bt := randTensor(src, n, k)
+		bias := make([]float64, n)
+		for i := range bias {
+			bias[i] = src.Gauss(0, 1)
+		}
+		wantMM := MatMulRef(a, b)
+		wantMMB := wantMM.Clone().AddRowVector(bias)
+		wantMMT := MatMulTRef(a, bt)
+
+		check := func(label string) {
+			t.Helper()
+			assertBitEqual(t, label+" MatMulInto", MatMulInto(New(m, n), a, b), wantMM)
+			assertBitEqual(t, label+" MatMulBiasInto", MatMulBiasInto(New(m, n), a, b, bias), wantMMB)
+			assertBitEqual(t, label+" MatMulTInto", MatMulTInto(New(m, n), a, bt), wantMMT)
+		}
+		check("serial")
+		SetIntraOpWorkers(4)
+		defer SetIntraOpWorkers(1)
+		check("parallel")
+	})
+}

@@ -162,7 +162,7 @@ func (t *Tensor) AddInPlace(o *Tensor) *Tensor {
 
 // Add returns t + o as a new tensor.
 func (t *Tensor) Add(o *Tensor) *Tensor {
-	return t.Clone().AddInPlace(o)
+	return AddInto(New(t.shape...), t, o)
 }
 
 // Sub returns t - o as a new tensor.
@@ -216,62 +216,22 @@ func (t *Tensor) assertSameShape(o *Tensor, op string) {
 }
 
 // MatMul returns the matrix product a @ b for rank-2 tensors
-// (m×k) @ (k×n) -> (m×n). The inner loops are ordered i-k-j so the b rows
-// stream sequentially, which is the cache-friendly layout for row-major
-// storage.
+// (m×k) @ (k×n) -> (m×n), allocating the result. It runs on the blocked,
+// register-tiled kernel in gemm.go; results are bit-identical to the
+// reference scalar loops (MatMulRef) for finite inputs. Hot paths should
+// use MatMulInto with arena-backed storage instead.
 func MatMul(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(check.Invariant("tensor: MatMul requires rank-2 tensors"))
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(check.Invariantf("tensor: MatMul inner dimension mismatch %v @ %v", a.shape, b.shape))
-	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[kk*n : (kk+1)*n]
-			for j := range brow {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
-	return out
+	m, _, n := matMulDims(a, b, "MatMul")
+	return MatMulInto(New(m, n), a, b)
 }
 
-// MatMulT returns a @ bᵀ for rank-2 tensors (m×k) @ (n×k)ᵀ -> (m×n).
-// Attention scores (Q @ Kᵀ) use this form; computing against the
-// untransposed b keeps both operands streaming row-major.
+// MatMulT returns a @ bᵀ for rank-2 tensors (m×k) @ (n×k)ᵀ -> (m×n),
+// allocating the result. Attention scores (Q @ Kᵀ) use this form;
+// computing against the untransposed b keeps both operands streaming
+// row-major. See MatMul for the kernel and determinism notes.
 func MatMulT(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(check.Invariant("tensor: MatMulT requires rank-2 tensors"))
-	}
-	m, k := a.shape[0], a.shape[1]
-	n, k2 := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(check.Invariantf("tensor: MatMulT inner dimension mismatch %v @ %vᵀ", a.shape, b.shape))
-	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
-			var s float64
-			for kk := range arow {
-				s += arow[kk] * brow[kk]
-			}
-			orow[j] = s
-		}
-	}
-	return out
+	m, _, n := matMulTDims(a, b, "MatMulT")
+	return MatMulTInto(New(m, n), a, b)
 }
 
 // Transpose returns the transpose of a rank-2 tensor as a new tensor.

@@ -25,12 +25,20 @@ func (l *Linear) In() int { return l.W.Dim(0) }
 // Out returns the output width.
 func (l *Linear) Out() int { return l.W.Dim(1) }
 
-// Apply computes xW + b for x of shape [n, in].
+// Apply computes xW + b for x of shape [n, in], allocating the result.
 func (l *Linear) Apply(x *tensor.Tensor) *tensor.Tensor {
+	return l.ApplyInto(tensor.New(x.Dim(0), l.Out()), x)
+}
+
+// ApplyInto computes xW + b into dst of shape [n, out], which typically
+// comes from a scratch arena. The bias add is fused into the GEMM
+// epilogue (same operations in the same order as MatMul followed by
+// AddRowVector, one less pass over dst).
+func (l *Linear) ApplyInto(dst, x *tensor.Tensor) *tensor.Tensor {
 	if x.Dim(1) != l.In() {
 		panic(check.Invariantf("vit: linear input width %d, want %d", x.Dim(1), l.In()))
 	}
-	return tensor.MatMul(x, l.W).AddRowVector(l.B)
+	return tensor.MatMulBiasInto(dst, x, l.W, l.B)
 }
 
 // LayerNorm normalizes each row to zero mean and unit variance, then
@@ -120,9 +128,15 @@ func (b *Block) Forward(x *tensor.Tensor, nSeq, blk int, opts ForwardOpts) *tens
 	dh := dim / heads
 	scale := 1 / math.Sqrt(float64(dh))
 
+	// Per-forward scratch: every tensor carved from the arena below is
+	// either Put back mid-pass or dead by Release. Tensors that reach a
+	// tap (which may retain or replace them) stay ordinary allocations.
+	ar := tensor.GetArena()
+	defer ar.Release()
+
 	h := b.LN1.Apply(x)
 	h = tap.apply(Site{blk, "ln1.out", KindGEMMIn}, h)
-	qkvOut := b.QKV.Apply(h)
+	qkvOut := b.QKV.ApplyInto(ar.NewUninit(s, 3*dim), h)
 
 	// Split into Q, K, V tensors of shape [S, dim].
 	q, k, v := tensor.New(s, dim), tensor.New(s, dim), tensor.New(s, dim)
@@ -132,6 +146,7 @@ func (b *Block) Forward(x *tensor.Tensor, nSeq, blk int, opts ForwardOpts) *tens
 		copy(k.Row(r), row[dim:2*dim])
 		copy(v.Row(r), row[2*dim:])
 	}
+	ar.Put(qkvOut)
 	q = tap.apply(Site{blk, "attn.q", KindGEMMIn}, q)
 	k = tap.apply(Site{blk, "attn.k", KindGEMMIn}, k)
 	v = tap.apply(Site{blk, "attn.v", KindGEMMIn}, v)
@@ -139,22 +154,7 @@ func (b *Block) Forward(x *tensor.Tensor, nSeq, blk int, opts ForwardOpts) *tens
 	// Attention scores for every (sequence, head) pair, flattened to
 	// [nSeq*heads*T, T] so the whole tensor shares one quantizer.
 	scores := tensor.New(nSeq*heads*t, t)
-	for sq := 0; sq < nSeq; sq++ {
-		for hd := 0; hd < heads; hd++ {
-			for i := 0; i < t; i++ {
-				qrow := q.Row(sq*t + i)[hd*dh : (hd+1)*dh]
-				srow := scores.Row((sq*heads+hd)*t + i)
-				for j := 0; j < t; j++ {
-					krow := k.Row(sq*t + j)[hd*dh : (hd+1)*dh]
-					var dot float64
-					for e := range qrow {
-						dot += qrow[e] * krow[e]
-					}
-					srow[j] = dot * scale
-				}
-			}
-		}
-	}
+	attnScores(ar, scores, q, k, nSeq, heads, t, dh, scale)
 	scores = tap.apply(Site{blk, "attn.softmax_in", KindActivation}, scores)
 	for r := 0; r < scores.Dim(0); r++ {
 		mathx.SoftmaxInPlace(scores.Row(r))
@@ -166,24 +166,7 @@ func (b *Block) Forward(x *tensor.Tensor, nSeq, blk int, opts ForwardOpts) *tens
 
 	// Context: P·V per (sequence, head), reassembled to [S, dim].
 	ctx := tensor.New(s, dim)
-	for sq := 0; sq < nSeq; sq++ {
-		for hd := 0; hd < heads; hd++ {
-			for i := 0; i < t; i++ {
-				prow := scores.Row((sq*heads+hd)*t + i)
-				crow := ctx.Row(sq*t + i)[hd*dh : (hd+1)*dh]
-				for j := 0; j < t; j++ {
-					p := prow[j]
-					if p == 0 {
-						continue
-					}
-					vrow := v.Row(sq*t + j)[hd*dh : (hd+1)*dh]
-					for e := range crow {
-						crow[e] += p * vrow[e]
-					}
-				}
-			}
-		}
-	}
+	attnContext(ar, ctx, scores, v, nSeq, heads, t, dh)
 	ctx = tap.apply(Site{blk, "attn.proj_in", KindGEMMIn}, ctx)
 	o := b.Proj.Apply(ctx)
 	o = tap.apply(Site{blk, "attn.proj_out", KindActivation}, o)
@@ -203,6 +186,79 @@ func (b *Block) Forward(x *tensor.Tensor, nSeq, blk int, opts ForwardOpts) *tens
 	x = x.Add(h)
 	x = tap.apply(Site{blk, "resid2.out", KindActivation}, x)
 	return x
+}
+
+// packHead copies one head's column band (col0 .. col0+dh) of t
+// consecutive src rows starting at row0 into the contiguous [t, dh]
+// scratch dst, so the per-head GEMM runs on dense row-major operands.
+//
+//quq:hotpath per-forward attention inner loop; scratch is arena-backed, no allocations here
+func packHead(dst, src *tensor.Tensor, row0, col0 int) {
+	t, dh := dst.Dim(0), dst.Dim(1)
+	for i := 0; i < t; i++ {
+		copy(dst.Row(i), src.Row(row0 + i)[col0:col0+dh])
+	}
+}
+
+// attnScores fills scores ([nSeq·heads·T, T]) with the scaled Q·Kᵀ
+// logits of every (sequence, head) pair: each head's Q and K column
+// bands are packed into contiguous arena scratch, multiplied on the
+// tiled kernel, and scaled into the destination rows. Element values are
+// bit-identical to the scalar reference (one ascending-k dot product per
+// element, then a single multiply by scale); vit tests assert this
+// against the pre-kernel-layer loop.
+//
+//quq:hotpath per-forward attention inner loop; scratch is arena-backed, no allocations here
+func attnScores(ar *tensor.Arena, scores, q, k *tensor.Tensor, nSeq, heads, t, dh int, scale float64) {
+	qh := ar.NewUninit(t, dh)
+	kh := ar.NewUninit(t, dh)
+	sh := ar.NewUninit(t, t)
+	for sq := 0; sq < nSeq; sq++ {
+		for hd := 0; hd < heads; hd++ {
+			packHead(qh, q, sq*t, hd*dh)
+			packHead(kh, k, sq*t, hd*dh)
+			tensor.MatMulTInto(sh, qh, kh)
+			base := (sq*heads + hd) * t
+			for i := 0; i < t; i++ {
+				srow := scores.Row(base + i)
+				for j, d := range sh.Row(i) {
+					srow[j] = d * scale
+				}
+			}
+		}
+	}
+	ar.Put(sh)
+	ar.Put(kh)
+	ar.Put(qh)
+}
+
+// attnContext fills ctx ([S, dim]) with the P·V product of every
+// (sequence, head) pair: the head's probability block and V column band
+// are packed into arena scratch, multiplied on the tiled kernel, and
+// scattered back into the head's columns. The reference loop skipped
+// p == 0 terms; that skip is bit-neutral for the finite probabilities
+// softmax produces (adding ±0 products never changes an accumulator),
+// so results are bit-identical — vit tests assert it.
+//
+//quq:hotpath per-forward attention inner loop; scratch is arena-backed, no allocations here
+func attnContext(ar *tensor.Arena, ctx, scores, v *tensor.Tensor, nSeq, heads, t, dh int) {
+	vh := ar.NewUninit(t, dh)
+	ph := ar.NewUninit(t, t)
+	ch := ar.NewUninit(t, dh)
+	for sq := 0; sq < nSeq; sq++ {
+		for hd := 0; hd < heads; hd++ {
+			packHead(vh, v, sq*t, hd*dh)
+			base := (sq*heads + hd) * t
+			copy(ph.Data(), scores.Data()[base*t:(base+t)*t])
+			tensor.MatMulInto(ch, ph, vh)
+			for i := 0; i < t; i++ {
+				copy(ctx.Row(sq*t + i)[hd*dh:(hd+1)*dh], ch.Row(i))
+			}
+		}
+	}
+	ar.Put(ch)
+	ar.Put(ph)
+	ar.Put(vh)
 }
 
 // weights enumerates the block's GEMM weight tensors with their site

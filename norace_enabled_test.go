@@ -1,0 +1,9 @@
+//go:build !race
+
+package quq_test
+
+// raceEnabled mirrors the runtime's race-detector flag so tests that
+// depend on allocation behavior can skip under -race (the detector
+// deliberately drops sync.Pool reuse to widen the race surface, which
+// inflates allocs/op far past the steady-state budget).
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package quq_test
+
+// raceEnabled reports that this binary was built with -race; see
+// norace_enabled_test.go for the default.
+const raceEnabled = true
