@@ -43,6 +43,12 @@ go test -run '^$' -bench BenchmarkServeThroughput -benchtime 20x .
 # key fleet-wide (asserted via merged /metrics), failover + ejection.
 go run ./cmd/quq-shard -smoke
 
+# Chaos gate: replay the seeded fault scripts (connection resets, 429
+# storms, failed calibrations, black-holed probes, drains under panic)
+# against an in-process fleet, twice; all failure-domain invariants
+# must hold and the two invariant reports must be byte-identical.
+go run ./cmd/quq-shard -chaos
+
 # Sharded throughput benchmark; regenerates artifacts/BENCH_shard.json
 # (direct vs proxied img/s).
 go test -run '^$' -bench BenchmarkShardThroughput -benchtime 5x .

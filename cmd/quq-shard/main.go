@@ -8,6 +8,7 @@
 //
 //	quq-shard -backends host1:8642,host2:8642[,...] [-addr :8641] [flags]
 //	quq-shard -smoke    # spawn 3 in-process quq-serve shards, self-test
+//	quq-shard -chaos    # replay seeded fault scripts, verify invariants
 //
 // Endpoints:
 //
@@ -35,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"quq/internal/chaos/fleet"
 	"quq/internal/data"
 	"quq/internal/serve"
 	"quq/internal/serve/metrics"
@@ -51,11 +53,15 @@ func main() {
 		probeInterval = flag.Duration("probe-interval", 2*time.Second, "health-probe period (<= 0 disables the probe loop)")
 		probeTimeout  = flag.Duration("probe-timeout", time.Second, "per-probe timeout")
 		failAfter     = flag.Int("fail-after", 2, "consecutive probe failures before ejection")
+		okAfter       = flag.Int("ok-after", 2, "consecutive healthy probes before an ejected backend is readmitted")
 		retries       = flag.Int("retries", 2, "connection-failure retries per backend (never retries HTTP responses)")
-		backoff       = flag.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per attempt)")
+		backoff       = flag.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per attempt, equal-jitter)")
+		seed          = flag.Uint64("seed", 1, "deterministic seed for retry-backoff jitter")
 		timeout       = flag.Duration("timeout", 120*time.Second, "per-request timeout, including first-request calibration")
 		maxBody       = flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 		smoke         = flag.Bool("smoke", false, "spawn 3 in-process quq-serve shards and run the multi-key self-test")
+		chaosMode     = flag.Bool("chaos", false, "replay the seeded fault-injection scripts against an in-process fleet and verify the failure-domain invariants")
+		chaosSeed     = flag.Uint64("chaos-seed", 7, "fault-schedule seed for -chaos")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -66,8 +72,10 @@ func main() {
 		ProbeInterval:  *probeInterval,
 		ProbeTimeout:   *probeTimeout,
 		FailAfter:      *failAfter,
+		OkAfter:        *okAfter,
 		Retries:        *retries,
 		RetryBackoff:   *backoff,
+		Seed:           *seed,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
 	}
@@ -77,6 +85,14 @@ func main() {
 			log.Fatalf("smoke: %v", err)
 		}
 		log.Printf("smoke: ok")
+		return
+	}
+
+	if *chaosMode {
+		if err := runChaos(*chaosSeed); err != nil {
+			log.Fatalf("chaos: %v", err)
+		}
+		log.Printf("chaos: ok")
 		return
 	}
 
@@ -119,6 +135,38 @@ func run(opts shard.Options, addr string) error {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	log.Printf("bye")
+	return nil
+}
+
+// runChaos replays the seeded fault scripts against a fresh in-process
+// fleet twice. Both runs must pass every failure-domain invariant AND
+// render byte-identical reports — the second condition is what pins the
+// harness (and everything under it: seeded backoff jitter, seeded fault
+// draws, count-only reporting) to full determinism.
+func runChaos(seed uint64) error {
+	var first string
+	for run := 0; run < 2; run++ {
+		rep, err := fleet.Run(seed, fleet.Options{})
+		if err != nil {
+			return fmt.Errorf("run %d: %w", run+1, err)
+		}
+		var buf strings.Builder
+		if err := rep.WriteText(&buf); err != nil {
+			return err
+		}
+		if run == 0 {
+			first = buf.String()
+			for _, line := range strings.Split(strings.TrimRight(first, "\n"), "\n") {
+				log.Printf("chaos: %s", line)
+			}
+		} else if buf.String() != first {
+			return fmt.Errorf("replay diverged from first run:\n--- run 1\n%s--- run 2\n%s", first, buf.String())
+		}
+		if rep.Failed() {
+			return fmt.Errorf("run %d: invariant violation (see report above)", run+1)
+		}
+	}
+	log.Printf("chaos: replay byte-identical across 2 runs, all invariants hold")
 	return nil
 }
 

@@ -42,7 +42,7 @@ type Analyzer struct {
 
 // Analyzers returns the quqvet registry in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{IntOnly, Pow2, DetIter, ErrDrop, PanicAudit, HotAlloc, DocMissing, Directives}
+	return []*Analyzer{IntOnly, Pow2, DetIter, ErrDrop, PanicAudit, HotAlloc, Sleepless, DocMissing, Directives}
 }
 
 // Diagnostic is one finding.
@@ -237,7 +237,7 @@ var Directives = &Analyzer{
 			// the no-allocation claim it makes. It still needs a reason.
 			hotpathToken: true,
 		}
-		for _, a := range []*Analyzer{IntOnly, Pow2, DetIter, ErrDrop, PanicAudit, HotAlloc} {
+		for _, a := range []*Analyzer{IntOnly, Pow2, DetIter, ErrDrop, PanicAudit, HotAlloc, Sleepless} {
 			known[a.Directive] = true
 		}
 		for _, f := range pass.Files {
@@ -248,7 +248,7 @@ var Directives = &Analyzer{
 						continue
 					}
 					if !known[d.token] {
-						pass.Reportf(c.Pos(), "unknown directive //quq:%s (known: float-ok, maporder-ok, errdrop-ok, panic-ok, hotalloc-ok, hotpath)", d.token)
+						pass.Reportf(c.Pos(), "unknown directive //quq:%s (known: float-ok, maporder-ok, errdrop-ok, panic-ok, hotalloc-ok, sleep-ok, hotpath)", d.token)
 						continue
 					}
 					if d.reason == "" {

@@ -176,6 +176,16 @@ func TestHotAllocFixture(t *testing.T) {
 	runFixture(t, HotAlloc, "hotalloc", "quq/internal/hotallocfixture")
 }
 
+func TestSleeplessFixture(t *testing.T) {
+	runFixture(t, Sleepless, "sleepless", "quq/internal/sleeplessfixture")
+}
+
+// TestSleeplessMainExemption: a main package may wall-clock wait — the
+// fixture contains bare Sleep/After calls and zero want comments.
+func TestSleeplessMainExemption(t *testing.T) {
+	runFixture(t, Sleepless, "sleeplessmain", "quq/internal/sleeplessmain")
+}
+
 func TestDirectiveFixture(t *testing.T) {
 	runFixture(t, Directives, "directive", "quq/internal/directivefixture")
 }
@@ -213,7 +223,7 @@ func TestRegistry(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"intonly", "pow2", "detiter", "errdrop", "panicaudit", "hotalloc", "docmissing", "directive"} {
+	for _, want := range []string{"intonly", "pow2", "detiter", "errdrop", "panicaudit", "hotalloc", "sleepless", "docmissing", "directive"} {
 		if !names[want] {
 			t.Fatalf("registry missing %q", want)
 		}

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Sleepless flags bare `time.Sleep`, `time.After` and `time.Tick` calls
+// in non-test library packages. Wall-clock waits in library code defeat
+// the chaos harness's byte-reproducible replays (internal/chaos seeds
+// every delay and routes it through chaos.Clock), and `time.After` /
+// `time.Tick` additionally leak their timer when the surrounding select
+// takes another branch. Library code should accept a chaos.Clock (or a
+// *time.Timer it owns and stops); `main` packages — one-shot command
+// wiring, not replayed by the harness — are exempt, as is any call
+// covered by a //quq:sleep-ok directive with a reason.
+var Sleepless = &Analyzer{
+	Name:      "sleepless",
+	Doc:       "library code must not wall-clock wait (time.Sleep/After/Tick); inject a chaos.Clock",
+	Directive: "sleep-ok",
+	Run:       runSleepless,
+}
+
+// sleeplessFuncs are the time package's blocking / timer-leaking entry
+// points. time.NewTimer and time.NewTicker stay legal: they hand the
+// caller a handle it can Stop, and both can honor a context.
+var sleeplessFuncs = []string{"Sleep", "After", "Tick"}
+
+func runSleepless(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range sleeplessFuncs {
+				if isPkgCall(pass.Info, call, "time", name) {
+					pass.Reportf(call.Pos(), "wall-clock time.%s in library package %s; inject a chaos.Clock (or own a stoppable timer) so replays stay deterministic", name, pass.PkgPath)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,72 @@
+// Package sleepless is the fixture corpus for the sleepless analyzer:
+// wall-clock waits in library code that must flag, the timer forms that
+// stay legal, and a documented //quq:sleep-ok suppression.
+package sleepless
+
+import (
+	"context"
+	"time"
+)
+
+func bareSleep() {
+	time.Sleep(50 * time.Millisecond) // want `wall-clock time\.Sleep in library package`
+}
+
+func selectAfter(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(time.Second): // want `wall-clock time\.After in library package`
+		return nil
+	}
+}
+
+func pollLoop(done <-chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		case <-time.Tick(time.Second): // want `wall-clock time\.Tick in library package`
+		}
+	}
+}
+
+// ownedTimer is the sanctioned form: the caller holds a handle it can
+// Stop, so nothing leaks and a fake clock can replace it at the seam.
+func ownedTimer(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func ownedTicker(done <-chan struct{}) {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// notTheTimePackage proves matching is type-based, not name-based.
+type fakeTime struct{}
+
+func (fakeTime) Sleep(time.Duration) {}
+
+func localShadow(d time.Duration) {
+	var time fakeTime
+	time.Sleep(d) // method on a local value: not flagged
+}
+
+func suppressed() {
+	//quq:sleep-ok fixture exercises a documented wall-clock wait
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,11 @@
+// Command sleeplessmain is the sleepless fixture's main-package
+// exemption: one-shot command wiring may wall-clock wait — the chaos
+// harness never replays a main package.
+package main
+
+import "time"
+
+func main() {
+	time.Sleep(time.Millisecond) // main package: not flagged
+	<-time.After(time.Millisecond)
+}

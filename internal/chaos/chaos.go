@@ -1,0 +1,35 @@
+// Package chaos is the deterministic fault-injection layer for the
+// serve/shard stack. It plugs into the stack's existing seams — the
+// outbound http.RoundTripper of the quq-shard proxy and prober
+// (Transport), the registry's calibration hook and the batcher's
+// forward hook (serve options; the fleet harness installs chaos
+// closures there) — and drives every injected fault from a scripted
+// schedule seeded through internal/rng, so a chaos run is
+// byte-reproducible: the same Script against the same workload injects
+// the same faults in the same places.
+//
+// The pieces:
+//
+//   - Clock (clock.go): the injectable time source library code must
+//     sleep through. Real sleeps; Fake records and returns immediately,
+//     which is what makes retry-backoff schedules observable and chaos
+//     runs fast. The quqvet sleepless analyzer enforces that non-test
+//     library code does not call time.Sleep/time.After directly.
+//   - Script/Rule/Transport (transport.go): a fault schedule compiled
+//     onto an http.RoundTripper. Rules match (method, path prefix,
+//     host) and inject connection resets, added latency, synthesized
+//     429/5xx storms, truncated bodies, or black-holed requests;
+//     probabilistic rules draw from a SplitMix64 stream seeded by the
+//     script, never from math/rand or the wall clock.
+//   - Report and the invariant checkers (invariants.go): the vocabulary
+//     the chaos harness states its guarantees in — reply conservation,
+//     calibrate-exactly-once, 429-never-retried, bounded remapping on
+//     eject/re-admit, bounded drain. Checkers are pure functions over
+//     observed counts and ownership maps, so internal/chaos/fleet can
+//     assert them against a live in-process fleet and unit tests can
+//     assert them against hand-built histories.
+//
+// The fleet harness that boots real quq-serve workers behind a real
+// front-end and replays the shipped scripts lives in
+// internal/chaos/fleet; `quq-shard -chaos` is its command-line gate.
+package chaos

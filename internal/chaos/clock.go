@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock is the injectable time source for library code that needs to
+// pace itself (retry backoff, injected latency, poll loops). Production
+// code takes a Clock and defaults it to Real; the chaos harness and
+// unit tests substitute a *Fake to make every sleep observable and
+// instantaneous. The quqvet sleepless analyzer flags bare
+// time.Sleep/time.After in non-test library code so new pacing paths
+// cannot bypass this seam.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in
+	// the latter case and nil otherwise.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// Real is the wall-clock Clock.
+var Real Clock = realClock{}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// Sleep blocks on a real timer, honouring ctx cancellation.
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Fake is a recording, auto-advancing Clock: Sleep never blocks, it
+// advances the fake now by d and records d. That turns timing-dependent
+// code (retry backoff, injected latency) into code whose schedule can
+// be asserted byte-for-byte, and makes chaos runs independent of
+// machine speed. Safe for concurrent use.
+type Fake struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+// NewFake returns a Fake clock starting at a fixed epoch.
+func NewFake() *Fake {
+	return &Fake{now: time.Unix(0, 0)}
+}
+
+// Now returns the fake current time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Sleep records d, advances the fake time, and returns immediately
+// (ctx.Err() if ctx is already done, mirroring Real's contract).
+func (f *Fake) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d < 0 {
+		d = 0
+	}
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.sleeps = append(f.sleeps, d)
+	f.mu.Unlock()
+	return nil
+}
+
+// Sleeps snapshots every recorded sleep duration in call order.
+func (f *Fake) Sleeps() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.sleeps...)
+}

@@ -1,0 +1,182 @@
+// Package fleet is the chaos invariant harness: it boots an in-process
+// quq-shard fleet (three quq-serve backends plus the sharding
+// front-end), splices a chaos.Transport between the proxy and the
+// network, replays seeded fault scripts, and checks the failure-domain
+// invariants the serve/shard stack promises:
+//
+//   - reply conservation: no request lost, none double-answered, even
+//     while connections reset and the ring fails over;
+//   - calibrate-exactly-once: a key's PRA calibration runs once
+//     fleet-wide, surviving a first client that disconnects mid-build
+//     and a transient failure that must evict-and-retry, never
+//     double-build;
+//   - 429-never-retried: backend backpressure reaches the client
+//     verbatim (status and Retry-After) with exactly one backend
+//     attempt — retrying a 429 amplifies the very overload it signals;
+//   - bounded-remap: ejecting and readmitting a shard moves only the
+//     arcs that shard owns, in both directions;
+//   - bounded-drain: drain answers every admitted item — including
+//     abandoned and panicked ones — inside its deadline.
+//
+// Everything stochastic draws from the script seed via internal/rng and
+// every sleep goes through chaos.Clock, so a run's invariant report is
+// byte-identical across replays; `quq-shard -chaos` runs each script
+// twice and fails on any byte difference.
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+
+	"quq/internal/chaos"
+	"quq/internal/serve"
+	"quq/internal/shard"
+)
+
+// Options tunes a replay.
+type Options struct {
+	// WrapTransport, when set, wraps the front-end's outbound transport
+	// above the chaos fault layer (front -> wrapper -> faults -> net).
+	// The harness's own tests use it to reintroduce known bugs — a
+	// transparently-429-retrying transport, say — and prove the
+	// invariant checks catch them.
+	WrapTransport func(http.RoundTripper) http.RoundTripper
+}
+
+// Run replays the full fault schedule for one seed and returns the
+// invariant report. A non-nil error means the harness itself could not
+// run (ports, marshalling); invariant violations are reported in the
+// Report, not as errors.
+func Run(seed uint64, opts Options) (*chaos.Report, error) {
+	rep := chaos.NewReport("serve-shard-faults", seed)
+	for _, sc := range []struct {
+		name string
+		run  func(uint64, Options, *chaos.Report) error
+	}{
+		{"reset-failover", scenarioResetFailover},
+		{"calibrate-once", scenarioCalibrateOnce},
+		{"backpressure-storm", scenarioBackpressure},
+		{"eject-readmit", scenarioBoundedRemap},
+		{"drain", scenarioBoundedDrain},
+	} {
+		if err := sc.run(seed, opts, rep); err != nil {
+			return nil, fmt.Errorf("chaos scenario %s: %w", sc.name, err)
+		}
+	}
+	return rep, nil
+}
+
+// testFleet is one booted in-process fleet: three quq-serve backends on
+// ephemeral loopback ports behind a front-end whose outbound traffic
+// passes through the fault transport and whose backoff sleeps go to a
+// fake clock.
+type testFleet struct {
+	backends []*backendShard
+	front    *shard.Front
+	frontSrv *http.Server
+	base     string // front-end base URL
+	faults   *chaos.Transport
+	clock    *chaos.Fake
+}
+
+type backendShard struct {
+	srv     *serve.Server
+	httpSrv *http.Server
+	host    string // "127.0.0.1:port" — the form chaos rules match on
+}
+
+// boot starts nShards backends and the front-end. script seeds the
+// fault transport (rules may be empty; scenarios add host-targeted
+// rules after boot, once ephemeral addresses exist).
+func boot(nShards int, cfg serve.Config, script *chaos.Script, opts Options) (*testFleet, error) {
+	f := &testFleet{clock: chaos.NewFake()}
+	sopts := shard.Options{
+		ProbeInterval: -1, // probe rounds are explicit via ProbeNow
+		Seed:          script.Seed,
+		Clock:         f.clock,
+	}
+	for i := 0; i < nShards; i++ {
+		b, err := startBackend(cfg)
+		if err != nil {
+			f.close()
+			return nil, fmt.Errorf("starting backend %d: %w", i, err)
+		}
+		f.backends = append(f.backends, b)
+		sopts.Backends = append(sopts.Backends, b.host)
+	}
+	f.faults = chaos.NewTransport(nil, f.clock, script)
+	var rt http.RoundTripper = f.faults
+	if opts.WrapTransport != nil {
+		rt = opts.WrapTransport(rt)
+	}
+	sopts.Transport = rt
+	f.front = shard.New(sopts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.close()
+		return nil, err
+	}
+	f.frontSrv = &http.Server{Handler: f.front.Handler()}
+	go func() {
+		// Serve exits with ErrServerClosed on Close; verdicts come from
+		// the round trips, not this goroutine.
+		_ = f.frontSrv.Serve(ln)
+	}()
+	f.base = "http://" + ln.Addr().String()
+	return f, nil
+}
+
+func startBackend(cfg serve.Config) (*backendShard, error) {
+	s := serve.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	go func() {
+		_ = httpSrv.Serve(ln)
+	}()
+	return &backendShard{srv: s, httpSrv: httpSrv, host: ln.Addr().String()}, nil
+}
+
+func (f *testFleet) close() {
+	if f.frontSrv != nil {
+		_ = f.frontSrv.Close()
+	}
+	if f.front != nil {
+		f.front.Close()
+	}
+	for _, b := range f.backends {
+		_ = b.httpSrv.Close()
+	}
+}
+
+// baseConfig is the cheap backend configuration every scenario starts
+// from: ViT-Nano with a 2-image calibration set, so a "calibration" is
+// real work (PRA reservoirs, grid refinement) but takes milliseconds.
+func baseConfig(seed uint64) serve.Config {
+	return serve.Config{
+		Registry: serve.RegistryOptions{Seed: seed, CalibImages: 2},
+	}
+}
+
+// hostOf strips the scheme from a backend URL, yielding the host form
+// chaos rules and fleet bookkeeping use.
+func hostOf(addr string) string {
+	return strings.TrimPrefix(strings.TrimPrefix(addr, "http://"), "https://")
+}
+
+// completions counts fault-transport events on path that carried the
+// given status — the backend-side completion ledger conservation checks
+// compare against the client-side one.
+func completions(tr *chaos.Transport, path string, status int) int {
+	n := 0
+	for _, e := range tr.Events() {
+		if strings.HasPrefix(e.Path, path) && e.Status == status {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,429 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"quq/internal/chaos"
+	"quq/internal/data"
+	"quq/internal/serve"
+	"quq/internal/vit"
+)
+
+// selection is one registry-key choice on the wire.
+type selection struct {
+	Model  string `json:"model"`
+	Method string `json:"method"`
+	Bits   int    `json:"bits"`
+	Regime string `json:"regime,omitempty"`
+}
+
+func (s selection) key() (string, error) {
+	k, err := serve.KeyFromWire(s.Model, s.Method, s.Bits, s.Regime)
+	if err != nil {
+		return "", err
+	}
+	return k.String(), nil
+}
+
+// reply is the client-side record of one request.
+type reply struct {
+	status     int
+	key        string // served key (classify) — empty on non-200
+	backend    string // X-Quq-Shard header
+	retryAfter string
+}
+
+// post sends one classify/quantize body and decodes the outcome. A
+// transport-level error (client disconnected, connection refused) is
+// returned as err with no reply.
+func post(ctx context.Context, url string, body any) (reply, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return reply{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		return reply{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return reply{}, err
+	}
+	var page struct {
+		Key string `json:"key"`
+	}
+	derr := json.NewDecoder(resp.Body).Decode(&page)
+	if cerr := resp.Body.Close(); cerr != nil && derr == nil {
+		derr = cerr
+	}
+	if derr != nil && resp.StatusCode == http.StatusOK {
+		return reply{}, derr
+	}
+	return reply{
+		status:     resp.StatusCode,
+		key:        page.Key,
+		backend:    resp.Header.Get("X-Quq-Shard"),
+		retryAfter: resp.Header.Get("Retry-After"),
+	}, nil
+}
+
+// classifyBody attaches one deterministic image to a selection.
+func classifyBody(sel selection, img []float64) map[string]any {
+	return map[string]any{
+		"model": sel.Model, "method": sel.Method, "bits": sel.Bits, "regime": sel.Regime,
+		"images": [][]float64{img},
+	}
+}
+
+// scenarioResetFailover replays a connection-reset storm against the
+// shard owning one key and checks reply conservation: the victim's
+// resets burn the retry schedule (seeded backoff on the fake clock),
+// the shard is ejected, the key fails over — and still every request
+// sent gets exactly one answer, with backend completions equal to
+// client successes.
+func scenarioResetFailover(seed uint64, opts Options, rep *chaos.Report) error {
+	f, err := boot(3, baseConfig(seed), &chaos.Script{Name: "reset-failover", Seed: seed}, opts)
+	if err != nil {
+		return err
+	}
+	defer f.close()
+
+	img := data.Images(vit.ViTNano, 1, seed)[0].Data()
+	selections := []selection{
+		{Model: "ViT-Nano", Method: "QUQ", Bits: 6},
+		{Model: "ViT-Nano", Method: "BaseQ", Bits: 6},
+		{Model: "ViT-Nano", Method: "BaseQ", Bits: 4},
+		{Model: "ViT-Nano", Method: "FQ-ViT", Bits: 6},
+	}
+	sent, answered, clientOK := 0, 0, 0
+	victim := ""
+	for i, sel := range selections {
+		sent++
+		r, err := post(context.Background(), f.base+"/v1/classify", classifyBody(sel, img))
+		if err != nil {
+			return fmt.Errorf("warm classify %d: %w", i, err)
+		}
+		answered++
+		if r.status == http.StatusOK {
+			clientOK++
+		}
+		if i == 0 {
+			victim = hostOf(r.backend)
+		}
+	}
+
+	// Every further attempt against the first key's shard resets; the
+	// front must retry, eject, and fail over without losing a reply.
+	f.faults.AddRule(chaos.Rule{Host: victim, PathPrefix: "/v1/classify", Fault: chaos.FaultReset})
+	for i := 0; i < 8; i++ {
+		sent++
+		r, err := post(context.Background(), f.base+"/v1/classify", classifyBody(selections[0], img))
+		if err != nil {
+			return fmt.Errorf("failover classify %d: %w", i, err)
+		}
+		answered++
+		if r.status == http.StatusOK {
+			clientOK++
+		}
+		if hostOf(r.backend) == victim {
+			// A reply from the reset-storm shard would mean the rule did
+			// not fire; surface it through the conservation counts.
+			clientOK--
+		}
+	}
+	rep.CheckConservation(sent, answered, completions(f.faults, "/v1/classify", http.StatusOK), clientOK)
+	return nil
+}
+
+// scenarioCalibrateOnce checks the calibrate-exactly-once contract
+// under the two classic spoilers: a first client that disconnects
+// mid-build (the detached build must finish and serve the next caller
+// from cache) and a transient calibration failure (the poisoned entry
+// must be evicted and rebuilt exactly once more — not zero, not per
+// subsequent request).
+func scenarioCalibrateOnce(seed uint64, opts Options, rep *chaos.Report) error {
+	selA := selection{Model: "ViT-Nano", Method: "BaseQ", Bits: 6}
+	selB := selection{Model: "ViT-Nano", Method: "QUQ", Bits: 6}
+	keyA, err := selA.key()
+	if err != nil {
+		return err
+	}
+	keyB, err := selB.key()
+	if err != nil {
+		return err
+	}
+
+	var mu sync.Mutex
+	builds := map[string]int{}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	cfg := baseConfig(seed)
+	cfg.Registry.BuildHook = func(k serve.Key) error {
+		ks := k.String()
+		mu.Lock()
+		builds[ks]++
+		n := builds[ks]
+		mu.Unlock()
+		switch {
+		case ks == keyA && n == 1:
+			close(started) // the disconnecting client is watching
+			<-release
+		case ks == keyB && n == 1:
+			return errors.New("chaos: injected calibration failure")
+		}
+		return nil
+	}
+	f, err := boot(3, cfg, &chaos.Script{Name: "calibrate-once", Seed: seed}, opts)
+	if err != nil {
+		return err
+	}
+	defer f.close()
+
+	// Key A: the first caller hits the owning backend directly and
+	// disconnects while its build is in flight. The build is detached
+	// from the caller, so it must complete and serve the next request
+	// from cache.
+	owner, ok := f.front.Ring().Owner(keyA)
+	if !ok {
+		return errors.New("empty ring")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := post(ctx, owner.Addr()+"/v1/quantize", selA)
+		firstDone <- err
+	}()
+	<-started
+	cancel()
+	if err := <-firstDone; err == nil {
+		return errors.New("disconnected quantize reported success")
+	}
+	close(release)
+
+	// The second caller goes through the front-end; the ring is
+	// untouched, so it lands on the same backend and must find the
+	// abandoned build's entry, not start a second calibration.
+	r, err := post(context.Background(), f.base+"/v1/quantize", selA)
+	if err != nil {
+		return err
+	}
+	if r.status != http.StatusOK {
+		return fmt.Errorf("quantize after disconnect: status %d", r.status)
+	}
+
+	// Key B: first build fails (500 to the client — relayed, never
+	// retried by the front), the entry is evicted, the retry rebuilds.
+	if r, err = post(context.Background(), f.base+"/v1/quantize", selB); err != nil {
+		return err
+	}
+	if r.status != http.StatusInternalServerError {
+		return fmt.Errorf("failing calibration: status %d, want 500", r.status)
+	}
+	if r, err = post(context.Background(), f.base+"/v1/quantize", selB); err != nil {
+		return err
+	}
+	if r.status != http.StatusOK {
+		return fmt.Errorf("calibration retry: status %d, want 200", r.status)
+	}
+
+	mu.Lock()
+	snapshot := make(map[string]int, len(builds))
+	for k, v := range builds {
+		snapshot[k] = v
+	}
+	mu.Unlock()
+	rep.CheckCalibrateOnce(snapshot, map[string]int{keyA: 1, keyB: 2})
+	return nil
+}
+
+// scenarioBackpressure storms every classify with injected 429s and
+// checks the relay contract: the client sees each 429 verbatim (status
+// and Retry-After), and the fleet sees exactly one attempt per request
+// — a front-end that "helpfully" retries backpressure doubles the
+// attempt count and fails here.
+func scenarioBackpressure(seed uint64, opts Options, rep *chaos.Report) error {
+	script := &chaos.Script{Name: "backpressure-storm", Seed: seed, Rules: []chaos.Rule{
+		{Method: http.MethodPost, PathPrefix: "/v1/classify", Fault: chaos.Fault429},
+	}}
+	f, err := boot(3, baseConfig(seed), script, opts)
+	if err != nil {
+		return err
+	}
+	defer f.close()
+
+	img := data.Images(vit.ViTNano, 1, seed)[0].Data()
+	const sent = 6
+	got429, gotRetryAfter := 0, 0
+	for i := 0; i < sent; i++ {
+		sel := selection{Model: "ViT-Nano", Method: "QUQ", Bits: 6}
+		if i%2 == 1 {
+			sel.Method = "BaseQ"
+		}
+		r, err := post(context.Background(), f.base+"/v1/classify", classifyBody(sel, img))
+		if err != nil {
+			return fmt.Errorf("storm classify %d: %w", i, err)
+		}
+		if r.status == http.StatusTooManyRequests {
+			got429++
+		}
+		if r.retryAfter == "7" {
+			gotRetryAfter++
+		}
+	}
+	attempts := f.faults.Count(http.MethodPost, "/v1/classify", "", chaos.FaultNone, true)
+	rep.CheckNeverRetried(sent, attempts, got429, gotRetryAfter)
+	return nil
+}
+
+// scenarioBoundedRemap ejects one shard via black-holed health probes,
+// readmits it after the flap hysteresis clears, and checks the
+// consistent-hashing promise at both transitions: only the arcs the
+// victim owns ever move, and re-admission restores every key to its
+// original owner. The key set is constructed so each shard owns exactly
+// keysPerShard keys, keeping the report's counts independent of the
+// ephemeral port layout.
+func scenarioBoundedRemap(seed uint64, opts Options, rep *chaos.Report) error {
+	f, err := boot(3, baseConfig(seed), &chaos.Script{Name: "eject-readmit", Seed: seed}, opts)
+	if err != nil {
+		return err
+	}
+	defer f.close()
+
+	ring := f.front.Ring()
+	backends := ring.Backends()
+	index := map[string]int{}
+	for i, b := range backends {
+		index[b.Addr()] = i
+	}
+	const keysPerShard = 20
+	perShard := make([]int, len(backends))
+	owners := map[string]int{} // synthetic key -> owning shard index
+	for i := 0; len(owners) < keysPerShard*len(backends); i++ {
+		if i >= 100000 {
+			return errors.New("could not balance synthetic keys across shards")
+		}
+		key := fmt.Sprintf("chaos-remap-%d", i)
+		b, err := ring.Pick(key, nil)
+		if err != nil {
+			return err
+		}
+		if idx := index[b.Addr()]; perShard[idx] < keysPerShard {
+			perShard[idx]++
+			owners[key] = idx
+		}
+	}
+	pickAll := func() (map[string]int, error) {
+		m := make(map[string]int, len(owners))
+		for key := range owners {
+			b, err := ring.Pick(key, nil)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = index[b.Addr()]
+		}
+		return m, nil
+	}
+
+	before, err := pickAll()
+	if err != nil {
+		return err
+	}
+	const victim = 0 // first shard in address order; owns keysPerShard keys by construction
+	f.faults.AddRule(chaos.Rule{Host: hostOf(backends[victim].Addr()), PathPrefix: "/healthz", Fault: chaos.FaultReset})
+	f.front.ProbeNow() // FailAfter=2: one strike
+	f.front.ProbeNow() // ejected
+	during, err := pickAll()
+	if err != nil {
+		return err
+	}
+	f.faults.ClearRules()
+	f.front.ProbeNow() // OkAfter=2: hysteresis holds it out one more round
+	f.front.ProbeNow() // readmitted
+	after, err := pickAll()
+	if err != nil {
+		return err
+	}
+	if ring.HealthyCount() != len(backends) {
+		return fmt.Errorf("victim not readmitted: healthy=%d", ring.HealthyCount())
+	}
+	rep.CheckBoundedRemap(before, during, after, victim)
+	return nil
+}
+
+// scenarioBoundedDrain drives the micro-batcher — the layer drain
+// actually waits on — through a drain with every awkward passenger
+// aboard: items still lingering undispatched, a submitter whose context
+// expired (their slots must already be free), and a worker that panics
+// mid-batch. Drain must still answer every admitted item inside the
+// deadline.
+func scenarioBoundedDrain(seed uint64, opts Options, rep *chaos.Report) error {
+	_ = opts // no proxy in this scenario: drain is a backend-local contract
+	reg := serve.NewRegistry(serve.RegistryOptions{Seed: seed, CalibImages: 2}, nil)
+	key, err := serve.KeyFromWire("ViT-Nano", "BaseQ", 6, "")
+	if err != nil {
+		return err
+	}
+	qm, _, err := reg.Get(context.Background(), key)
+	if err != nil {
+		return err
+	}
+
+	panicked := false
+	var bmu sync.Mutex
+	bat := serve.NewBatcher(serve.BatcherOptions{
+		MaxBatch: 64, Linger: time.Hour, QueueCap: 16, Workers: 2,
+		ForwardHook: func(string) {
+			bmu.Lock()
+			first := !panicked
+			panicked = true
+			bmu.Unlock()
+			if first {
+				//quq:panic-ok injected fault: the invariant under test is that the batcher converts worker panics to errors
+				panic("chaos: injected worker crash")
+			}
+		},
+	}, nil)
+
+	imgs := data.Images(vit.ViTNano, 8, seed+1)
+	admitted := 0
+	items, err := bat.Submit(context.Background(), key.String(), qm, imgs[:6])
+	if err != nil {
+		return err
+	}
+	admitted += len(items)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	abandoned, err := bat.Submit(ctx, key.String(), qm, imgs[6:8])
+	if err != nil {
+		cancel()
+		return err
+	}
+	admitted += len(abandoned)
+	cancel() // the submitter walks away before dispatch
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer dcancel()
+	drainErr := bat.Drain(dctx)
+	all := append(append([]*serve.Item{}, items...), abandoned...)
+	finished := 0
+	for _, it := range all {
+		select {
+		case <-it.Done:
+			if it.Out != nil || it.Err != nil {
+				finished++
+			}
+		default:
+			// Unfinished after a successful drain: counted as lost.
+		}
+	}
+	rep.CheckBoundedDrain(drainErr == nil, admitted, finished)
+	return nil
+}

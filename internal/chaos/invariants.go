@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CheckResult is one invariant verdict inside a Report.
+type CheckResult struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Report collects the invariant verdicts of one chaos run. Its text
+// rendering contains only script-determined values — counts, booleans,
+// shard indexes, canonical key strings — never timings, addresses or
+// map-ordered output, so two runs of the same script over the same
+// workload render byte-identical reports. That property is itself a
+// gate: `quq-shard -chaos` replays every script twice and fails on any
+// byte difference.
+type Report struct {
+	Script  string
+	Seed    uint64
+	Results []CheckResult
+}
+
+// NewReport starts an empty report for one script run.
+func NewReport(script string, seed uint64) *Report {
+	return &Report{Script: script, Seed: seed}
+}
+
+// Add records one verdict.
+func (r *Report) Add(name string, pass bool, format string, args ...any) {
+	r.Results = append(r.Results, CheckResult{
+		Name:   name,
+		Pass:   pass,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Failed reports whether any check failed.
+func (r *Report) Failed() bool {
+	for _, c := range r.Results {
+		if !c.Pass {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteText renders the report deterministically, one verdict per line.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "chaos script %s (seed %d)\n", r.Script, r.Seed); err != nil {
+		return err
+	}
+	for _, c := range r.Results {
+		verdict := "ok"
+		if !c.Pass {
+			verdict = "FAIL"
+		}
+		if _, err := fmt.Fprintf(w, "  %-24s %-4s %s\n", c.Name, verdict, c.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckConservation asserts reply conservation: every request sent got
+// exactly one terminal answer, and the backends completed exactly as
+// many requests as clients saw succeed — a completed backend response
+// that reached no client is a lost reply, more completions than client
+// successes is a double answer.
+func (r *Report) CheckConservation(sent, answered, completions, clientOK int) {
+	pass := sent == answered && completions == clientOK
+	r.Add("reply-conservation", pass,
+		"sent=%d answered=%d backend-completions=%d client-ok=%d", sent, answered, completions, clientOK)
+}
+
+// CheckCalibrateOnce asserts QUQ's calibrate-once contract: each key's
+// calibration ran the expected number of times fleet-wide (1 in the
+// steady state; a key whose first build legitimately failed and was
+// retried expects its retry count).
+func (r *Report) CheckCalibrateOnce(builds map[string]int, want map[string]int) {
+	keys := make([]string, 0, len(builds))
+	for k := range builds {
+		keys = append(keys, k)
+	}
+	for k := range want {
+		if _, ok := builds[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	pass := true
+	detail := ""
+	for _, k := range keys {
+		w := want[k]
+		if w == 0 {
+			w = 1
+		}
+		if builds[k] != w {
+			pass = false
+		}
+		if detail != "" {
+			detail += " "
+		}
+		detail += fmt.Sprintf("%s=%d/%d", k, builds[k], w)
+	}
+	r.Add("calibrate-exactly-once", pass, "builds got/want: %s", detail)
+}
+
+// CheckNeverRetried asserts the backpressure contract: for a workload
+// of sent requests that were all answered with 429, the backends saw
+// exactly sent attempts (a retried 429 shows up as extra attempts) and
+// every client response carried the backend's verbatim status and
+// Retry-After header.
+func (r *Report) CheckNeverRetried(sent, attempts, got429, gotRetryAfter int) {
+	pass := attempts == sent && got429 == sent && gotRetryAfter == sent
+	r.Add("429-never-retried", pass,
+		"sent=%d backend-attempts=%d client-429s=%d retry-after-kept=%d", sent, attempts, got429, gotRetryAfter)
+}
+
+// CheckBoundedRemap asserts the consistent-hashing remap bound across
+// an eject/re-admit cycle: while the victim shard was ejected, only the
+// keys it owned moved (everything else kept its owner), and after
+// re-admission every key returned to its original owner.
+func (r *Report) CheckBoundedRemap(before, during, after map[string]int, victim int) {
+	keys := make([]string, 0, len(before))
+	for k := range before {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	victimKeys, movedForeign, unrestored := 0, 0, 0
+	for _, k := range keys {
+		if before[k] == victim {
+			victimKeys++
+		} else if during[k] != before[k] {
+			movedForeign++
+		}
+		if after[k] != before[k] {
+			unrestored++
+		}
+	}
+	pass := movedForeign == 0 && unrestored == 0
+	r.Add("bounded-remap", pass,
+		"keys=%d victim-owned=%d foreign-moved=%d unrestored=%d", len(keys), victimKeys, movedForeign, unrestored)
+}
+
+// CheckBoundedDrain asserts the drain contract: drain finished inside
+// its deadline and every admitted item was answered (success or error —
+// an item still unanswered after drain is a lost reply).
+func (r *Report) CheckBoundedDrain(withinDeadline bool, admitted, finished int) {
+	pass := withinDeadline && admitted == finished
+	r.Add("bounded-drain", pass,
+		"within-deadline=%v admitted=%d finished=%d", withinDeadline, admitted, finished)
+}

@@ -1,0 +1,317 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"quq/internal/rng"
+)
+
+// Fault enumerates the injectable failure modes.
+type Fault int
+
+const (
+	// FaultNone matches without injecting (useful to count traffic).
+	FaultNone Fault = iota
+	// FaultReset fails the round trip with a connection-reset error
+	// before reaching the backend.
+	FaultReset
+	// FaultLatency delays the round trip by Rule.Latency through the
+	// transport's Clock, then passes it through.
+	FaultLatency
+	// Fault429 synthesizes a 429 Too Many Requests response (with a
+	// Retry-After header) without contacting the backend.
+	Fault429
+	// Fault500 synthesizes a 500 Internal Server Error response without
+	// contacting the backend.
+	Fault500
+	// FaultTruncate passes the request through but cuts the response
+	// body in half while keeping the original Content-Length, so the
+	// reader sees an unexpected EOF mid-body.
+	FaultTruncate
+	// FaultBlackhole swallows the request until its context expires —
+	// the shape of a dead network path or a black-holed health probe.
+	FaultBlackhole
+)
+
+// String names the fault for events and reports.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultReset:
+		return "reset"
+	case FaultLatency:
+		return "latency"
+	case Fault429:
+		return "429"
+	case Fault500:
+		return "500"
+	case FaultTruncate:
+		return "truncate"
+	case FaultBlackhole:
+		return "blackhole"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// Rule is one line of a fault schedule. A request matches when every
+// non-empty selector matches; the first matching rule with remaining
+// budget decides the request's fate.
+type Rule struct {
+	// Method matches the request method when non-empty ("POST", "GET").
+	Method string
+	// PathPrefix matches the URL path when non-empty.
+	PathPrefix string
+	// Host matches the URL host ("127.0.0.1:8642") when non-empty.
+	Host string
+
+	// Fault is the injected failure mode.
+	Fault Fault
+	// Prob injects with this probability per matching request, drawn
+	// from the script's seeded stream; 0 means always (probability 1).
+	Prob float64
+	// Max caps how many times the rule fires; 0 means unlimited.
+	Max int
+	// Latency is the added delay for FaultLatency.
+	Latency time.Duration
+}
+
+// Script is a named, seeded fault schedule.
+type Script struct {
+	Name  string
+	Seed  uint64
+	Rules []Rule
+}
+
+// Event records one round trip seen by the Transport.
+type Event struct {
+	Seq    int    // arrival order, from 0
+	Method string // request method
+	Path   string // request URL path
+	Host   string // request URL host
+	Fault  Fault  // injected fault (FaultNone if passed through)
+	Status int    // response status; 0 when the round trip errored
+}
+
+// Transport is a fault-injecting http.RoundTripper. All decisions come
+// from the script's rules and its seeded rng stream, never from the
+// wall clock or math/rand, so a serialized workload replays
+// identically. Safe for concurrent use; under concurrent callers the
+// injection sequence follows arrival order at the transport's mutex.
+type Transport struct {
+	inner http.RoundTripper
+	clock Clock
+
+	mu     sync.Mutex
+	src    *rng.Source
+	rules  []Rule
+	fired  []int // per-rule injection count
+	events []Event
+	seq    int
+}
+
+// NewTransport compiles a script onto an inner RoundTripper. A nil
+// inner uses http.DefaultTransport; a nil clock uses Real.
+func NewTransport(inner http.RoundTripper, clock Clock, script *Script) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if clock == nil {
+		clock = Real
+	}
+	t := &Transport{
+		inner: inner,
+		clock: clock,
+		src:   rng.New(script.Seed),
+	}
+	for _, r := range script.Rules {
+		t.rules = append(t.rules, r)
+	}
+	t.fired = make([]int, len(t.rules))
+	return t
+}
+
+// AddRule appends a rule at runtime. The harness uses this for rules
+// that can only be targeted after the fleet boots (ephemeral backend
+// addresses are not known when the script is authored).
+func (t *Transport) AddRule(r Rule) {
+	t.mu.Lock()
+	t.rules = append(t.rules, r)
+	t.fired = append(t.fired, 0)
+	t.mu.Unlock()
+}
+
+// ClearRules drops every rule (the schedule's "recovery" step); the
+// event log and sequence counter are preserved.
+func (t *Transport) ClearRules() {
+	t.mu.Lock()
+	t.rules = nil
+	t.fired = nil
+	t.mu.Unlock()
+}
+
+// Events snapshots the round-trip log in arrival order.
+func (t *Transport) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Count returns how many logged events match the given selectors
+// (empty selector matches everything; status < 0 matches any status).
+func (t *Transport) Count(method, pathPrefix, host string, fault Fault, anyFault bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, e := range t.events {
+		if method != "" && e.Method != method {
+			continue
+		}
+		if pathPrefix != "" && !strings.HasPrefix(e.Path, pathPrefix) {
+			continue
+		}
+		if host != "" && e.Host != host {
+			continue
+		}
+		if !anyFault && e.Fault != fault {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// decide picks the fault for one request and logs the event skeleton.
+func (t *Transport) decide(req *http.Request) (Fault, time.Duration, *Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fault, latency := FaultNone, time.Duration(0)
+	for i := range t.rules {
+		r := &t.rules[i]
+		if r.Method != "" && r.Method != req.Method {
+			continue
+		}
+		if r.PathPrefix != "" && !strings.HasPrefix(req.URL.Path, r.PathPrefix) {
+			continue
+		}
+		if r.Host != "" && r.Host != req.URL.Host {
+			continue
+		}
+		if r.Max > 0 && t.fired[i] >= r.Max {
+			continue
+		}
+		if r.Prob > 0 && t.src.Float64() >= r.Prob {
+			continue
+		}
+		t.fired[i]++
+		fault, latency = r.Fault, r.Latency
+		break
+	}
+	t.events = append(t.events, Event{
+		Seq:    t.seq,
+		Method: req.Method,
+		Path:   req.URL.Path,
+		Host:   req.URL.Host,
+		Fault:  fault,
+	})
+	t.seq++
+	return fault, latency, &t.events[len(t.events)-1]
+}
+
+// setStatus records the final status of an event.
+func (t *Transport) setStatus(e *Event, status int) {
+	t.mu.Lock()
+	e.Status = status
+	t.mu.Unlock()
+}
+
+// errConnReset is the injected connection failure. It is a plain error,
+// not a net.OpError: the proxy's retry policy keys on "the round trip
+// errored", not on the error's concrete type.
+var errConnReset = fmt.Errorf("chaos: connection reset by peer")
+
+// RoundTrip applies the schedule to one request.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	fault, latency, ev := t.decide(req)
+	switch fault {
+	case FaultReset:
+		return nil, errConnReset
+	case FaultBlackhole:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	case Fault429:
+		resp := synthesize(req, http.StatusTooManyRequests, `{"error":"chaos: injected backpressure"}`)
+		resp.Header.Set("Retry-After", "7")
+		t.setStatus(ev, resp.StatusCode)
+		return resp, nil
+	case Fault500:
+		resp := synthesize(req, http.StatusInternalServerError, `{"error":"chaos: injected server error"}`)
+		t.setStatus(ev, resp.StatusCode)
+		return resp, nil
+	case FaultLatency:
+		if err := t.clock.Sleep(req.Context(), latency); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if fault == FaultTruncate {
+		truncateBody(resp)
+	}
+	t.setStatus(ev, resp.StatusCode)
+	return resp, nil
+}
+
+// synthesize builds an in-memory response without touching the network.
+func synthesize(req *http.Request, status int, body string) *http.Response {
+	return &http.Response{
+		StatusCode:    status,
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncateBody replaces the response body with its first half while
+// leaving Content-Length at the full size, so the consumer hits an
+// unexpected EOF mid-read — the wire shape of a connection dropped
+// while streaming.
+func truncateBody(resp *http.Response) {
+	full, err := io.ReadAll(resp.Body)
+	//quq:errdrop-ok a read error mid-truncation still yields a truncated body, which is the point
+	_ = resp.Body.Close()
+	if err != nil {
+		full = nil
+	}
+	resp.Body = io.NopCloser(&truncatedReader{r: bytes.NewReader(full[:len(full)/2])})
+	if resp.ContentLength <= 0 {
+		resp.ContentLength = int64(len(full))
+	}
+}
+
+// truncatedReader yields its bytes then fails with io.ErrUnexpectedEOF,
+// the error a reader of a connection dropped mid-body observes.
+type truncatedReader struct {
+	r *bytes.Reader
+}
+
+func (t *truncatedReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}

@@ -32,6 +32,11 @@ type BatcherOptions struct {
 	QueueCap int
 	// Workers sizes the forward-pass worker pool (default GOMAXPROCS).
 	Workers int
+	// ForwardHook, when set, runs before every forward pass with the
+	// item's registry key. It is the chaos layer's worker seam: a hook
+	// that stalls simulates a slow worker, a hook that panics exercises
+	// the panic-to-error conversion. Not for production use.
+	ForwardHook func(key string)
 }
 
 func (o *BatcherOptions) defaults() {
@@ -56,6 +61,11 @@ func (o *BatcherOptions) defaults() {
 // submitter waits on Done; afterwards exactly one of Out and Err is set.
 type Item struct {
 	img  *tensor.Tensor
+	ctx  context.Context // the submitter's context
+	stop func() bool     // cancels the context.AfterFunc watcher
+	p    *pending        // batch holding the item while undispatched
+	done bool            // finished (guarded by Batcher.mu)
+
 	Out  *tensor.Tensor
 	Err  error
 	Done chan struct{}
@@ -63,9 +73,10 @@ type Item struct {
 
 // pending is the open batch for one model key.
 type pending struct {
-	key   string
-	qm    *ptq.QuantizedModel
-	items []*Item
+	key        string
+	qm         *ptq.QuantizedModel
+	items      []*Item
+	dispatched bool // detached from Batcher.pend and handed to a worker
 }
 
 // Batcher coalesces admitted images into per-model micro-batches and
@@ -99,9 +110,21 @@ func NewBatcher(opts BatcherOptions, met *Metrics) *Batcher {
 // aligned) to wait on, or ErrQueueFull / ErrDraining without admitting
 // anything — admission is all-or-nothing so a multi-image request can
 // never deadlock half-queued.
-func (b *Batcher) Submit(key string, qm *ptq.QuantizedModel, images []*tensor.Tensor) ([]*Item, error) {
+//
+// ctx is the submitter's context: if it is cancelled while an item is
+// still queued (not yet handed to a worker), the item finishes
+// immediately with the context's error and releases its QueueCap slot —
+// an abandoned client must not hold admission capacity until dispatch.
+// Items already dispatched complete normally in the background.
+func (b *Batcher) Submit(ctx context.Context, key string, qm *ptq.QuantizedModel, images []*tensor.Tensor) ([]*Item, error) {
 	if len(images) == 0 {
 		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	b.mu.Lock()
 	if b.draining {
@@ -121,8 +144,14 @@ func (b *Batcher) Submit(key string, qm *ptq.QuantizedModel, images []*tensor.Te
 	}
 	items := make([]*Item, len(images))
 	for i, img := range images {
-		it := &Item{img: img, Done: make(chan struct{})}
+		it := &Item{img: img, ctx: ctx, Done: make(chan struct{})}
 		items[i] = it
+		// The abandonment watcher is registered under b.mu before the
+		// item can be flushed, so it.stop is visible to whichever path
+		// finishes the item. AfterFunc always runs its callback on a
+		// fresh goroutine, so abandon's own b.mu acquisition cannot
+		// deadlock here even for an already-expired context.
+		it.stop = context.AfterFunc(ctx, func() { b.abandon(it) })
 		p := b.pend[key]
 		if p == nil {
 			p = &pending{key: key, qm: qm, items: nil}
@@ -132,6 +161,7 @@ func (b *Batcher) Submit(key string, qm *ptq.QuantizedModel, images []*tensor.Te
 				time.AfterFunc(b.opts.Linger, func() { b.flushIf(key, timerP) })
 			}
 		}
+		it.p = p
 		p.items = append(p.items, it)
 		if len(p.items) >= b.opts.MaxBatch || b.opts.Linger == 0 {
 			b.flushLocked(p)
@@ -139,6 +169,32 @@ func (b *Batcher) Submit(key string, qm *ptq.QuantizedModel, images []*tensor.Te
 	}
 	b.mu.Unlock()
 	return items, nil
+}
+
+// abandon handles a submitter whose context expired: a still-queued
+// item is pulled out of its batch and finished with the context's
+// error, releasing its queue slot right away. A dispatched item is left
+// alone — its worker observes the same context before the forward pass
+// and short-circuits there.
+func (b *Batcher) abandon(it *Item) {
+	b.mu.Lock()
+	if it.done || it.p == nil || it.p.dispatched {
+		b.mu.Unlock()
+		return
+	}
+	kept := it.p.items[:0]
+	for _, other := range it.p.items {
+		if other != it {
+			kept = append(kept, other)
+		}
+	}
+	it.p.items = kept
+	it.Err = it.ctx.Err()
+	if b.met != nil {
+		b.met.Abandoned.Inc()
+	}
+	b.finishLocked(it)
+	b.mu.Unlock()
 }
 
 // flushIf flushes p if it is still the open batch for key (the linger
@@ -155,6 +211,7 @@ func (b *Batcher) flushIf(key string, p *pending) {
 // flushLocked detaches p and dispatches it. Caller holds b.mu.
 func (b *Batcher) flushLocked(p *pending) {
 	delete(b.pend, p.key)
+	p.dispatched = true
 	if len(p.items) == 0 {
 		return
 	}
@@ -165,7 +222,9 @@ func (b *Batcher) flushLocked(p *pending) {
 // run executes one batch on the worker pool: each image's forward pass
 // acquires a pool token, so total inference parallelism across all
 // in-flight batches never exceeds Workers. A panic inside Forward is
-// converted to a per-item error instead of killing the server.
+// converted to a per-item error instead of killing the server. An item
+// whose submitter already gave up is finished with its context error
+// without paying for the forward pass.
 func (b *Batcher) run(p *pending) {
 	defer b.wg.Done()
 	if b.met != nil {
@@ -187,6 +246,18 @@ func (b *Batcher) run(p *pending) {
 				<-b.tokens
 				iwg.Done()
 			}()
+			// Last-moment cancellation check: the submitter may have
+			// disconnected while this item waited for a pool token.
+			if err := it.ctx.Err(); err != nil {
+				it.Err = err
+				if b.met != nil {
+					b.met.Abandoned.Inc()
+				}
+				return
+			}
+			if b.opts.ForwardHook != nil {
+				b.opts.ForwardHook(p.key)
+			}
 			it.Out = p.qm.Forward(it.img)
 		}(it)
 	}
@@ -196,12 +267,28 @@ func (b *Batcher) run(p *pending) {
 // finish releases an item's queue slot and wakes its submitter.
 func (b *Batcher) finish(it *Item) {
 	b.mu.Lock()
+	if it.done {
+		// The abandonment path got here first; nothing left to release.
+		b.mu.Unlock()
+		return
+	}
+	b.finishLocked(it)
+	b.mu.Unlock()
+}
+
+// finishLocked marks an item done under b.mu: slot released, watcher
+// stopped, submitter woken. Exactly one of finish/abandon reaches it
+// per item (the done flag arbitrates), so Done closes exactly once.
+func (b *Batcher) finishLocked(it *Item) {
+	it.done = true
 	b.queued--
 	if b.met != nil {
 		b.met.QueueDepth.Set(int64(b.queued))
 		b.met.Images.Inc()
 	}
-	b.mu.Unlock()
+	if it.stop != nil {
+		it.stop()
+	}
 	close(it.Done)
 }
 

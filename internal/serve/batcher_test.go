@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 
@@ -32,7 +33,7 @@ func TestBatcherCoalesces(t *testing.T) {
 
 	var items []*Item
 	for _, img := range imgs[:4] {
-		got, err := b.Submit("k", qm, []*tensor.Tensor{img})
+		got, err := b.Submit(context.Background(), "k", qm, []*tensor.Tensor{img})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,7 +74,7 @@ func TestBatcherMaxBatchFlush(t *testing.T) {
 	met := NewMetrics()
 	// Hour-long linger: only the size trigger can flush.
 	b := NewBatcher(BatcherOptions{MaxBatch: 2, Linger: time.Hour, QueueCap: 64}, met)
-	items, err := b.Submit("k", qm, imgs[:4])
+	items, err := b.Submit(context.Background(), "k", qm, imgs[:4])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,11 +96,11 @@ func TestBatcherBackpressureAndDrain(t *testing.T) {
 	met := NewMetrics()
 	b := NewBatcher(BatcherOptions{MaxBatch: 64, Linger: time.Hour, QueueCap: 3}, met)
 
-	items, err := b.Submit("k", qm, imgs[:3])
+	items, err := b.Submit(context.Background(), "k", qm, imgs[:3])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Submit("k", qm, imgs[3:4]); err != ErrQueueFull {
+	if _, err := b.Submit(context.Background(), "k", qm, imgs[3:4]); err != ErrQueueFull {
 		t.Fatalf("over-capacity submit: err = %v, want ErrQueueFull", err)
 	}
 	if met.Rejected.Value() != 1 {
@@ -119,7 +120,7 @@ func TestBatcherBackpressureAndDrain(t *testing.T) {
 			t.Fatalf("drained item incomplete: out=%v err=%v", it.Out, it.Err)
 		}
 	}
-	if _, err := b.Submit("k", qm, imgs[:1]); err != ErrDraining {
+	if _, err := b.Submit(context.Background(), "k", qm, imgs[:1]); err != ErrDraining {
 		t.Fatalf("post-drain submit: err = %v, want ErrDraining", err)
 	}
 }
@@ -129,7 +130,7 @@ func TestBatcherBackpressureAndDrain(t *testing.T) {
 func TestAwaitTimeout(t *testing.T) {
 	qm, imgs := batchModel(t)
 	b := NewBatcher(BatcherOptions{MaxBatch: 64, Linger: time.Hour, QueueCap: 8}, nil)
-	items, err := b.Submit("k", qm, imgs[:1])
+	items, err := b.Submit(context.Background(), "k", qm, imgs[:1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,5 +144,149 @@ func TestAwaitTimeout(t *testing.T) {
 	defer dcancel()
 	if err := b.Drain(dctx); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBatcherCancelledSubmitterFreesSlot is the abandoned-client
+// regression: a submitter whose context expires while its items are
+// still queued must release its QueueCap slots immediately, not hold
+// them until dispatch.
+func TestBatcherCancelledSubmitterFreesSlot(t *testing.T) {
+	qm, imgs := batchModel(t)
+	met := NewMetrics()
+	// Hour-long linger and a roomy MaxBatch: nothing dispatches on its
+	// own, so the only way the slots come back is the abandonment path.
+	b := NewBatcher(BatcherOptions{MaxBatch: 64, Linger: time.Hour, QueueCap: 2}, met)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	items, err := b.Submit(ctx, "k", qm, imgs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Submit(context.Background(), "k", qm, imgs[2:3]); err != ErrQueueFull {
+		t.Fatalf("queue not full before cancellation: err = %v", err)
+	}
+	cancel()
+	wctx, wcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer wcancel()
+	if err := Await(wctx, items); err != nil {
+		t.Fatalf("abandoned items never finished: %v", err)
+	}
+	for _, it := range items {
+		if it.Err != context.Canceled || it.Out != nil {
+			t.Fatalf("abandoned item: out=%v err=%v, want ctx error and no output", it.Out, it.Err)
+		}
+	}
+	if got := met.Abandoned.Value(); got != 2 {
+		t.Fatalf("abandoned = %d, want 2", got)
+	}
+	if d := met.QueueDepth.Value(); d != 0 {
+		t.Fatalf("queue depth after abandonment = %d, want 0", d)
+	}
+
+	// The freed slots are usable again, and the batcher still works.
+	items, err = b.Submit(context.Background(), "k", qm, imgs[3:5])
+	if err != nil {
+		t.Fatalf("submit after abandonment: %v", err)
+	}
+	if err := b.Drain(wctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := Await(wctx, items); err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if it.Err != nil || it.Out == nil {
+			t.Fatalf("post-abandonment item: out=%v err=%v", it.Out, it.Err)
+		}
+	}
+}
+
+// TestBatcherCancelledBeforeDispatchSkipsForward covers the second half
+// of the cancellation seam: items already flushed to a worker when the
+// context expires are finished with the context error before paying for
+// the forward pass.
+func TestBatcherCancelledBeforeDispatchSkipsForward(t *testing.T) {
+	qm, imgs := batchModel(t)
+	met := NewMetrics()
+	ctx, cancel := context.WithCancel(context.Background())
+	forwards := 0
+	gate := make(chan struct{})
+	b := NewBatcher(BatcherOptions{
+		MaxBatch: 64, Linger: time.Hour, QueueCap: 8, Workers: 1,
+		ForwardHook: func(string) { <-gate; forwards++ },
+	}, met)
+
+	// The single worker slot serializes the batch: at most the first
+	// item can enter the hook before cancellation; the ones behind it
+	// re-check the (by then expired) context after getting their token.
+	items, err := b.Submit(ctx, "k", qm, imgs[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.flushIf("k", items[0].p)
+	cancel()
+	close(gate)
+	wctx, wcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer wcancel()
+	if err := Await(wctx, items); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Drain(wctx); err != nil {
+		t.Fatal(err)
+	}
+	if forwards > 1 {
+		t.Fatalf("%d forwards ran despite cancellation, want at most 1", forwards)
+	}
+	for _, it := range items[1:] {
+		if it.Err != context.Canceled || it.Out != nil {
+			t.Fatalf("cancelled dispatched item: out=%v err=%v", it.Out, it.Err)
+		}
+	}
+}
+
+// TestBatcherForwardHookPanicConverted: a panicking worker (the chaos
+// layer's stand-in for a crashing forward pass) surfaces as a per-item
+// error and leaves the batcher serviceable.
+func TestBatcherForwardHookPanicConverted(t *testing.T) {
+	qm, imgs := batchModel(t)
+	met := NewMetrics()
+	first := true
+	b := NewBatcher(BatcherOptions{
+		MaxBatch: 1, Linger: time.Hour, QueueCap: 8,
+		ForwardHook: func(key string) {
+			if first {
+				first = false
+				panic("chaos: injected worker crash")
+			}
+		},
+	}, met)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	items, err := b.Submit(context.Background(), "k", qm, imgs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Await(ctx, items); err != nil {
+		t.Fatal(err)
+	}
+	if items[0].Err == nil || !strings.Contains(items[0].Err.Error(), "panicked") {
+		t.Fatalf("panicking forward: err = %v, want a converted panic error", items[0].Err)
+	}
+	if met.Panics.Value() != 1 {
+		t.Fatalf("panics = %d, want 1", met.Panics.Value())
+	}
+
+	// The pool token was released: the next item must still run.
+	items, err = b.Submit(context.Background(), "k", qm, imgs[1:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Await(ctx, items); err != nil {
+		t.Fatal(err)
+	}
+	if items[0].Err != nil || items[0].Out == nil {
+		t.Fatalf("post-panic item: out=%v err=%v", items[0].Out, items[0].Err)
 	}
 }

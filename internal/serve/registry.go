@@ -184,6 +184,12 @@ type RegistryOptions struct {
 	// MaxBits bounds requested bit-widths (default 16; ptq enforces the
 	// lower bound of 3).
 	MaxBits int
+	// BuildHook, when set, runs at the start of every calibration build
+	// with the entry's key. It is the chaos layer's calibration seam: a
+	// hook that sleeps simulates slow calibration, a hook that returns
+	// an error simulates a failing one (the entry is then evicted so a
+	// later request can retry). Not for production use.
+	BuildHook func(key Key) error
 }
 
 func (o *RegistryOptions) defaults() {
@@ -278,11 +284,15 @@ func (r *Registry) validate(key Key) error {
 
 // Get returns the quantized model for key, building it on first use.
 // The key is canonicalized first, so two spellings of one selection can
-// never occupy two build slots. Exactly one caller performs the build;
-// concurrent callers block until it finishes (or their context expires —
-// the build itself is not cancelled, since its result is cached for
-// every future request). The boolean reports whether the model was
-// already cached.
+// never occupy two build slots. The first Get for a key starts the
+// build on a detached goroutine and every caller — the first included —
+// waits for it with its own context, so a client that disconnects
+// mid-calibration abandons only its wait: the build always runs to
+// completion and its result is cached for every future request (the
+// calibrate-once contract holds even when the triggering client is
+// gone). A build that fails is evicted after its waiters are notified,
+// so a transient calibration failure does not poison the key forever.
+// The boolean reports whether the model was already cached.
 func (r *Registry) Get(ctx context.Context, key Key) (*ptq.QuantizedModel, bool, error) {
 	key, err := CanonicalKey(key)
 	if err != nil {
@@ -296,36 +306,54 @@ func (r *Registry) Get(ctx context.Context, key Key) (*ptq.QuantizedModel, bool,
 	if !cached {
 		e = &entry{key: key, ready: make(chan struct{})}
 		r.entries[key] = e
+		go r.buildEntry(e)
 	}
 	r.mu.Unlock()
 
-	if cached {
-		if r.met != nil {
-			r.met.CacheHits.Inc()
-		}
-		select {
-		case <-e.ready:
-		case <-ctx.Done():
-			return nil, true, ctx.Err()
-		}
-		return e.qm, true, e.err
-	}
-
 	if r.met != nil {
-		r.met.CacheMisses.Inc()
+		if cached {
+			r.met.CacheHits.Inc()
+		} else {
+			r.met.CacheMisses.Inc()
+		}
 	}
+	select {
+	case <-e.ready:
+	case <-ctx.Done():
+		return nil, cached, ctx.Err()
+	}
+	return e.qm, cached, e.err
+}
+
+// buildEntry performs one singleflight build on its own goroutine,
+// publishes the result, and evicts the entry on failure so the next
+// request retries instead of inheriting a stale error.
+func (r *Registry) buildEntry(e *entry) {
 	start := time.Now()
-	e.qm, e.err = r.build(key)
+	e.qm, e.err = r.build(e.key)
 	e.buildMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if r.met != nil {
 		r.met.BuildSeconds.Observe(time.Since(start).Seconds())
 	}
+	if e.err != nil {
+		r.mu.Lock()
+		// Only evict our own slot: a concurrent retry may already have
+		// replaced it.
+		if r.entries[e.key] == e {
+			delete(r.entries, e.key)
+		}
+		r.mu.Unlock()
+	}
 	close(e.ready)
-	return e.qm, false, e.err
 }
 
 // build constructs the quantized model for a validated key.
 func (r *Registry) build(key Key) (*ptq.QuantizedModel, error) {
+	if r.opts.BuildHook != nil {
+		if err := r.opts.BuildHook(key); err != nil {
+			return nil, fmt.Errorf("serve: calibration for %s failed: %w", key, err)
+		}
+	}
 	base, calib, err := r.baseModel(key.Config)
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 
@@ -176,5 +177,89 @@ func TestRegistryEntriesDeterministic(t *testing.T) {
 	}
 	if a[0].Key >= a[1].Key {
 		t.Fatalf("entries not sorted: %s >= %s", a[0].Key, a[1].Key)
+	}
+}
+
+// TestRegistryBuildSurvivesCallerCancellation: the calibrate-once
+// contract under a disconnecting client — the first caller's context
+// expires mid-build, the build still completes on its detached
+// goroutine, and the next request is served from cache with no second
+// calibration.
+func TestRegistryBuildSurvivesCallerCancellation(t *testing.T) {
+	met := NewMetrics()
+	opts := testRegistryOptions()
+	var mu sync.Mutex
+	builds := 0
+	gate := make(chan struct{})
+	opts.BuildHook = func(Key) error {
+		mu.Lock()
+		builds++
+		mu.Unlock()
+		<-gate
+		return nil
+	}
+	r := NewRegistry(opts, met)
+	key := nanoKey("BaseQ", ptq.Partial)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := r.Get(ctx, key); err != context.Canceled {
+		t.Fatalf("cancelled first Get = %v, want context.Canceled", err)
+	}
+	close(gate) // let the detached build finish
+
+	qm, cached, err := r.Get(context.Background(), key)
+	if err != nil || qm == nil {
+		t.Fatalf("second Get after abandoned first: qm=%v err=%v", qm, err)
+	}
+	if !cached {
+		t.Fatal("second Get rebuilt instead of hitting the abandoned build's cache entry")
+	}
+	mu.Lock()
+	got := builds
+	mu.Unlock()
+	if got != 1 {
+		t.Fatalf("calibrations = %d, want exactly 1 despite the disconnected first caller", got)
+	}
+	if met.CacheMisses.Value() != 1 {
+		t.Fatalf("cache misses = %d, want 1", met.CacheMisses.Value())
+	}
+}
+
+// TestRegistryFailedBuildEvictedAndRetried: a transient calibration
+// failure must not poison the key — the errored entry is evicted and
+// the next request rebuilds successfully.
+func TestRegistryFailedBuildEvictedAndRetried(t *testing.T) {
+	met := NewMetrics()
+	opts := testRegistryOptions()
+	var mu sync.Mutex
+	builds := 0
+	opts.BuildHook = func(Key) error {
+		mu.Lock()
+		defer mu.Unlock()
+		builds++
+		if builds == 1 {
+			return errors.New("chaos: injected calibration failure")
+		}
+		return nil
+	}
+	r := NewRegistry(opts, met)
+	key := nanoKey("BaseQ", ptq.Partial)
+
+	if _, _, err := r.Get(context.Background(), key); err == nil {
+		t.Fatal("first Get succeeded despite failing calibration hook")
+	}
+	if entries := r.Entries(); len(entries) != 0 {
+		t.Fatalf("failed build left %d registry entries, want eviction", len(entries))
+	}
+	qm, _, err := r.Get(context.Background(), key)
+	if err != nil || qm == nil {
+		t.Fatalf("retry after failed build: qm=%v err=%v", qm, err)
+	}
+	mu.Lock()
+	got := builds
+	mu.Unlock()
+	if got != 2 {
+		t.Fatalf("calibrations = %d, want 2 (fail then retry)", got)
 	}
 }

@@ -43,6 +43,7 @@ type Metrics struct {
 	Images     *metrics.Counter   // images classified
 	BatchSize  *metrics.Histogram // images per dispatched batch
 	QueueDepth *metrics.Gauge     // items admitted and not yet finished
+	Abandoned  *metrics.Counter   // queued items released after their submitter gave up
 
 	// Model registry.
 	CacheHits    *metrics.Counter   // registry lookups that found an entry
@@ -65,6 +66,7 @@ func NewMetrics() *Metrics {
 		Images:     r.NewCounter("quq_serve_images_total", "images classified"),
 		BatchSize:  r.NewHistogram("quq_serve_batch_size", "images per dispatched micro-batch", metrics.SizeBuckets()),
 		QueueDepth: r.NewGauge("quq_serve_queue_depth", "images admitted and not yet finished"),
+		Abandoned:  r.NewCounter("quq_serve_abandoned_total", "queued items released after their submitter's context expired"),
 
 		CacheHits:    r.NewCounter("quq_serve_model_cache_hits_total", "registry lookups served from cache"),
 		CacheMisses:  r.NewCounter("quq_serve_model_cache_misses_total", "registry lookups that calibrated a model"),

@@ -178,7 +178,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	items, err := s.bat.Submit(key.String(), qm, images)
+	items, err := s.bat.Submit(r.Context(), key.String(), qm, images)
 	if err != nil {
 		s.writeError(w, err)
 		return

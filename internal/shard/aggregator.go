@@ -30,7 +30,10 @@ func (f *Front) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // aggregate scrapes and merges the fleet. A backend that fails to
 // scrape is skipped (and counted): a flapping backend must not take the
-// whole cluster view down with it.
+// whole cluster view down with it. The quq_shard_stale_shards gauge in
+// the merged page says how many admitted backends the view is missing,
+// so a degraded aggregation is visibly degraded rather than silently
+// undercounting the fleet.
 func (f *Front) aggregate(ctx context.Context) (*metrics.Exposition, error) {
 	f.met.Healthy.Set(int64(f.ring.HealthyCount()))
 
@@ -53,6 +56,16 @@ func (f *Front) aggregate(ctx context.Context) (*metrics.Exposition, error) {
 		}(i, b)
 	}
 	wg.Wait()
+
+	// Stamp the staleness gauge before rendering our own page so the
+	// merged view carries this scrape round's value.
+	var stale int64
+	for i, b := range backends {
+		if b.Healthy() && pages[i] == nil {
+			stale++
+		}
+	}
+	f.met.Stale.Set(stale)
 
 	// Merge after the fan-in, in backend-address order. Merge is
 	// commutative, so the order only matters for error attribution.

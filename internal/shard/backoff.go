@@ -1,0 +1,32 @@
+package shard
+
+import (
+	"time"
+
+	"quq/internal/rng"
+)
+
+// retryDelays precomputes the retry schedule for one proxied request:
+// equal jitter over a doubling base, attempt i sleeping a uniform draw
+// from [base*2^i / 2, base*2^i). The fixed half keeps a floor under the
+// delay (retrying a refused connection immediately is wasted work); the
+// random half desynchronizes front-ends so a fleet of proxies hammered
+// by the same outage does not retry in lockstep against the recovering
+// backend.
+//
+// The draw comes from an explicitly seeded rng.Source — never math/rand,
+// never the wall clock — so a front-end given the same seed and request
+// sequence reproduces its schedule exactly (see Options.Seed).
+func retryDelays(src *rng.Source, base time.Duration, retries int) []time.Duration {
+	if retries <= 0 || base <= 0 {
+		return nil
+	}
+	delays := make([]time.Duration, retries)
+	step := base
+	for i := range delays {
+		half := step / 2
+		delays[i] = half + time.Duration(src.Float64()*float64(step-half))
+		step *= 2
+	}
+	return delays
+}

@@ -1,0 +1,48 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"quq/internal/rng"
+)
+
+// TestRetryDelaysDeterministic pins the backoff schedule's contract:
+// seed-determined, equal-jittered over a doubling base, and empty when
+// retries are disabled.
+func TestRetryDelaysDeterministic(t *testing.T) {
+	base := 50 * time.Millisecond
+	a := retryDelays(rng.New(7), base, 4)
+	b := retryDelays(rng.New(7), base, 4)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("schedule lengths = %d, %d; want 4", len(a), len(b))
+	}
+	step := base
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at delay %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < step/2 || a[i] >= step {
+			t.Fatalf("delay %d = %v outside [%v, %v)", i, a[i], step/2, step)
+		}
+		step *= 2
+	}
+
+	c := retryDelays(rng.New(8), base, 4)
+	differs := false
+	for i := range a {
+		if a[i] != c[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+
+	if got := retryDelays(rng.New(7), base, 0); got != nil {
+		t.Fatalf("retries=0 schedule = %v, want nil", got)
+	}
+	if got := retryDelays(rng.New(7), 0, 3); got != nil {
+		t.Fatalf("base=0 schedule = %v, want nil", got)
+	}
+}

@@ -9,7 +9,9 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"quq/internal/chaos"
 	"quq/internal/serve/metrics"
 	"quq/internal/shard"
 )
@@ -18,10 +20,11 @@ import (
 // classify requests it saw, answers /healthz according to a switch, and
 // serves a small metrics page.
 type fakeBackend struct {
-	srv      *httptest.Server
-	requests atomic.Int64
-	healthy  atomic.Bool
-	status   atomic.Int64 // classify status code; 0 means 200
+	srv           *httptest.Server
+	requests      atomic.Int64
+	healthy       atomic.Bool
+	status        atomic.Int64 // classify status code; 0 means 200
+	metricsBroken atomic.Bool  // /metrics answers 500 while set
 }
 
 func newFakeBackend(t *testing.T, name string) *fakeBackend {
@@ -50,6 +53,10 @@ func newFakeBackend(t *testing.T, name string) *fakeBackend {
 		w.WriteHeader(http.StatusOK)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if fb.metricsBroken.Load() {
+			http.Error(w, "metrics endpoint wedged", http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		fmt.Fprintf(w, "# HELP quq_serve_requests_total fake\nquq_serve_requests_total %d\n", fb.requests.Load())
 	})
@@ -240,9 +247,9 @@ func TestFrontFailsOverOnConnectionFailure(t *testing.T) {
 	}
 }
 
-// TestProberEjectsAndReadmits: consecutive probe failures eject a
-// backend; the first healthy probe readmits it and it resumes owning
-// exactly its old arcs.
+// TestProberEjectsAndReadmits: FailAfter consecutive probe failures
+// eject a backend; OkAfter consecutive healthy probes readmit it and it
+// resumes owning exactly its old arcs.
 func TestProberEjectsAndReadmits(t *testing.T) {
 	b0, b1 := newFakeBackend(t, "b0"), newFakeBackend(t, "b1")
 	f, addrs := newFront(t, b0, b1)
@@ -261,14 +268,62 @@ func TestProberEjectsAndReadmits(t *testing.T) {
 	}
 
 	b0.healthy.Store(true)
-	f.ProbeNow()
+	f.ProbeNow() // one recovery probe: below OkAfter=2, still ejected
+	if got := f.Ring().HealthyCount(); got != 1 {
+		t.Fatalf("after 1 recovery probe: healthy = %d, want 1 (hysteresis)", got)
+	}
+	f.ProbeNow() // second consecutive ok: readmitted
 	if got := f.Ring().HealthyCount(); got != 2 {
-		t.Fatalf("after recovery probe: healthy = %d, want 2", got)
+		t.Fatalf("after 2 recovery probes: healthy = %d, want 2", got)
 	}
 	if got := f.Metrics().Readmissions.Value(); got != 1 {
 		t.Fatalf("readmissions = %d, want 1", got)
 	}
 	_ = addrs
+}
+
+// TestProberFlapHysteresis: a backend alternating dead and alive on
+// every probe round must settle, not oscillate. Once ejected it never
+// assembles OkAfter consecutive healthy probes, so it stays out (and
+// the moved arc stays moved) until it is genuinely stable again.
+func TestProberFlapHysteresis(t *testing.T) {
+	b0, b1 := newFakeBackend(t, "b0"), newFakeBackend(t, "b1")
+	f, _ := newFront(t, b0, b1)
+
+	b0.healthy.Store(false)
+	f.ProbeNow()
+	f.ProbeNow() // FailAfter=2 consecutive failures: ejected
+	if got := f.Ring().HealthyCount(); got != 1 {
+		t.Fatalf("flapping backend not ejected: healthy = %d", got)
+	}
+
+	// Six rounds of perfect flapping: ok, fail, ok, fail, ok, fail.
+	for i := 0; i < 3; i++ {
+		b0.healthy.Store(true)
+		f.ProbeNow()
+		if got := f.Ring().HealthyCount(); got != 1 {
+			t.Fatalf("flap round %d: single ok probe readmitted the backend", i)
+		}
+		b0.healthy.Store(false)
+		f.ProbeNow()
+	}
+	if got := f.Metrics().Readmissions.Value(); got != 0 {
+		t.Fatalf("readmissions during flapping = %d, want 0", got)
+	}
+	if got := f.Metrics().Ejections.Value(); got != 1 {
+		t.Fatalf("ejections = %d, want 1 (the flapping backend never re-entered)", got)
+	}
+
+	// A genuinely stable recovery still gets back in.
+	b0.healthy.Store(true)
+	f.ProbeNow()
+	f.ProbeNow()
+	if got := f.Ring().HealthyCount(); got != 2 {
+		t.Fatalf("stable recovery not readmitted: healthy = %d, want 2", got)
+	}
+	if got := f.Metrics().Readmissions.Value(); got != 1 {
+		t.Fatalf("readmissions after stable recovery = %d, want 1", got)
+	}
 }
 
 // TestFrontHealthz: ok with admitted backends, 503 once the fleet is
@@ -386,6 +441,120 @@ func TestFrontShards(t *testing.T) {
 	for _, a := range addrs {
 		if healthy, ok := got[a]; !ok || !healthy {
 			t.Fatalf("backend %s missing or unhealthy in /shards: %v", a, got)
+		}
+	}
+}
+
+// TestAggregatorDegradesWithStaleShard: a healthy backend whose
+// /metrics endpoint is wedged must not take the fleet view down — the
+// merged page still renders, minus that backend's contribution, and
+// quq_shard_stale_shards says exactly how much of the fleet is missing.
+func TestAggregatorDegradesWithStaleShard(t *testing.T) {
+	b0, b1 := newFakeBackend(t, "b0"), newFakeBackend(t, "b1")
+	f, _ := newFront(t, b0, b1)
+	if w := classify(t, f.Handler(), `{"model":"ViT-Nano","method":"QUQ","bits":6}`); w.Code != http.StatusOK {
+		t.Fatalf("classify: %d", w.Code)
+	}
+
+	b1.metricsBroken.Store(true)
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	f.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("fleet view failed outright with one wedged backend: %d", w.Code)
+	}
+	page, err := metrics.ParseText(bytes.NewReader(w.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("degraded page does not parse: %v", err)
+	}
+	if got, ok := page.Scalar("quq_shard_stale_shards"); !ok || got != 1 {
+		t.Fatalf("quq_shard_stale_shards = %v (ok=%v), want 1", got, ok)
+	}
+	if got, ok := page.Scalar("quq_serve_requests_total"); !ok || got != 1 {
+		t.Fatalf("working backend's counters missing from degraded view: %v (ok=%v)", got, ok)
+	}
+	if got := f.Metrics().ScrapeErrors.Value(); got != 1 {
+		t.Fatalf("scrape errors = %d, want 1", got)
+	}
+
+	// Recovery clears the staleness signal on the next scrape.
+	b1.metricsBroken.Store(false)
+	w = httptest.NewRecorder()
+	f.Handler().ServeHTTP(w, req)
+	page, err = metrics.ParseText(bytes.NewReader(w.Body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := page.Scalar("quq_shard_stale_shards"); !ok || got != 0 {
+		t.Fatalf("quq_shard_stale_shards after recovery = %v (ok=%v), want 0", got, ok)
+	}
+}
+
+// refuseTransport fails every round trip with a connection error,
+// driving the front-end through its full retry schedule.
+type refuseTransport struct{}
+
+func (refuseTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	return nil, fmt.Errorf("dial %s: connection refused", r.URL.Host)
+}
+
+// retrySchedule runs one classify request against a fleet that refuses
+// every connection and returns the backoff sleeps the front-end took,
+// as recorded by the fake clock.
+func retrySchedule(t *testing.T, seed uint64) []time.Duration {
+	t.Helper()
+	clock := chaos.NewFake()
+	f := shard.New(shard.Options{
+		Backends:      []string{"127.0.0.1:1", "127.0.0.1:2"},
+		ProbeInterval: -1,
+		Transport:     refuseTransport{},
+		Seed:          seed,
+		Clock:         clock,
+	})
+	t.Cleanup(f.Close)
+	w := classify(t, f.Handler(), `{"model":"ViT-Nano","method":"QUQ","bits":6}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("fleet of refused connections answered %d, want 503", w.Code)
+	}
+	return clock.Sleeps()
+}
+
+// TestRetryBackoffSeededAndReproducible: the retry schedule is jittered
+// (not the bare doubling base) yet fully determined by Options.Seed —
+// two runs with one seed sleep the identical sequence, a different seed
+// sleeps a different one. This is the property the chaos harness leans
+// on to replay fault scripts byte-for-byte.
+func TestRetryBackoffSeededAndReproducible(t *testing.T) {
+	a := retrySchedule(t, 42)
+	b := retrySchedule(t, 42)
+	c := retrySchedule(t, 43)
+
+	// Default Retries=2 against both backends: four backoff sleeps.
+	if len(a) != 4 {
+		t.Fatalf("retry sleeps = %d, want 4 (2 retries x 2 backends)", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedule lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at sleep %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	differs := len(a) != len(c)
+	for i := 0; !differs && i < len(a); i++ {
+		differs = a[i] != c[i]
+	}
+	if !differs {
+		t.Fatal("different seeds produced the identical retry schedule")
+	}
+	// Equal jitter over a doubling base: each delay sits in
+	// [base*2^i / 2, base*2^i) for the per-backend attempt index.
+	base := 50 * time.Millisecond
+	for i, d := range a {
+		step := base << (i % 2)
+		if d < step/2 || d >= step {
+			t.Fatalf("sleep %d = %v outside equal-jitter window [%v, %v)", i, d, step/2, step)
 		}
 	}
 }

@@ -8,16 +8,21 @@ import (
 
 // Prober watches backend health: every interval it GETs each backend's
 // /healthz; FailAfter consecutive failures eject the backend from
-// routing, and the first healthy probe afterwards readmits it. Ejection
-// only flips the health bit — the backend keeps its virtual nodes, so
-// when it returns, exactly the arcs it always owned come back to it (key
-// remapping stays limited to the moved arc in both directions).
+// routing, and OkAfter consecutive healthy probes readmit it. Both
+// thresholds are hysteresis against flapping — a backend alternating
+// alive and dead every probe round never assembles the required streak
+// in either direction, so it stays wherever it is instead of churning
+// the ring each cycle. Ejection only flips the health bit — the backend
+// keeps its virtual nodes, so when it returns, exactly the arcs it
+// always owned come back to it (key remapping stays limited to the
+// moved arc in both directions).
 type Prober struct {
 	ring      *Ring
 	client    *http.Client
 	interval  time.Duration
 	timeout   time.Duration
 	failAfter int
+	okAfter   int
 	met       *Metrics
 
 	stop chan struct{}
@@ -25,13 +30,17 @@ type Prober struct {
 }
 
 // NewProber builds a prober over the ring. met may be nil.
-func NewProber(ring *Ring, client *http.Client, interval, timeout time.Duration, failAfter int, met *Metrics) *Prober {
+func NewProber(ring *Ring, client *http.Client, interval, timeout time.Duration, failAfter, okAfter int, met *Metrics) *Prober {
+	if okAfter <= 0 {
+		okAfter = 1
+	}
 	return &Prober{
 		ring:      ring,
 		client:    client,
 		interval:  interval,
 		timeout:   timeout,
 		failAfter: failAfter,
+		okAfter:   okAfter,
 		met:       met,
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -87,11 +96,18 @@ func (p *Prober) ProbeNow() {
 func (p *Prober) probe(b *Backend) {
 	if p.probeOK(b) {
 		b.probeFails.Store(0)
-		if !b.healthy.Swap(true) && p.met != nil {
-			p.met.Readmissions.Inc()
+		if b.healthy.Load() {
+			return
+		}
+		if int(b.probeOKs.Add(1)) >= p.okAfter {
+			b.probeOKs.Store(0)
+			if !b.healthy.Swap(true) && p.met != nil {
+				p.met.Readmissions.Inc()
+			}
 		}
 		return
 	}
+	b.probeOKs.Store(0)
 	fails := b.probeFails.Add(1)
 	if int(fails) >= p.failAfter {
 		eject(b, p.met)
@@ -119,8 +135,10 @@ func (p *Prober) probeOK(b *Backend) bool {
 
 // eject marks a backend unhealthy (idempotently), counting the
 // transition. Shared by the prober and the proxy's passive
-// connection-failure path.
+// connection-failure path. The recovery streak resets so re-admission
+// always demands OkAfter fresh consecutive healthy probes.
 func eject(b *Backend, met *Metrics) {
+	b.probeOKs.Store(0)
 	if b.healthy.Swap(false) && met != nil {
 		met.Ejections.Inc()
 	}

@@ -10,8 +10,11 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
+	"quq/internal/chaos"
+	"quq/internal/rng"
 	"quq/internal/serve"
 )
 
@@ -27,7 +30,11 @@ type Front struct {
 	prober  *Prober
 	met     *Metrics
 	client  *http.Client
+	clock   chaos.Clock
 	handler http.Handler
+
+	rngMu  sync.Mutex
+	jitter *rng.Source // retry-backoff jitter stream, seeded by Options.Seed
 }
 
 // New assembles a front-end over opts.Backends and starts its prober.
@@ -45,7 +52,9 @@ func New(opts Options) *Front {
 		ring:   ring,
 		met:    met,
 		client: client,
-		prober: NewProber(ring, client, opts.ProbeInterval, opts.ProbeTimeout, opts.FailAfter, met),
+		clock:  opts.Clock,
+		jitter: rng.New(opts.Seed),
+		prober: NewProber(ring, client, opts.ProbeInterval, opts.ProbeTimeout, opts.FailAfter, opts.OkAfter, met),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", f.handleProxy)
@@ -162,21 +171,24 @@ func (f *Front) handleProxy(w http.ResponseWriter, r *http.Request) {
 }
 
 // forward posts body to one backend, retrying connection failures with
-// doubling backoff. Any HTTP response, whatever its status, is final.
+// seeded equal-jitter backoff slept through the injected clock. Any
+// HTTP response, whatever its status, is final.
 func (f *Front) forward(ctx context.Context, b *Backend, path string, body []byte) (*http.Response, error) {
 	b.inflight.Add(1)
 	defer b.inflight.Add(-1)
+	// Draw the whole schedule up front under the rng mutex: the jitter
+	// stream is shared across requests, and per-request draws interleaved
+	// mid-flight would make the sequence depend on goroutine scheduling.
+	f.rngMu.Lock()
+	delays := retryDelays(f.jitter, f.opts.RetryBackoff, f.opts.Retries)
+	f.rngMu.Unlock()
 	var lastErr error
-	backoff := f.opts.RetryBackoff
 	for attempt := 0; attempt <= f.opts.Retries; attempt++ {
 		if attempt > 0 {
 			f.met.Retries.Inc()
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-time.After(backoff):
+			if err := f.clock.Sleep(ctx, delays[attempt-1]); err != nil {
+				return nil, err
 			}
-			backoff *= 2
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.addr+path, bytes.NewReader(body))
 		if err != nil {

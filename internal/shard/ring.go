@@ -19,7 +19,8 @@ type Backend struct {
 	addr       string // normalized base URL, e.g. "http://127.0.0.1:8642"
 	healthy    atomic.Bool
 	inflight   atomic.Int64
-	probeFails atomic.Int32
+	probeFails atomic.Int32 // consecutive failed probes while admitted
+	probeOKs   atomic.Int32 // consecutive healthy probes while ejected
 }
 
 // Addr returns the backend's base URL.

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"time"
 
+	"quq/internal/chaos"
 	"quq/internal/serve/metrics"
 )
 
@@ -53,6 +54,12 @@ type Options struct {
 	// FailAfter is the consecutive probe failures before ejection
 	// (default 2).
 	FailAfter int
+	// OkAfter is the consecutive healthy probes an ejected backend must
+	// pass before re-admission (default 2). The asymmetric threshold is
+	// flap hysteresis: a backend oscillating between alive and dead on
+	// successive probe rounds stays ejected instead of churning the ring
+	// (and re-moving its arcs) every cycle.
+	OkAfter int
 	// Retries is how many times a proxied request is retried against the
 	// same backend on connection failure before failing over (default 2).
 	// HTTP-level responses, including 429 backpressure, are never
@@ -66,8 +73,19 @@ type Options struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps the request body (default 8 MiB).
 	MaxBodyBytes int64
-	// Transport overrides the outbound HTTP transport (tests).
+	// Transport overrides the outbound HTTP transport (tests and the
+	// chaos fault-injection layer).
 	Transport http.RoundTripper
+	// Seed seeds the retry-backoff jitter (default 1). All randomness in
+	// the front-end flows from this one seed through internal/rng, so two
+	// fronts given the same seed and the same request sequence produce
+	// identical retry schedules — which is what lets the chaos harness
+	// replay a fault script byte-for-byte.
+	Seed uint64
+	// Clock is the time source for retry-backoff sleeps (default the
+	// real clock). The chaos harness swaps in a fake so fault replays
+	// neither wait out real backoffs nor depend on wall time.
+	Clock chaos.Clock
 }
 
 func (o *Options) defaults() {
@@ -86,6 +104,9 @@ func (o *Options) defaults() {
 	if o.FailAfter <= 0 {
 		o.FailAfter = 2
 	}
+	if o.OkAfter <= 0 {
+		o.OkAfter = 2
+	}
 	if o.Retries < 0 {
 		o.Retries = 0
 	} else if o.Retries == 0 {
@@ -99,6 +120,12 @@ func (o *Options) defaults() {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 8 << 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Clock == nil {
+		o.Clock = chaos.Real
 	}
 }
 
@@ -116,6 +143,7 @@ type Metrics struct {
 	Readmissions *metrics.Counter   // ejected backends readmitted by a probe
 	ScrapeErrors *metrics.Counter   // backend /metrics scrapes that failed
 	Healthy      *metrics.Gauge     // healthy backends on the ring
+	Stale        *metrics.Gauge     // healthy backends missing from the last fleet view
 	Latency      *metrics.Histogram // front-end request wall time, seconds
 }
 
@@ -135,6 +163,7 @@ func NewShardMetrics() *Metrics {
 		Readmissions: r.NewCounter("quq_shard_readmissions_total", "ejected backends readmitted after a healthy probe"),
 		ScrapeErrors: r.NewCounter("quq_shard_scrape_errors_total", "backend /metrics scrapes that failed"),
 		Healthy:      r.NewGauge("quq_shard_healthy_backends", "healthy backends on the ring"),
+		Stale:        r.NewGauge("quq_shard_stale_shards", "healthy backends whose contribution to the last merged /metrics view is stale (scrape failed)"),
 		Latency:      r.NewHistogram("quq_shard_request_seconds", "front-end request latency in seconds", metrics.LatencyBuckets()),
 	}
 }
