@@ -8,11 +8,28 @@ cd "$(dirname "$0")"
 
 go build ./...
 go vet ./...
+# The default tag set skips files gated on `race` (race_enabled_test.go
+# at the repo root); vet them under that tag too so both halves of the
+# build matrix stay analyzed.
+go vet -tags race ./...
 
 # quqvet: the repo's own static-analysis pass (integer-only datapath,
 # exact power-of-two scales, deterministic artifacts, audited panics,
-# no dropped errors on io paths). See README.md "Verification".
+# no dropped errors on io paths, lock/context/goroutine/atomic/metric
+# concurrency invariants). See README.md "Verification".
 go run ./cmd/quq-vet ./...
+
+# quqvet must also keep its own house clean: run the suite over the
+# analyzer package explicitly (fixture corpora under testdata are
+# exempt by design; the analyzer sources are not).
+go run ./cmd/quq-vet ./internal/analysis/
+
+# The machine-readable report must be deterministic: two runs over the
+# same tree are byte-identical.
+go run ./cmd/quq-vet -json ./... > /tmp/quqvet-report-1.json
+go run ./cmd/quq-vet -json ./... > /tmp/quqvet-report-2.json
+diff /tmp/quqvet-report-1.json /tmp/quqvet-report-2.json
+rm -f /tmp/quqvet-report-1.json /tmp/quqvet-report-2.json
 
 go test -race ./...
 

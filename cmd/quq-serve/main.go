@@ -31,6 +31,7 @@ import (
 	"net"
 	"net/http"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -125,9 +126,13 @@ func runSmoke(cfg serve.Config) error {
 		return err
 	}
 	httpSrv := &http.Server{Handler: s.Handler()}
+	var serving sync.WaitGroup
+	defer serving.Wait()
+	serving.Add(1)
 	go func() {
 		// Serve returns ErrServerClosed on Shutdown; the smoke result is
 		// judged by the round trip below, not by this exit path.
+		defer serving.Done()
 		_ = httpSrv.Serve(ln)
 	}()
 	base := "http://" + ln.Addr().String()

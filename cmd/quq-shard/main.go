@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -81,7 +82,7 @@ func main() {
 	}
 
 	if *smoke {
-		if err := runSmoke(opts); err != nil {
+		if err := runSmoke(context.Background(), opts); err != nil {
 			log.Fatalf("smoke: %v", err)
 		}
 		log.Printf("smoke: ok")
@@ -89,7 +90,7 @@ func main() {
 	}
 
 	if *chaosMode {
-		if err := runChaos(*chaosSeed); err != nil {
+		if err := runChaos(context.Background(), *chaosSeed); err != nil {
 			log.Fatalf("chaos: %v", err)
 		}
 		log.Printf("chaos: ok")
@@ -143,10 +144,10 @@ func run(opts shard.Options, addr string) error {
 // render byte-identical reports — the second condition is what pins the
 // harness (and everything under it: seeded backoff jitter, seeded fault
 // draws, count-only reporting) to full determinism.
-func runChaos(seed uint64) error {
+func runChaos(ctx context.Context, seed uint64) error {
 	var first string
 	for run := 0; run < 2; run++ {
-		rep, err := fleet.Run(seed, fleet.Options{})
+		rep, err := fleet.Run(ctx, seed, fleet.Options{})
 		if err != nil {
 			return fmt.Errorf("run %d: %w", run+1, err)
 		}
@@ -177,17 +178,20 @@ type smokeShard struct {
 	addr    string
 }
 
-// startShard boots one quq-serve instance on an ephemeral loopback port.
-func startShard(cfg serve.Config) (*smokeShard, error) {
+// startShard boots one quq-serve instance on an ephemeral loopback
+// port; its Serve goroutine joins serving so the smoke exits clean.
+func startShard(cfg serve.Config, serving *sync.WaitGroup) (*smokeShard, error) {
 	s := serve.New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	httpSrv := &http.Server{Handler: s.Handler()}
+	serving.Add(1)
 	go func() {
 		// Serve exits with ErrServerClosed on Shutdown/Close; the smoke
 		// verdict comes from the round trips, not this goroutine.
+		defer serving.Done()
 		_ = httpSrv.Serve(ln)
 	}()
 	return &smokeShard{srv: s, httpSrv: httpSrv, addr: ln.Addr().String()}, nil
@@ -197,14 +201,16 @@ func startShard(cfg serve.Config) (*smokeShard, error) {
 // keys each calibrated on exactly one shard (proven by the aggregated
 // metrics), canonicalized spellings hitting the warm cache, then a
 // backend kill with failover and ejection.
-func runSmoke(opts shard.Options) error {
+func runSmoke(ctx context.Context, opts shard.Options) error {
 	cfg := serve.Config{
 		Registry: serve.RegistryOptions{Seed: 2024, CalibImages: 2},
 	}
+	var serving sync.WaitGroup
+	defer serving.Wait()
 	const nShards = 3
 	shards := make([]*smokeShard, nShards)
 	for i := range shards {
-		s, err := startShard(cfg)
+		s, err := startShard(cfg, &serving)
 		if err != nil {
 			return fmt.Errorf("starting shard %d: %w", i, err)
 		}
@@ -228,7 +234,11 @@ func runSmoke(opts shard.Options) error {
 		return err
 	}
 	front := &http.Server{Handler: f.Handler()}
-	go func() { _ = front.Serve(fln) }()
+	serving.Add(1)
+	go func() {
+		defer serving.Done()
+		_ = front.Serve(fln)
+	}()
 	defer front.Close()
 	base := "http://" + fln.Addr().String()
 	log.Printf("smoke: front-end %s over %d shards", base, nShards)
@@ -325,7 +335,7 @@ func runSmoke(opts shard.Options) error {
 	log.Printf("smoke: %s failed over to %s", victimKey, failoverAddr)
 
 	// A probe round confirms the fleet view: two healthy survivors.
-	f.ProbeNow()
+	f.ProbeNow(ctx)
 	var hz struct {
 		Healthy  int `json:"healthy"`
 		Backends int `json:"backends"`

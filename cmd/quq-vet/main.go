@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	quq-vet [-list] [packages]
+//	quq-vet [-list] [-json] [packages]
 //
 // Packages default to ./... — every package under the current module,
 // skipping testdata, hidden and artifact directories. Diagnostics print
@@ -11,15 +11,25 @@
 // is clean, 1 when any check fired, and 2 when loading or type-checking
 // failed.
 //
+// With -json the report is a single deterministic JSON object on
+// stdout: module path, package count, findings (module-relative
+// slash-separated file, line, col, analyzer, message, sorted by file
+// then position), and per-analyzer counts of findings a //quq:<token>
+// directive suppressed. Two runs over an unchanged tree produce
+// byte-identical output, so the report can be diffed in CI.
+//
 // quq-vet enforces the invariants the QUQ reproduction's hardware
 // claims rest on; see the Verification section of README.md for the
 // check catalogue and the //quq:<token> suppression directives.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"quq/internal/analysis"
 )
@@ -28,10 +38,33 @@ func main() {
 	os.Exit(run())
 }
 
+// jsonFinding is one diagnostic in the machine-readable report. File is
+// module-relative with forward slashes so the report is stable across
+// checkouts and platforms.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json output. Suppressed counts, per analyzer, how
+// many distinct findings a //quq:<token> directive silenced — the
+// opt-out surface CI can watch for creep.
+type jsonReport struct {
+	Module     string         `json:"module"`
+	Packages   int            `json:"packages"`
+	Findings   []jsonFinding  `json:"findings"`
+	Suppressed map[string]int `json:"suppressed"`
+	Total      int            `json:"total"`
+}
+
 func run() int {
 	list := flag.Bool("list", false, "list registered checks and exit")
+	jsonOut := flag.Bool("json", false, "emit a deterministic JSON report instead of plain diagnostics")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: quq-vet [-list] [packages]\n\npackages default to ./...\n")
+		fmt.Fprintf(os.Stderr, "usage: quq-vet [-list] [-json] [packages]\n\npackages default to ./...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -63,8 +96,12 @@ func run() int {
 		return 2
 	}
 
-	status := 0
-	var total int
+	report := jsonReport{
+		Module:     loader.ModulePath,
+		Packages:   len(dirs),
+		Findings:   []jsonFinding{},
+		Suppressed: map[string]int{},
+	}
 	for _, dir := range dirs {
 		importPath, err := loader.DirImportPath(dir)
 		if err != nil {
@@ -76,15 +113,65 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "quq-vet:", err)
 			return 2
 		}
-		diags := analysis.Run(pkg)
+		diags, suppressed := analysis.RunWithStats(pkg, analysis.Analyzers())
 		for _, d := range diags {
-			fmt.Println(d)
+			if *jsonOut {
+				report.Findings = append(report.Findings, jsonFinding{
+					File:     relFile(loader.ModuleDir, d.Pos.Filename),
+					Line:     d.Pos.Line,
+					Col:      d.Pos.Column,
+					Analyzer: d.Check,
+					Message:  d.Message,
+				})
+			} else {
+				fmt.Println(d)
+			}
 		}
-		total += len(diags)
+		for name, n := range suppressed {
+			report.Suppressed[name] += n
+		}
+		report.Total += len(diags)
 	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "quq-vet: %d finding(s)\n", total)
-		status = 1
+
+	if *jsonOut {
+		// ExpandPatterns returns dirs in sorted order and RunWithStats sorts
+		// within a package, but sort globally anyway so the byte-identical
+		// guarantee never rests on loader traversal order.
+		sort.Slice(report.Findings, func(i, j int) bool {
+			a, b := report.Findings[i], report.Findings[j]
+			if a.File != b.File {
+				return a.File < b.File
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			if a.Col != b.Col {
+				return a.Col < b.Col
+			}
+			return a.Analyzer < b.Analyzer
+		})
+		out, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quq-vet:", err)
+			return 2
+		}
+		fmt.Println(string(out))
+	} else if report.Total > 0 {
+		fmt.Fprintf(os.Stderr, "quq-vet: %d finding(s)\n", report.Total)
 	}
-	return status
+	if report.Total > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relFile rewrites an absolute diagnostic path module-relative with
+// forward slashes; paths outside the module (never expected) pass
+// through unchanged.
+func relFile(moduleDir, file string) string {
+	rel, err := filepath.Rel(moduleDir, file)
+	if err != nil || rel == "" || rel[0] == '.' {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
 }

@@ -40,9 +40,15 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// Analyzers returns the quqvet registry in stable order.
+// Analyzers returns the quqvet registry in stable order. The first
+// block is the reproducibility suite (PR 1–5); the second is the
+// concurrency-and-determinism suite policing the serving stack.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{IntOnly, Pow2, DetIter, ErrDrop, PanicAudit, HotAlloc, Sleepless, DocMissing, Directives}
+	return []*Analyzer{
+		IntOnly, Pow2, DetIter, ErrDrop, PanicAudit, HotAlloc, Sleepless, DocMissing,
+		LockCheck, CtxFlow, LeakCheck, AtomicMix, MetricLabel,
+		Directives,
+	}
 }
 
 // Diagnostic is one finding.
@@ -65,17 +71,25 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
-	dirs  *directiveIndex
-	diags *[]Diagnostic
-	seen  map[string]bool
+	dirs       *directiveIndex
+	diags      *[]Diagnostic
+	seen       map[string]bool
+	suppressed map[string]int
 }
 
 // Reportf records a finding at pos unless a matching suppression
-// directive covers it. Findings are deduplicated per line per check so
-// nested expressions do not multiply-report.
+// directive covers it (in which case the suppression is counted, so
+// reports can say how many findings each directive family absorbs).
+// Findings are deduplicated per line per check so nested expressions do
+// not multiply-report.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if p.Analyzer.Directive != "" && p.dirs.suppressed(p.Analyzer.Directive, position.Filename, position.Line) {
+		key := fmt.Sprintf("%s:%d:%s", position.Filename, position.Line, p.Analyzer.Name)
+		if p.suppressed != nil && !p.seen["suppressed:"+key] {
+			p.seen["suppressed:"+key] = true
+			p.suppressed[p.Analyzer.Name]++
+		}
 		return
 	}
 	key := fmt.Sprintf("%s:%d:%s", position.Filename, position.Line, p.Analyzer.Name)
@@ -98,19 +112,31 @@ func Run(pkg *Package) []Diagnostic {
 
 // RunAnalyzers executes the given checks over the package.
 func RunAnalyzers(pkg *Package, checks []*Analyzer) []Diagnostic {
+	diags, _ := RunWithStats(pkg, checks)
+	return diags
+}
+
+// RunWithStats executes the given checks and additionally returns, per
+// analyzer name, how many distinct findings a suppression directive
+// absorbed — the number machine-readable reports surface so reviewers
+// can watch the exemption count instead of re-auditing every directive.
+func RunWithStats(pkg *Package, checks []*Analyzer) ([]Diagnostic, map[string]int) {
 	var diags []Diagnostic
+	suppressed := map[string]int{}
 	dirs := indexDirectives(pkg.Fset, pkg.Files)
+	seen := map[string]bool{}
 	for _, a := range checks {
 		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			PkgPath:  pkg.Path,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			dirs:     dirs,
-			diags:    &diags,
-			seen:     map[string]bool{},
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			PkgPath:    pkg.Path,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			dirs:       dirs,
+			diags:      &diags,
+			seen:       seen,
+			suppressed: suppressed,
 		}
 		a.Run(pass)
 	}
@@ -127,7 +153,7 @@ func RunAnalyzers(pkg *Package, checks []*Analyzer) []Diagnostic {
 		}
 		return diags[i].Check < diags[j].Check
 	})
-	return diags
+	return diags, suppressed
 }
 
 // directivePrefix introduces a quqvet comment directive.
@@ -237,9 +263,21 @@ var Directives = &Analyzer{
 			// the no-allocation claim it makes. It still needs a reason.
 			hotpathToken: true,
 		}
-		for _, a := range []*Analyzer{IntOnly, Pow2, DetIter, ErrDrop, PanicAudit, HotAlloc, Sleepless} {
-			known[a.Directive] = true
+		var tokens []string
+		// Every directive-bearing analyzer, in registry order. Listed
+		// explicitly (rather than via Analyzers) because Directives is
+		// itself in the registry and the compiler rejects the
+		// initialization cycle.
+		for _, a := range []*Analyzer{
+			IntOnly, Pow2, DetIter, ErrDrop, PanicAudit, HotAlloc, Sleepless,
+			LockCheck, CtxFlow, LeakCheck, AtomicMix, MetricLabel,
+		} {
+			if a.Directive != "" && !known[a.Directive] {
+				known[a.Directive] = true
+				tokens = append(tokens, a.Directive)
+			}
 		}
+		tokens = append(tokens, hotpathToken)
 		for _, f := range pass.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
@@ -248,7 +286,7 @@ var Directives = &Analyzer{
 						continue
 					}
 					if !known[d.token] {
-						pass.Reportf(c.Pos(), "unknown directive //quq:%s (known: float-ok, maporder-ok, errdrop-ok, panic-ok, hotalloc-ok, sleep-ok, hotpath)", d.token)
+						pass.Reportf(c.Pos(), "unknown directive //quq:%s (known: %s)", d.token, strings.Join(tokens, ", "))
 						continue
 					}
 					if d.reason == "" {

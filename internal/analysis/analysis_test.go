@@ -186,6 +186,70 @@ func TestSleeplessMainExemption(t *testing.T) {
 	runFixture(t, Sleepless, "sleeplessmain", "quq/internal/sleeplessmain")
 }
 
+func TestLockCheckFixture(t *testing.T) {
+	runFixture(t, LockCheck, "lockcheck", "quq/internal/lockcheckfixture")
+}
+
+func TestLockCheckConformingFixture(t *testing.T) {
+	runFixture(t, LockCheck, "lockcheckok", "quq/internal/lockcheckok")
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	runFixture(t, CtxFlow, "ctxflow", "quq/internal/ctxflowfixture")
+}
+
+func TestCtxFlowConformingFixture(t *testing.T) {
+	runFixture(t, CtxFlow, "ctxflowok", "quq/internal/ctxflowok")
+}
+
+func TestLeakCheckFixture(t *testing.T) {
+	runFixture(t, LeakCheck, "leakcheck", "quq/internal/leakcheckfixture")
+}
+
+func TestLeakCheckConformingFixture(t *testing.T) {
+	runFixture(t, LeakCheck, "leakcheckok", "quq/internal/leakcheckok")
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	runFixture(t, AtomicMix, "atomicmix", "quq/internal/atomicmixfixture")
+}
+
+func TestAtomicMixConformingFixture(t *testing.T) {
+	runFixture(t, AtomicMix, "atomicmixok", "quq/internal/atomicmixok")
+}
+
+// TestMetricLabelFixture loads the corpus under an import path
+// containing "metrics" so the exposition-format rule is armed alongside
+// the everywhere-scoped constant-name rule.
+func TestMetricLabelFixture(t *testing.T) {
+	runFixture(t, MetricLabel, "metriclabel", "quq/internal/metricsfixture")
+}
+
+func TestMetricLabelConformingFixture(t *testing.T) {
+	runFixture(t, MetricLabel, "metriclabelok", "quq/internal/metricsokfixture")
+}
+
+// TestMetricLabelExpositionScope: outside a metrics package the format
+// rule disarms (debug Stringers print `{k=%d}` legitimately) but the
+// constant-name rule still bites.
+func TestMetricLabelExpositionScope(t *testing.T) {
+	loader, err := fixtureLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "metriclabel"), "quq/internal/labelelsewhere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(pkg, []*Analyzer{MetricLabel})
+	if len(diags) != 1 {
+		t.Fatalf("expected exactly the constant-name finding outside metrics scope, got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "not a compile-time constant") {
+		t.Fatalf("unexpected finding outside metrics scope: %v", diags[0])
+	}
+}
+
 func TestDirectiveFixture(t *testing.T) {
 	runFixture(t, Directives, "directive", "quq/internal/directivefixture")
 }
@@ -223,9 +287,95 @@ func TestRegistry(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"intonly", "pow2", "detiter", "errdrop", "panicaudit", "hotalloc", "sleepless", "docmissing", "directive"} {
+	for _, want := range []string{"intonly", "pow2", "detiter", "errdrop", "panicaudit", "hotalloc", "sleepless", "docmissing", "lockcheck", "ctxflow", "leakcheck", "atomicmix", "metriclabel", "directive"} {
 		if !names[want] {
 			t.Fatalf("registry missing %q", want)
+		}
+	}
+}
+
+// fixtureCorpus names a testdata/src directory and the import path it
+// must be loaded under (several analyzers scope by import path).
+type fixtureCorpus struct {
+	dir  string
+	path string
+}
+
+// analyzerFixtures maps every registered analyzer to one corpus that
+// must produce at least one finding (the true-positive proof) and one
+// that must stay silent (the false-positive guard). Analyzers without a
+// dedicated conforming twin use the cleanok corpus, which is written to
+// pass the whole suite.
+var analyzerFixtures = map[string]struct{ failing, passing fixtureCorpus }{
+	"intonly":     {fixtureCorpus{"intonly", "quq/internal/accel"}, fixtureCorpus{"intonly", "quq/internal/intonlyelsewhere"}},
+	"pow2":        {fixtureCorpus{"pow2", "quq/internal/pow2fixture"}, fixtureCorpus{"cleanok", "quq/internal/cleanok"}},
+	"detiter":     {fixtureCorpus{"detiter", "quq/internal/experiments"}, fixtureCorpus{"cleanok", "quq/internal/cleanok"}},
+	"errdrop":     {fixtureCorpus{"errdrop", "quq/internal/errdrop"}, fixtureCorpus{"cleanok", "quq/internal/cleanok"}},
+	"panicaudit":  {fixtureCorpus{"panicaudit", "quq/internal/panicaudit"}, fixtureCorpus{"cleanok", "quq/internal/cleanok"}},
+	"hotalloc":    {fixtureCorpus{"hotalloc", "quq/internal/hotallocfixture"}, fixtureCorpus{"cleanok", "quq/internal/cleanok"}},
+	"sleepless":   {fixtureCorpus{"sleepless", "quq/internal/sleeplessfixture"}, fixtureCorpus{"sleeplessmain", "quq/internal/sleeplessmain"}},
+	"docmissing":  {fixtureCorpus{"docmissing", "quq/internal/docmissing"}, fixtureCorpus{"docmissingok", "quq/internal/docmissingok"}},
+	"lockcheck":   {fixtureCorpus{"lockcheck", "quq/internal/lockcheckfixture"}, fixtureCorpus{"lockcheckok", "quq/internal/lockcheckok"}},
+	"ctxflow":     {fixtureCorpus{"ctxflow", "quq/internal/ctxflowfixture"}, fixtureCorpus{"ctxflowok", "quq/internal/ctxflowok"}},
+	"leakcheck":   {fixtureCorpus{"leakcheck", "quq/internal/leakcheckfixture"}, fixtureCorpus{"leakcheckok", "quq/internal/leakcheckok"}},
+	"atomicmix":   {fixtureCorpus{"atomicmix", "quq/internal/atomicmixfixture"}, fixtureCorpus{"atomicmixok", "quq/internal/atomicmixok"}},
+	"metriclabel": {fixtureCorpus{"metriclabel", "quq/internal/metricsfixture"}, fixtureCorpus{"metriclabelok", "quq/internal/metricsokfixture"}},
+	"directive":   {fixtureCorpus{"directive", "quq/internal/directivefixture"}, fixtureCorpus{"cleanok", "quq/internal/cleanok"}},
+}
+
+// suppressionProven lists the analyzers whose failing corpus must also
+// demonstrate a working opt-out: at least one finding silenced by the
+// analyzer's directive.
+var suppressionProven = []string{"lockcheck", "ctxflow", "leakcheck", "atomicmix", "metriclabel"}
+
+// TestEveryAnalyzerHasFixtures is the registry meta-test: each analyzer
+// must prove at least one true positive and at least one silent
+// conforming corpus, and the concurrency/determinism analyzers must
+// additionally prove their suppression directive works.
+func TestEveryAnalyzerHasFixtures(t *testing.T) {
+	loader, err := fixtureLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := func(c fixtureCorpus) *Package {
+		t.Helper()
+		pkg, err := loader.LoadDir(filepath.Join("testdata", "src", c.dir), c.path)
+		if err != nil {
+			t.Fatalf("loading %s as %s: %v", c.dir, c.path, err)
+		}
+		return pkg
+	}
+	suppressedBy := map[string]int{}
+	for _, a := range Analyzers() {
+		fx, ok := analyzerFixtures[a.Name]
+		if !ok {
+			t.Errorf("analyzer %q registered without a fixture entry; add failing and passing corpora", a.Name)
+			continue
+		}
+		diags, suppressed := RunWithStats(load(fx.failing), []*Analyzer{a})
+		if len(diags) == 0 {
+			t.Errorf("analyzer %q produced no findings on its failing corpus %s", a.Name, fx.failing.dir)
+		}
+		suppressedBy[a.Name] += suppressed[a.Name]
+		if diags := RunAnalyzers(load(fx.passing), []*Analyzer{a}); len(diags) != 0 {
+			t.Errorf("analyzer %q flagged its conforming corpus %s: %v", a.Name, fx.passing.dir, diags)
+		}
+	}
+	for name, fx := range analyzerFixtures {
+		found := false
+		for _, a := range Analyzers() {
+			if a.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fixture entry %q names an unregistered analyzer (stale table?); failing corpus %s", name, fx.failing.dir)
+		}
+	}
+	for _, name := range suppressionProven {
+		if suppressedBy[name] < 1 {
+			t.Errorf("analyzer %q must demonstrate at least one directive-suppressed finding in its failing corpus", name)
 		}
 	}
 }

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces context plumbing through the library layers. Three
+// rules:
+//
+//  1. context.Background() and context.TODO() are banned outside main
+//     packages and tests — a library that mints its own root context
+//     detaches the work from the caller's deadline and cancellation, so
+//     shutdown can never reach it.
+//  2. A library function whose body directly performs blocking I/O or
+//     sleeps (http round trips, net dials, time.Sleep, clock Sleep) must
+//     accept a context.Context (or an *http.Request, which carries one)
+//     so that the deadline has a way in.
+//  3. http.NewRequest in library code should be NewRequestWithContext —
+//     the context-free form silently builds an uncancellable request.
+//
+// Suppress with //quq:ctx-ok <reason> at the few roots where a fresh
+// context is genuinely the semantic (e.g. a default applied only when
+// the caller passed nil).
+var CtxFlow = &Analyzer{
+	Name:      "ctxflow",
+	Doc:       "library I/O threads a context.Context; no context.Background/TODO outside main and tests",
+	Directive: "ctx-ok",
+	Run:       runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		// Binaries are the root of the context tree: Background there is
+		// not an escape hatch, it is the one legitimate mint.
+		return
+	}
+	for _, f := range pass.Files {
+		// Rule 1: no fresh root contexts in library code.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range [...]string{"Background", "TODO"} {
+				if isPkgCall(pass.Info, call, "context", name) {
+					pass.Reportf(call.Pos(), "context.%s in library code detaches work from the caller's deadline; accept and thread a context.Context instead", name)
+				}
+			}
+			return true
+		})
+		// Rules 2 and 3 are per declared function.
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			hasCtx := funcCarriesContext(pass.Info, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					// Closures inherit the enclosing function's context
+					// variables lexically; judging them by their own
+					// signature would be all false positives.
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isPkgCall(pass.Info, call, "net/http", "NewRequest") {
+					pass.Reportf(call.Pos(), "http.NewRequest builds an uncancellable request; use http.NewRequestWithContext")
+					return true
+				}
+				if hasCtx {
+					return true
+				}
+				if what, blocking := contextFreeBlockingCall(pass.Info, call); blocking {
+					pass.Reportf(call.Pos(), "%s in %s, which takes no context.Context: the caller's deadline cannot reach this I/O", what, fn.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// funcCarriesContext reports whether fn's parameters give it access to a
+// caller-supplied context: a context.Context parameter, an
+// *http.Request (whose Context() carries one), or a receiver/parameter
+// struct is NOT counted — the context must be explicit in the signature.
+func funcCarriesContext(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		t := info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if isContextType(t) || isHTTPRequestPtr(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isHTTPRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+}
+
+// contextFreeBlockingCall classifies direct calls that block on the
+// outside world without taking a context themselves — exactly the calls
+// whose enclosing function therefore must provide one.
+func contextFreeBlockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	switch {
+	case pkg == "time" && fn.Name() == "Sleep":
+		return "time.Sleep", true
+	case pkg == "net" && (fn.Name() == "Dial" || fn.Name() == "DialTimeout"):
+		return "net." + fn.Name(), true
+	case pkg == "net/http":
+		if what, ok := httpRoundTripCall(fn); ok {
+			return what, true
+		}
+	case strings.HasSuffix(pkg, "internal/chaos") && fn.Name() == "Sleep":
+		// The chaos Clock seam takes its context explicitly, so a call
+		// site always has one in hand — but the enclosing function still
+		// needs a way to have gotten it.
+		return "clock Sleep", true
+	}
+	return "", false
+}
+
+// httpRoundTripCall recognizes the net/http calls that block for a full
+// network round trip: the package-level convenience functions and the
+// Client/Transport methods. Methods like Header.Get share names with
+// the convenience functions, so the receiver is checked explicitly.
+func httpRoundTripCall(fn *types.Func) (string, bool) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	if sig.Recv() == nil {
+		switch fn.Name() {
+		case "Get", "Post", "PostForm", "Head":
+			return "http." + fn.Name(), true
+		}
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	switch named.Obj().Name() {
+	case "Client":
+		switch fn.Name() {
+		case "Do", "Get", "Post", "PostForm", "Head":
+			return "http Client." + fn.Name(), true
+		}
+	case "Transport":
+		if fn.Name() == "RoundTrip" {
+			return "http Transport.RoundTrip", true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeakCheck demands a provable stop path for every goroutine a library
+// package spawns. A `go` statement passes if the spawned function —
+// a literal, or a same-package declaration — observably participates in
+// a shutdown protocol: it receives from or ranges over a channel,
+// selects, sends, closes a channel, waits on or signals a
+// sync.WaitGroup, or touches a context.Context. Absent all of those the
+// goroutine runs until process exit, which in a long-lived server is a
+// leak per call site; the chaos harness can only catch the schedules it
+// happens to run, so the proof obligation lives here.
+//
+// Cross-package callees we cannot see into are accepted when the call
+// site hands them a context or channel (the stop path is the argument)
+// and flagged otherwise. Suppress with //quq:goroutine-ok <reason> for
+// genuinely run-to-completion goroutines whose lifetime is bounded by
+// construction.
+var LeakCheck = &Analyzer{
+	Name:      "leakcheck",
+	Doc:       "every go statement in library packages has a provable stop path (context, WaitGroup, or channel)",
+	Directive: "goroutine-ok",
+	Run:       runLeakCheck,
+}
+
+func runLeakCheck(pass *Pass) {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		// Binaries exit; their goroutines die with the process.
+		return
+	}
+	// Index same-package function declarations by object so `go f()` can
+	// be judged by f's body.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+				decls[obj] = fn
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goHasStopPath(pass.Info, g, decls) {
+				return true
+			}
+			pass.Reportf(g.Pos(), "goroutine with no provable stop path: tie it to a context, sync.WaitGroup, or channel so shutdown can reach it")
+			return true
+		})
+	}
+}
+
+// goHasStopPath decides whether the spawned call participates in any
+// shutdown protocol.
+func goHasStopPath(info *types.Info, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) bool {
+	// A context or channel handed to the callee is a stop path in itself,
+	// whoever the callee is.
+	for _, arg := range g.Call.Args {
+		if t := info.TypeOf(arg); t != nil && isStopCarrier(t) {
+			return true
+		}
+	}
+	var body *ast.BlockStmt
+	switch fun := unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if fn := calleeFunc(info, g.Call); fn != nil {
+			if decl, ok := decls[fn]; ok {
+				body = decl.Body
+			}
+		}
+	}
+	if body == nil {
+		// Opaque cross-package callee with no stop-carrying argument.
+		return false
+	}
+	return bodyHasStopSignal(info, body)
+}
+
+// isStopCarrier reports whether t can carry a shutdown signal: a
+// context.Context, any channel, or a *sync.WaitGroup.
+func isStopCarrier(t types.Type) bool {
+	if isContextType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Pointer:
+		if named, ok := u.Elem().(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+		}
+	}
+	return false
+}
+
+// bodyHasStopSignal scans a goroutine body for participation in any
+// shutdown protocol. Nested function literals count: a goroutine that
+// installs a cleanup closure over a channel is still reachable.
+func bodyHasStopSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SelectStmt, *ast.SendStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t := info.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, x); fn != nil && fn.Pkg() != nil {
+				if fn.Pkg().Path() == "sync" {
+					switch fn.Name() {
+					case "Done", "Wait", "Add":
+						found = true
+					}
+				}
+			}
+			if id, ok := unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" && info.Uses[id] != nil {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if t := info.TypeOf(x); t != nil && isContextType(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

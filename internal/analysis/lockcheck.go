@@ -1,0 +1,318 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCheck polices critical sections. While a sync.Mutex or RWMutex is
+// held, the goroutine must not block on anything scheduled by other
+// goroutines — channel sends and receives, select without default,
+// network or HTTP round trips, time.Sleep/clock sleeps, or calls named
+// Submit or Wait — because every one of those turns the lock's O(ns)
+// critical section into an unbounded convoy (and, for locks the blocked
+// peer also needs, a deadlock). It also demands that every Lock acquired
+// in a function is released on every return path, either by a matching
+// Unlock before the return or by a defer.
+//
+// The analysis is intra-procedural and block-structured: held locks are
+// tracked per lexical branch keyed by the receiver expression's source
+// text, so `m.mu.Lock()` and `m.mu.Unlock()` pair up while two distinct
+// mutexes stay independent. Function literals are separate scopes (they
+// run on their own goroutine's schedule, not inline). Suppress with
+// //quq:lock-ok <reason> where blocking under a lock is intended, e.g. a
+// condition-variable wait.
+var LockCheck = &Analyzer{
+	Name:      "lockcheck",
+	Doc:       "no blocking operations while a sync mutex is held; every Lock has an Unlock on all return paths",
+	Directive: "lock-ok",
+	Run:       runLockCheck,
+}
+
+// lockState tracks the mutexes held at a program point. Keys are the
+// printed receiver expressions (e.g. "r.mu"); the value records whether
+// the release is deferred (deferred releases keep the lock held for
+// blocking purposes but satisfy the all-paths-unlock obligation).
+type lockState map[string]bool
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func runLockCheck(pass *Pass) {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		// Smoke mains hold no long-lived locks worth policing; the
+		// library layers are the enforcement surface.
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			lc := &lockChecker{pass: pass, fn: fn.Name.Name}
+			lc.block(fn.Body, lockState{})
+			// Function literals are independent critical-section scopes:
+			// walk each one found anywhere in the body with a fresh state.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					lc.block(lit.Body, lockState{})
+				}
+				return true
+			})
+		}
+	}
+}
+
+type lockChecker struct {
+	pass *Pass
+	fn   string
+}
+
+// mutexMethod resolves a call to sync.Mutex/RWMutex Lock/Unlock (and the
+// R-variants), returning the method name and the receiver expression's
+// source text. ok is false for anything else.
+func (lc *lockChecker) mutexMethod(call *ast.CallExpr) (method, recv string, ok bool) {
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn := calleeFunc(lc.pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		return fn.Name(), types.ExprString(sel.X), true
+	}
+	return "", "", false
+}
+
+// block walks one statement list with the given held-lock state and
+// returns the state at fallthrough (the end of the list without an early
+// return). Early returns are checked for leaked locks at the return site.
+func (lc *lockChecker) block(b *ast.BlockStmt, held lockState) lockState {
+	if b == nil {
+		return held
+	}
+	return lc.stmts(b.List, held)
+}
+
+func (lc *lockChecker) stmts(list []ast.Stmt, held lockState) lockState {
+	for _, st := range list {
+		held = lc.stmt(st, held)
+	}
+	return held
+}
+
+func (lc *lockChecker) stmt(st ast.Stmt, held lockState) lockState {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if m, recv, isMu := lc.mutexMethod(call); isMu {
+				switch m {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					held = held.clone()
+					held[recv] = false
+				case "Unlock", "RUnlock":
+					held = held.clone()
+					delete(held, recv)
+				}
+				return held
+			}
+		}
+		lc.checkBlocking(s.X, held)
+	case *ast.DeferStmt:
+		if m, recv, isMu := lc.mutexMethod(s.Call); isMu && (m == "Unlock" || m == "RUnlock") {
+			if _, ok := held[recv]; ok {
+				held = held.clone()
+				held[recv] = true // released on return, still held for blocking purposes
+			}
+			return held
+		}
+		// Other deferred calls run at return time, outside the critical
+		// section ordering we can reason about; skip them.
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lc.checkBlocking(e, held)
+		}
+		for recv, deferred := range held {
+			if !deferred {
+				lc.pass.Reportf(s.Pos(), "return while %s is locked in %s: missing %s.Unlock on this path", recv, lc.fn, recv)
+			}
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			lc.reportBlocked(s.Pos(), "channel send", held)
+		}
+		lc.checkBlocking(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lc.checkBlocking(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = lc.stmt(s.Init, held)
+		}
+		lc.checkBlocking(s.Cond, held)
+		lc.block(s.Body, held.clone())
+		if s.Else != nil {
+			lc.stmt(s.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = lc.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			lc.checkBlocking(s.Cond, held)
+		}
+		lc.block(s.Body, held.clone())
+	case *ast.RangeStmt:
+		lc.checkBlocking(s.X, held)
+		lc.block(s.Body, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = lc.stmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lc.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lc.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			lc.reportBlocked(s.Pos(), "select", held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				lc.stmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.BlockStmt:
+		held = lc.block(s, held)
+	case *ast.GoStmt:
+		// The spawned goroutine runs under its own schedule; its body is
+		// re-walked as a fresh scope by runLockCheck. Argument evaluation
+		// happens here though.
+		for _, a := range s.Call.Args {
+			lc.checkBlocking(a, held)
+		}
+	case *ast.LabeledStmt:
+		held = lc.stmt(s.Stmt, held)
+	}
+	return held
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBlocking flags blocking expressions evaluated while locks are
+// held: channel receives and calls into the blocking-call denylist.
+func (lc *lockChecker) checkBlocking(e ast.Expr, held lockState) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope, separate schedule
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				lc.reportBlocked(x.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if kind, ok := lc.blockingCall(x); ok {
+				lc.reportBlocked(x.Pos(), kind, held)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies a call that can block on other goroutines'
+// progress: network dials and HTTP round trips, sleeps (including the
+// chaos Clock seam), and any method named Submit or Wait (the batcher's
+// enqueue and the standard rendezvous verbs).
+func (lc *lockChecker) blockingCall(call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(lc.pass.Info, call)
+	if fn == nil {
+		// Interface methods named Sleep/Wait/Submit still block; resolve
+		// by selector name when the type checker gives us no concrete
+		// *types.Func (indirect calls).
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Wait", "Submit", "Sleep":
+				return "call to " + sel.Sel.Name, true
+			}
+		}
+		return "", false
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	switch {
+	case pkg == "time" && fn.Name() == "Sleep":
+		return "time.Sleep", true
+	case pkg == "net" && (fn.Name() == "Dial" || fn.Name() == "DialTimeout" || fn.Name() == "Listen"):
+		return "net." + fn.Name(), true
+	case pkg == "net/http":
+		if what, ok := httpRoundTripCall(fn); ok {
+			return what, true
+		}
+	case fn.Name() == "Wait" || fn.Name() == "Submit" || fn.Name() == "Sleep":
+		// sync.WaitGroup.Wait, sync.Cond.Wait, batcher Submit, clock
+		// seams — all rendezvous points.
+		return "call to " + fn.Name(), true
+	}
+	return "", false
+}
+
+// reportBlocked emits one diagnostic naming the held locks.
+func (lc *lockChecker) reportBlocked(pos token.Pos, what string, held lockState) {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	// Deterministic order for multi-lock messages.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	lc.pass.Reportf(pos, "%s while holding %s in %s: blocking under a mutex convoys every other critical section", what, joinAnd(names), lc.fn)
+}
+
+func joinAnd(names []string) string {
+	switch len(names) {
+	case 0:
+		return ""
+	case 1:
+		return names[0]
+	}
+	out := names[0]
+	for _, n := range names[1:] {
+		out += " and " + n
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+	"strings"
+)
+
+// MetricLabel bounds metric cardinality at compile time. Two rules:
+//
+//  1. The name handed to a metrics registry constructor (NewCounter,
+//     NewGauge, NewHistogram) must be a compile-time constant. A name
+//     built from request data mints one time series per distinct value —
+//     an unbounded-cardinality leak that grows the scrape payload and
+//     the aggregator's merge state forever.
+//  2. Prometheus-style label values interpolated at runtime — a format
+//     string containing `{label=%...}` handed to fmt's formatting
+//     functions — are flagged for the same reason: the label value is
+//     whatever the runtime happened to hold, and nothing bounds its
+//     domain.
+//
+// Suppress with //quq:label-ok <reason> where the runtime value is
+// provably from a bounded, compile-time-known domain (e.g. histogram
+// bucket bounds fixed at construction).
+var MetricLabel = &Analyzer{
+	Name:      "metriclabel",
+	Doc:       "metric names and label values come from compile-time constants, never request data",
+	Directive: "label-ok",
+	Run:       runMetricLabel,
+}
+
+// metricCtors are the registry constructors whose name argument must be
+// constant.
+var metricCtors = map[string]bool{
+	"NewCounter":   true,
+	"NewGauge":     true,
+	"NewHistogram": true,
+}
+
+// labelFmtRe matches a runtime-interpolated label value inside a
+// Prometheus exposition format string: `{le=%q}`, `{shard=%s}`, …
+var labelFmtRe = regexp.MustCompile(`\{[A-Za-z_][A-Za-z0-9_]*=%`)
+
+func runMetricLabel(pass *Pass) {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		return
+	}
+	// Rule 2 only bites in metrics packages — exposition text is written
+	// there, and `{k=%d}`-shaped debug Stringers elsewhere are not label
+	// writes. Rule 1 applies everywhere a registry constructor is called.
+	expositionScope := strings.Contains(pass.PkgPath, "metrics")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			// Rule 1: constant metric names.
+			if metricCtors[fn.Name()] && len(call.Args) > 0 {
+				if tv, ok := pass.Info.Types[call.Args[0]]; !ok || tv.Value == nil {
+					pass.Reportf(call.Args[0].Pos(), "metric name passed to %s is not a compile-time constant: runtime-built names mint unbounded time series", fn.Name())
+				}
+			}
+			// Rule 2: runtime label values in exposition format strings.
+			if expositionScope && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				switch fn.Name() {
+				case "Sprintf", "Fprintf", "Printf", "Appendf":
+					for _, arg := range call.Args {
+						tv, ok := pass.Info.Types[arg]
+						if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+							continue
+						}
+						if labelFmtRe.MatchString(constant.StringVal(tv.Value)) {
+							pass.Reportf(call.Pos(), "format string interpolates a label value at runtime; label values must come from compile-time constants to bound cardinality")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,52 @@
+// Package atomicmix is the fixture corpus for the atomicmix analyzer:
+// fields touched through sync/atomic must never also be read or written
+// plainly; a constructor-time plain write carries the documented
+// //quq:atomic-ok suppression.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) load() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// plainRead races every atomic.AddInt64 on the same field.
+func plainRead(c *counter) int64 {
+	return c.n // want `field n is accessed with sync/atomic elsewhere`
+}
+
+// plainWrite clobbers concurrent atomic increments.
+func plainWrite(c *counter) {
+	c.n = 0 // want `field n is accessed with sync/atomic elsewhere`
+}
+
+func (c *counter) hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// newCounter performs the one sanctioned plain write: before the value
+// escapes the constructor no other goroutine can see it.
+func newCounter(seed int64) *counter {
+	c := &counter{}
+	//quq:atomic-ok pre-publication write in the constructor; no concurrent reader exists yet
+	c.hits = seed
+	return c
+}
+
+// untouched is never accessed atomically, so plain access is fine.
+type untouched struct {
+	n int64
+}
+
+func bump(u *untouched) {
+	u.n++
+}

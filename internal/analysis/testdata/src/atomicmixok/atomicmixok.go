@@ -1,0 +1,23 @@
+// Package atomicmixok is the conforming corpus for the atomicmix
+// analyzer: each field is either always atomic or always plain, so the
+// analyzer must report nothing here.
+package atomicmixok
+
+import "sync/atomic"
+
+type stats struct {
+	calls int64 // always atomic
+	limit int64 // always plain, set once before start
+}
+
+func newStats(limit int64) *stats {
+	return &stats{limit: limit}
+}
+
+func (s *stats) record() bool {
+	return atomic.AddInt64(&s.calls, 1) <= s.limit
+}
+
+func (s *stats) count() int64 {
+	return atomic.LoadInt64(&s.calls)
+}

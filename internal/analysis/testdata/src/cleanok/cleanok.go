@@ -1,0 +1,25 @@
+// Package cleanok is a corpus that every analyzer must stay silent on:
+// documented, integer-only, panic-free, error-propagating, directive-free
+// code. The fixture meta-test uses it as the passing corpus for
+// analyzers whose failing fixtures have no dedicated conforming twin.
+package cleanok
+
+import "errors"
+
+// Scale multiplies by a power-of-two factor via shifting and reports
+// overflow as an error.
+func Scale(x int32, shift uint) (int32, error) {
+	if shift >= 31 {
+		return 0, errors.New("cleanok: shift out of range")
+	}
+	return x << shift, nil
+}
+
+// Sum folds a slice with pure integer arithmetic.
+func Sum(xs []int32) int64 {
+	var acc int64
+	for _, x := range xs {
+		acc += int64(x)
+	}
+	return acc
+}

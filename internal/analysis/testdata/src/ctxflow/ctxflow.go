@@ -1,0 +1,82 @@
+// Package ctxflow is the fixture corpus for the ctxflow analyzer: root
+// contexts minted in library code, blocking I/O in context-free
+// functions, the uncancellable http.NewRequest form, the conforming
+// threaded variants, and a documented //quq:ctx-ok suppression.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func mintsRoot() context.Context {
+	return context.Background() // want `context\.Background in library code`
+}
+
+func mintsTODO() context.Context {
+	return context.TODO() // want `context\.TODO in library code`
+}
+
+func sleepsWithoutCtx(d time.Duration) {
+	time.Sleep(d) // want `time\.Sleep in sleepsWithoutCtx, which takes no context\.Context`
+}
+
+func fetch(url string) error {
+	resp, err := http.Get(url) // want `http\.Get in fetch, which takes no context\.Context`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+type poster struct {
+	c   *http.Client
+	req *http.Request
+}
+
+// do holds its request in a field, so no parameter carries a context.
+func (p *poster) do() error {
+	resp, err := p.c.Do(p.req) // want `http Client\.Do in do, which takes no context\.Context`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func uncancellable(url string) (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, url, nil) // want `http\.NewRequest builds an uncancellable request`
+}
+
+// threaded is the conforming form: the context arrives as a parameter
+// and rides the request.
+func threaded(ctx context.Context, c *http.Client, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// handler carries its context inside *http.Request, which counts.
+func handler(c *http.Client, r *http.Request) error {
+	resp, err := c.Do(r)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// optOutDefault is the sanctioned shape: a root minted only as an
+// explicit opt-out default, documented in place.
+func optOutDefault(ctx context.Context) context.Context {
+	if ctx == nil {
+		//quq:ctx-ok documented opt-out default for embedders that decline to supply a context
+		ctx = context.Background()
+	}
+	return ctx
+}

@@ -1,0 +1,26 @@
+// Package ctxflowok is the conforming corpus for the ctxflow analyzer:
+// every blocking call sits in a function that accepts a context and
+// threads it, so the analyzer must report nothing here.
+package ctxflowok
+
+import (
+	"context"
+	"net/http"
+)
+
+func get(ctx context.Context, c *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(req)
+}
+
+// pure functions that never block need no context at all.
+func sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

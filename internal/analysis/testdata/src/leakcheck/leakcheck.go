@@ -1,0 +1,82 @@
+// Package leakcheck is the fixture corpus for the leakcheck analyzer:
+// goroutines spawned with no provable stop path, the conforming
+// context/WaitGroup/channel-tied forms, and a documented
+// //quq:goroutine-ok suppression.
+package leakcheck
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// spinForever has no stop signal of any kind in its body.
+func spinForever(n *int) {
+	go func() { // want `goroutine with no provable stop path`
+		for {
+			*n++
+		}
+	}()
+}
+
+func noStop() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+// declaredLeak spawns a same-package function whose body provably never
+// listens for shutdown.
+func declaredLeak() {
+	go noStop() // want `goroutine with no provable stop path`
+}
+
+// tiedToContext is the conforming form: the context argument is the
+// stop carrier.
+func tiedToContext(ctx context.Context, n *int) {
+	go func(ctx context.Context) {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				*n++
+			}
+		}
+	}(ctx)
+}
+
+// joinedByWaitGroup passes the WaitGroup in, so the spawner can wait.
+func joinedByWaitGroup(wg *sync.WaitGroup, n *int) {
+	wg.Add(1)
+	go func(wg *sync.WaitGroup) {
+		defer wg.Done()
+		*n++
+	}(wg)
+}
+
+// drainsChannel ranges over a channel: closing it stops the goroutine.
+func drainsChannel(in chan int, n *int) {
+	go func() {
+		for v := range in {
+			*n += v
+		}
+	}()
+}
+
+// signalsDone closes a done channel the spawner can select on.
+func signalsDone(n *int) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		*n++
+	}()
+	return done
+}
+
+// fireAndForget is the sanctioned escape hatch for provably-terminating
+// one-shot work, documented in place.
+func fireAndForget(msg string) {
+	//quq:goroutine-ok one-shot print terminates on its own; nothing to stop
+	go fmt.Println(msg)
+}

@@ -1,0 +1,43 @@
+// Package leakcheckok is the conforming corpus for the leakcheck
+// analyzer: every goroutine is tied to a context, WaitGroup, or
+// channel, so the analyzer must report nothing here.
+package leakcheckok
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	jobs chan int
+	wg   sync.WaitGroup
+	sum  int
+	mu   sync.Mutex
+}
+
+// start launches the serve loop tied to both the context and the jobs
+// channel — either closing jobs or cancelling ctx stops it.
+func (w *worker) start(ctx context.Context) {
+	w.wg.Add(1)
+	go func(ctx context.Context) {
+		defer w.wg.Done()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v, ok := <-w.jobs:
+				if !ok {
+					return
+				}
+				w.mu.Lock()
+				w.sum += v
+				w.mu.Unlock()
+			}
+		}
+	}(ctx)
+}
+
+func (w *worker) stop() {
+	close(w.jobs)
+	w.wg.Wait()
+}

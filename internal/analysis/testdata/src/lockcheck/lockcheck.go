@@ -1,0 +1,129 @@
+// Package lockcheck is the fixture corpus for the lockcheck analyzer:
+// blocking operations under a held sync.Mutex that must flag, return
+// paths that leak a lock, the conforming unlock-then-block forms, and a
+// documented //quq:lock-ok suppression (the condition-variable idiom).
+package lockcheck
+
+import (
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func sendWhileLocked(g *guarded) {
+	g.mu.Lock()
+	g.ch <- 1 // want `channel send while holding g\.mu`
+	g.mu.Unlock()
+}
+
+func recvWhileLocked(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want `channel receive while holding g\.mu`
+}
+
+func sleepWhileLocked(g *guarded) {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding g\.mu`
+	g.mu.Unlock()
+}
+
+func roundTripWhileLocked(g *guarded, c *http.Client, req *http.Request) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	resp, err := c.Do(req) // want `http Client\.Do while holding g\.mu`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func waitWhileLocked(g *guarded, wg *sync.WaitGroup) {
+	g.mu.Lock()
+	wg.Wait() // want `call to Wait while holding g\.mu`
+	g.mu.Unlock()
+}
+
+func selectWhileLocked(g *guarded, done chan struct{}) {
+	g.mu.Lock()
+	select { // want `select while holding g\.mu`
+	case <-done:
+	case g.ch <- 1:
+	}
+	g.mu.Unlock()
+}
+
+func missingUnlock(g *guarded, fail bool) error {
+	g.mu.Lock()
+	if fail {
+		return errors.New("left locked") // want `return while g\.mu is locked`
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// unlockFirst is the conforming form: the critical section ends before
+// anything can block.
+func unlockFirst(g *guarded) {
+	g.mu.Lock()
+	v := g.n
+	g.mu.Unlock()
+	g.ch <- v
+}
+
+// deferredPure holds the lock for pure computation only.
+func deferredPure(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n * 2
+}
+
+// selectDefault never parks: a default arm makes select non-blocking.
+func selectDefault(g *guarded) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case g.ch <- g.n:
+		return true
+	default:
+		return false
+	}
+}
+
+// spawned goroutines are separate critical-section scopes: the literal
+// body runs on its own schedule, after the spawner's unlock.
+func spawnUnderLock(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		g.ch <- 1
+	}()
+}
+
+type condQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	work []int
+}
+
+// pop is the sanctioned blocking-under-lock idiom: Cond.Wait releases
+// the mutex while parked, which the analyzer cannot see — the directive
+// documents it.
+func (q *condQueue) pop() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.work) == 0 {
+		//quq:lock-ok Cond.Wait atomically releases q.mu while parked and reacquires before returning
+		q.cond.Wait()
+	}
+	v := q.work[0]
+	q.work = q.work[1:]
+	return v
+}

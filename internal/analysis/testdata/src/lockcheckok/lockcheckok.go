@@ -1,0 +1,49 @@
+// Package lockcheckok is the conforming corpus for the lockcheck
+// analyzer: every critical section is short, pure, and released on
+// every path, so the analyzer must report nothing here.
+package lockcheckok
+
+import "sync"
+
+type store struct {
+	mu   sync.RWMutex
+	data map[string]int
+	out  chan int
+}
+
+func (s *store) get(k string) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[k]
+	return v, ok
+}
+
+func (s *store) set(k string, v int) {
+	s.mu.Lock()
+	s.data[k] = v
+	s.mu.Unlock()
+}
+
+// snapshotThenSend copies under the lock and blocks only after release
+// — the pattern the serving stack's metrics writers use.
+func (s *store) snapshotThenSend() {
+	s.mu.RLock()
+	vals := make([]int, 0, len(s.data))
+	for _, v := range s.data {
+		vals = append(vals, v)
+	}
+	s.mu.RUnlock()
+	for _, v := range vals {
+		s.out <- v
+	}
+}
+
+// twoLocks pairs each mutex independently.
+func twoLocks(a, b *sync.Mutex, n *int) {
+	a.Lock()
+	*n++
+	a.Unlock()
+	b.Lock()
+	*n++
+	b.Unlock()
+}

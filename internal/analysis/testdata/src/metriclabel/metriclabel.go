@@ -1,0 +1,56 @@
+// Package metriclabel is the fixture corpus for the metriclabel
+// analyzer: runtime-built metric names, runtime-interpolated label
+// values in exposition format strings, the conforming constant forms,
+// and a documented //quq:label-ok suppression. The fixture test loads
+// it under an import path containing "metrics" so the exposition rule
+// is armed.
+package metriclabel
+
+import (
+	"fmt"
+	"io"
+)
+
+type Counter struct{ n int64 }
+
+type Registry struct{ counters map[string]*Counter }
+
+func (r *Registry) NewCounter(name string) *Counter {
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+const requestsTotal = "quq_requests_total"
+
+// constantName is the conforming form: the series set is fixed at
+// compile time.
+func constantName(r *Registry) *Counter {
+	return r.NewCounter(requestsTotal)
+}
+
+// runtimeName mints one series per distinct shard string.
+func runtimeName(r *Registry, shard string) *Counter {
+	return r.NewCounter("quq_" + shard + "_total") // want `metric name passed to NewCounter is not a compile-time constant`
+}
+
+// runtimeLabel interpolates an unbounded label value into the
+// exposition text.
+func runtimeLabel(w io.Writer, shard string, v int64) {
+	fmt.Fprintf(w, "quq_shard_total{shard=%q} %d\n", shard, v) // want `format string interpolates a label value at runtime`
+}
+
+// constantText writes fully constant exposition lines: no label
+// interpolation, nothing to flag.
+func constantText(w io.Writer, v int64) {
+	fmt.Fprintf(w, "quq_requests_total %d\n", v)
+}
+
+// boundedLabel is the sanctioned shape: the interpolated value comes
+// from a fixed three-element list, documented in place.
+func boundedLabel(w io.Writer, v int64) {
+	for _, q := range [...]float64{0.5, 0.9, 0.99} {
+		//quq:label-ok quantile comes from the fixed three-element list above; domain is bounded
+		fmt.Fprintf(w, "quq_latency{quantile=%g} %d\n", q, v)
+	}
+}

@@ -1,0 +1,30 @@
+// Package metriclabelok is the conforming corpus for the metriclabel
+// analyzer: every metric name is a compile-time constant and no format
+// string interpolates a label value, so the analyzer must report
+// nothing here even under a "metrics" import path.
+package metriclabelok
+
+import (
+	"fmt"
+	"io"
+)
+
+type Gauge struct{ v float64 }
+
+type Registry struct{ gauges map[string]*Gauge }
+
+func (r *Registry) NewGauge(name string) *Gauge {
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+const queueDepth = "quq_queue_depth"
+
+func register(r *Registry) *Gauge {
+	return r.NewGauge(queueDepth)
+}
+
+func write(w io.Writer, g *Gauge) {
+	fmt.Fprintf(w, "%s %g\n", queueDepth, g.v)
+}

@@ -25,10 +25,12 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 
 	"quq/internal/chaos"
 	"quq/internal/serve"
@@ -46,14 +48,16 @@ type Options struct {
 }
 
 // Run replays the full fault schedule for one seed and returns the
-// invariant report. A non-nil error means the harness itself could not
-// run (ports, marshalling); invariant violations are reported in the
-// Report, not as errors.
-func Run(seed uint64, opts Options) (*chaos.Report, error) {
+// invariant report. ctx bounds the whole replay — every request,
+// health probe and drain inside the scenarios descends from it, so
+// cancelling it aborts the run. A non-nil error means the harness
+// itself could not run (ports, marshalling, ctx expiry); invariant
+// violations are reported in the Report, not as errors.
+func Run(ctx context.Context, seed uint64, opts Options) (*chaos.Report, error) {
 	rep := chaos.NewReport("serve-shard-faults", seed)
 	for _, sc := range []struct {
 		name string
-		run  func(uint64, Options, *chaos.Report) error
+		run  func(context.Context, uint64, Options, *chaos.Report) error
 	}{
 		{"reset-failover", scenarioResetFailover},
 		{"calibrate-once", scenarioCalibrateOnce},
@@ -61,7 +65,10 @@ func Run(seed uint64, opts Options) (*chaos.Report, error) {
 		{"eject-readmit", scenarioBoundedRemap},
 		{"drain", scenarioBoundedDrain},
 	} {
-		if err := sc.run(seed, opts, rep); err != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("chaos scenario %s: %w", sc.name, err)
+		}
+		if err := sc.run(ctx, seed, opts, rep); err != nil {
 			return nil, fmt.Errorf("chaos scenario %s: %w", sc.name, err)
 		}
 	}
@@ -79,6 +86,7 @@ type testFleet struct {
 	base     string // front-end base URL
 	faults   *chaos.Transport
 	clock    *chaos.Fake
+	serving  sync.WaitGroup // joins every http.Server.Serve goroutine at close
 }
 
 type backendShard struct {
@@ -87,18 +95,20 @@ type backendShard struct {
 	host    string // "127.0.0.1:port" — the form chaos rules match on
 }
 
-// boot starts nShards backends and the front-end. script seeds the
-// fault transport (rules may be empty; scenarios add host-targeted
-// rules after boot, once ephemeral addresses exist).
-func boot(nShards int, cfg serve.Config, script *chaos.Script, opts Options) (*testFleet, error) {
+// boot starts nShards backends and the front-end. ctx roots the
+// front-end's background work (the prober). script seeds the fault
+// transport (rules may be empty; scenarios add host-targeted rules
+// after boot, once ephemeral addresses exist).
+func boot(ctx context.Context, nShards int, cfg serve.Config, script *chaos.Script, opts Options) (*testFleet, error) {
 	f := &testFleet{clock: chaos.NewFake()}
 	sopts := shard.Options{
+		BaseContext:   ctx,
 		ProbeInterval: -1, // probe rounds are explicit via ProbeNow
 		Seed:          script.Seed,
 		Clock:         f.clock,
 	}
 	for i := 0; i < nShards; i++ {
-		b, err := startBackend(cfg)
+		b, err := f.startBackend(cfg)
 		if err != nil {
 			f.close()
 			return nil, fmt.Errorf("starting backend %d: %w", i, err)
@@ -119,28 +129,34 @@ func boot(nShards int, cfg serve.Config, script *chaos.Script, opts Options) (*t
 		return nil, err
 	}
 	f.frontSrv = &http.Server{Handler: f.front.Handler()}
+	f.serving.Add(1)
 	go func() {
-		// Serve exits with ErrServerClosed on Close; verdicts come from
-		// the round trips, not this goroutine.
+		// Serve exits with ErrServerClosed on Close, which close() waits
+		// for; verdicts come from the round trips, not this goroutine.
+		defer f.serving.Done()
 		_ = f.frontSrv.Serve(ln)
 	}()
 	f.base = "http://" + ln.Addr().String()
 	return f, nil
 }
 
-func startBackend(cfg serve.Config) (*backendShard, error) {
+func (f *testFleet) startBackend(cfg serve.Config) (*backendShard, error) {
 	s := serve.New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	httpSrv := &http.Server{Handler: s.Handler()}
+	f.serving.Add(1)
 	go func() {
+		defer f.serving.Done()
 		_ = httpSrv.Serve(ln)
 	}()
 	return &backendShard{srv: s, httpSrv: httpSrv, host: ln.Addr().String()}, nil
 }
 
+// close tears the fleet down and joins every Serve goroutine, so a
+// scenario returns with zero fleet goroutines left behind.
 func (f *testFleet) close() {
 	if f.frontSrv != nil {
 		_ = f.frontSrv.Close()
@@ -151,6 +167,7 @@ func (f *testFleet) close() {
 	for _, b := range f.backends {
 		_ = b.httpSrv.Close()
 	}
+	f.serving.Wait()
 }
 
 // baseConfig is the cheap backend configuration every scenario starts

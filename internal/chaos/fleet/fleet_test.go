@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"net/http"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ import (
 // text rendering.
 func render(t *testing.T, seed uint64, opts Options) (*chaos.Report, string) {
 	t.Helper()
-	rep, err := Run(seed, opts)
+	rep, err := Run(context.Background(), seed, opts)
 	if err != nil {
 		t.Fatalf("chaos run: %v", err)
 	}

@@ -89,8 +89,8 @@ func classifyBody(sel selection, img []float64) map[string]any {
 // the shard is ejected, the key fails over — and still every request
 // sent gets exactly one answer, with backend completions equal to
 // client successes.
-func scenarioResetFailover(seed uint64, opts Options, rep *chaos.Report) error {
-	f, err := boot(3, baseConfig(seed), &chaos.Script{Name: "reset-failover", Seed: seed}, opts)
+func scenarioResetFailover(ctx context.Context, seed uint64, opts Options, rep *chaos.Report) error {
+	f, err := boot(ctx, 3, baseConfig(seed), &chaos.Script{Name: "reset-failover", Seed: seed}, opts)
 	if err != nil {
 		return err
 	}
@@ -107,7 +107,7 @@ func scenarioResetFailover(seed uint64, opts Options, rep *chaos.Report) error {
 	victim := ""
 	for i, sel := range selections {
 		sent++
-		r, err := post(context.Background(), f.base+"/v1/classify", classifyBody(sel, img))
+		r, err := post(ctx, f.base+"/v1/classify", classifyBody(sel, img))
 		if err != nil {
 			return fmt.Errorf("warm classify %d: %w", i, err)
 		}
@@ -125,7 +125,7 @@ func scenarioResetFailover(seed uint64, opts Options, rep *chaos.Report) error {
 	f.faults.AddRule(chaos.Rule{Host: victim, PathPrefix: "/v1/classify", Fault: chaos.FaultReset})
 	for i := 0; i < 8; i++ {
 		sent++
-		r, err := post(context.Background(), f.base+"/v1/classify", classifyBody(selections[0], img))
+		r, err := post(ctx, f.base+"/v1/classify", classifyBody(selections[0], img))
 		if err != nil {
 			return fmt.Errorf("failover classify %d: %w", i, err)
 		}
@@ -149,7 +149,7 @@ func scenarioResetFailover(seed uint64, opts Options, rep *chaos.Report) error {
 // from cache) and a transient calibration failure (the poisoned entry
 // must be evicted and rebuilt exactly once more — not zero, not per
 // subsequent request).
-func scenarioCalibrateOnce(seed uint64, opts Options, rep *chaos.Report) error {
+func scenarioCalibrateOnce(ctx context.Context, seed uint64, opts Options, rep *chaos.Report) error {
 	selA := selection{Model: "ViT-Nano", Method: "BaseQ", Bits: 6}
 	selB := selection{Model: "ViT-Nano", Method: "QUQ", Bits: 6}
 	keyA, err := selA.key()
@@ -181,7 +181,7 @@ func scenarioCalibrateOnce(seed uint64, opts Options, rep *chaos.Report) error {
 		}
 		return nil
 	}
-	f, err := boot(3, cfg, &chaos.Script{Name: "calibrate-once", Seed: seed}, opts)
+	f, err := boot(ctx, 3, cfg, &chaos.Script{Name: "calibrate-once", Seed: seed}, opts)
 	if err != nil {
 		return err
 	}
@@ -195,10 +195,10 @@ func scenarioCalibrateOnce(seed uint64, opts Options, rep *chaos.Report) error {
 	if !ok {
 		return errors.New("empty ring")
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	cctx, cancel := context.WithCancel(ctx)
 	firstDone := make(chan error, 1)
 	go func() {
-		_, err := post(ctx, owner.Addr()+"/v1/quantize", selA)
+		_, err := post(cctx, owner.Addr()+"/v1/quantize", selA)
 		firstDone <- err
 	}()
 	<-started
@@ -211,7 +211,7 @@ func scenarioCalibrateOnce(seed uint64, opts Options, rep *chaos.Report) error {
 	// The second caller goes through the front-end; the ring is
 	// untouched, so it lands on the same backend and must find the
 	// abandoned build's entry, not start a second calibration.
-	r, err := post(context.Background(), f.base+"/v1/quantize", selA)
+	r, err := post(ctx, f.base+"/v1/quantize", selA)
 	if err != nil {
 		return err
 	}
@@ -221,13 +221,13 @@ func scenarioCalibrateOnce(seed uint64, opts Options, rep *chaos.Report) error {
 
 	// Key B: first build fails (500 to the client — relayed, never
 	// retried by the front), the entry is evicted, the retry rebuilds.
-	if r, err = post(context.Background(), f.base+"/v1/quantize", selB); err != nil {
+	if r, err = post(ctx, f.base+"/v1/quantize", selB); err != nil {
 		return err
 	}
 	if r.status != http.StatusInternalServerError {
 		return fmt.Errorf("failing calibration: status %d, want 500", r.status)
 	}
-	if r, err = post(context.Background(), f.base+"/v1/quantize", selB); err != nil {
+	if r, err = post(ctx, f.base+"/v1/quantize", selB); err != nil {
 		return err
 	}
 	if r.status != http.StatusOK {
@@ -249,11 +249,11 @@ func scenarioCalibrateOnce(seed uint64, opts Options, rep *chaos.Report) error {
 // and Retry-After), and the fleet sees exactly one attempt per request
 // — a front-end that "helpfully" retries backpressure doubles the
 // attempt count and fails here.
-func scenarioBackpressure(seed uint64, opts Options, rep *chaos.Report) error {
+func scenarioBackpressure(ctx context.Context, seed uint64, opts Options, rep *chaos.Report) error {
 	script := &chaos.Script{Name: "backpressure-storm", Seed: seed, Rules: []chaos.Rule{
 		{Method: http.MethodPost, PathPrefix: "/v1/classify", Fault: chaos.Fault429},
 	}}
-	f, err := boot(3, baseConfig(seed), script, opts)
+	f, err := boot(ctx, 3, baseConfig(seed), script, opts)
 	if err != nil {
 		return err
 	}
@@ -267,7 +267,7 @@ func scenarioBackpressure(seed uint64, opts Options, rep *chaos.Report) error {
 		if i%2 == 1 {
 			sel.Method = "BaseQ"
 		}
-		r, err := post(context.Background(), f.base+"/v1/classify", classifyBody(sel, img))
+		r, err := post(ctx, f.base+"/v1/classify", classifyBody(sel, img))
 		if err != nil {
 			return fmt.Errorf("storm classify %d: %w", i, err)
 		}
@@ -290,8 +290,8 @@ func scenarioBackpressure(seed uint64, opts Options, rep *chaos.Report) error {
 // original owner. The key set is constructed so each shard owns exactly
 // keysPerShard keys, keeping the report's counts independent of the
 // ephemeral port layout.
-func scenarioBoundedRemap(seed uint64, opts Options, rep *chaos.Report) error {
-	f, err := boot(3, baseConfig(seed), &chaos.Script{Name: "eject-readmit", Seed: seed}, opts)
+func scenarioBoundedRemap(ctx context.Context, seed uint64, opts Options, rep *chaos.Report) error {
+	f, err := boot(ctx, 3, baseConfig(seed), &chaos.Script{Name: "eject-readmit", Seed: seed}, opts)
 	if err != nil {
 		return err
 	}
@@ -338,15 +338,15 @@ func scenarioBoundedRemap(seed uint64, opts Options, rep *chaos.Report) error {
 	}
 	const victim = 0 // first shard in address order; owns keysPerShard keys by construction
 	f.faults.AddRule(chaos.Rule{Host: hostOf(backends[victim].Addr()), PathPrefix: "/healthz", Fault: chaos.FaultReset})
-	f.front.ProbeNow() // FailAfter=2: one strike
-	f.front.ProbeNow() // ejected
+	f.front.ProbeNow(ctx) // FailAfter=2: one strike
+	f.front.ProbeNow(ctx) // ejected
 	during, err := pickAll()
 	if err != nil {
 		return err
 	}
 	f.faults.ClearRules()
-	f.front.ProbeNow() // OkAfter=2: hysteresis holds it out one more round
-	f.front.ProbeNow() // readmitted
+	f.front.ProbeNow(ctx) // OkAfter=2: hysteresis holds it out one more round
+	f.front.ProbeNow(ctx) // readmitted
 	after, err := pickAll()
 	if err != nil {
 		return err
@@ -364,14 +364,14 @@ func scenarioBoundedRemap(seed uint64, opts Options, rep *chaos.Report) error {
 // expired (their slots must already be free), and a worker that panics
 // mid-batch. Drain must still answer every admitted item inside the
 // deadline.
-func scenarioBoundedDrain(seed uint64, opts Options, rep *chaos.Report) error {
+func scenarioBoundedDrain(ctx context.Context, seed uint64, opts Options, rep *chaos.Report) error {
 	_ = opts // no proxy in this scenario: drain is a backend-local contract
 	reg := serve.NewRegistry(serve.RegistryOptions{Seed: seed, CalibImages: 2}, nil)
 	key, err := serve.KeyFromWire("ViT-Nano", "BaseQ", 6, "")
 	if err != nil {
 		return err
 	}
-	qm, _, err := reg.Get(context.Background(), key)
+	qm, _, err := reg.Get(ctx, key)
 	if err != nil {
 		return err
 	}
@@ -394,14 +394,14 @@ func scenarioBoundedDrain(seed uint64, opts Options, rep *chaos.Report) error {
 
 	imgs := data.Images(vit.ViTNano, 8, seed+1)
 	admitted := 0
-	items, err := bat.Submit(context.Background(), key.String(), qm, imgs[:6])
+	items, err := bat.Submit(ctx, key.String(), qm, imgs[:6])
 	if err != nil {
 		return err
 	}
 	admitted += len(items)
 
-	ctx, cancel := context.WithCancel(context.Background())
-	abandoned, err := bat.Submit(ctx, key.String(), qm, imgs[6:8])
+	cctx, cancel := context.WithCancel(ctx)
+	abandoned, err := bat.Submit(cctx, key.String(), qm, imgs[6:8])
 	if err != nil {
 		cancel()
 		return err
@@ -409,7 +409,7 @@ func scenarioBoundedDrain(seed uint64, opts Options, rep *chaos.Report) error {
 	admitted += len(abandoned)
 	cancel() // the submitter walks away before dispatch
 
-	dctx, dcancel := context.WithTimeout(context.Background(), 60*time.Second)
+	dctx, dcancel := context.WithTimeout(ctx, 60*time.Second)
 	defer dcancel()
 	drainErr := bat.Drain(dctx)
 	all := append(append([]*serve.Item{}, items...), abandoned...)

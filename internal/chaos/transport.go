@@ -187,8 +187,12 @@ func (t *Transport) Count(method, pathPrefix, host string, fault Fault, anyFault
 	return n
 }
 
-// decide picks the fault for one request and logs the event skeleton.
-func (t *Transport) decide(req *http.Request) (Fault, time.Duration, *Event) {
+// decide picks the fault for one request and logs the event skeleton,
+// returning the event's index into the log. The index — not a pointer —
+// is the handle for later status updates: a concurrent decide can grow
+// t.events and reallocate its backing array, so a held *Event may go
+// stale and writes through it would silently miss the log.
+func (t *Transport) decide(req *http.Request) (Fault, time.Duration, int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	fault, latency := FaultNone, time.Duration(0)
@@ -221,13 +225,13 @@ func (t *Transport) decide(req *http.Request) (Fault, time.Duration, *Event) {
 		Fault:  fault,
 	})
 	t.seq++
-	return fault, latency, &t.events[len(t.events)-1]
+	return fault, latency, len(t.events) - 1
 }
 
-// setStatus records the final status of an event.
-func (t *Transport) setStatus(e *Event, status int) {
+// setStatus records the final status of the idx-th logged event.
+func (t *Transport) setStatus(idx int, status int) {
 	t.mu.Lock()
-	e.Status = status
+	t.events[idx].Status = status
 	t.mu.Unlock()
 }
 
@@ -238,7 +242,7 @@ var errConnReset = fmt.Errorf("chaos: connection reset by peer")
 
 // RoundTrip applies the schedule to one request.
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
-	fault, latency, ev := t.decide(req)
+	fault, latency, ev := t.decide(req) // ev indexes t.events
 	switch fault {
 	case FaultReset:
 		return nil, errConnReset

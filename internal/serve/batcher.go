@@ -111,17 +111,23 @@ func NewBatcher(opts BatcherOptions, met *Metrics) *Batcher {
 // anything — admission is all-or-nothing so a multi-image request can
 // never deadlock half-queued.
 //
-// ctx is the submitter's context: if it is cancelled while an item is
-// still queued (not yet handed to a worker), the item finishes
-// immediately with the context's error and releases its QueueCap slot —
-// an abandoned client must not hold admission capacity until dispatch.
+// ctx is the submitter's context and must be non-nil (the HTTP layer
+// passes the request's): if it is cancelled while an item is still
+// queued (not yet handed to a worker), the item finishes immediately
+// with the context's error and releases its QueueCap slot — an
+// abandoned client must not hold admission capacity until dispatch.
 // Items already dispatched complete normally in the background.
 func (b *Batcher) Submit(ctx context.Context, key string, qm *ptq.QuantizedModel, images []*tensor.Tensor) ([]*Item, error) {
+	if ctx == nil {
+		// Mirroring http.NewRequestWithContext: a nil context is a
+		// programming error at the call site, not a runtime condition to
+		// paper over with a Background that would detach the work from
+		// every deadline.
+		//quq:panic-ok API-misuse guard; a nil context is a call-site bug, not a runtime condition
+		panic("serve: Submit called with nil context")
+	}
 	if len(images) == 0 {
 		return nil, nil
-	}
-	if ctx == nil {
-		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

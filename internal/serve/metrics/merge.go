@@ -287,17 +287,20 @@ func (e *Exposition) WriteText(w io.Writer) error {
 		}
 		counts := h.bucketCounts()
 		for i, bound := range h.bounds {
+			//quq:label-ok le values are the parsed histogram's own bucket bounds — bounded cardinality
 			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", bound), h.cum[i]); err != nil {
 				return err
 			}
 		}
 		if len(h.cum) > len(h.bounds) {
+			//quq:label-ok le is the constant +Inf terminal bucket — bounded cardinality
 			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, "+Inf", h.cum[len(h.cum)-1]); err != nil {
 				return err
 			}
 		}
 		for _, q := range []float64{0.5, 0.9, 0.99} {
 			v := bucketQuantile(h.bounds, counts, h.count, q)
+			//quq:label-ok quantile values come from the fixed three-element list above — bounded cardinality
 			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, fmt.Sprintf("%g", q), v); err != nil {
 				return err
 			}

@@ -235,6 +235,7 @@ type Registry struct {
 	mu      sync.Mutex
 	bases   map[string]*baseEntry
 	entries map[Key]*entry
+	builds  sync.WaitGroup // joins detached buildEntry goroutines in Drain
 }
 
 // NewRegistry builds a registry over the proxy zoo plus ViT-Nano.
@@ -306,6 +307,7 @@ func (r *Registry) Get(ctx context.Context, key Key) (*ptq.QuantizedModel, bool,
 	if !cached {
 		e = &entry{key: key, ready: make(chan struct{})}
 		r.entries[key] = e
+		r.builds.Add(1)
 		go r.buildEntry(e)
 	}
 	r.mu.Unlock()
@@ -329,6 +331,7 @@ func (r *Registry) Get(ctx context.Context, key Key) (*ptq.QuantizedModel, bool,
 // publishes the result, and evicts the entry on failure so the next
 // request retries instead of inheriting a stale error.
 func (r *Registry) buildEntry(e *entry) {
+	defer r.builds.Done()
 	start := time.Now()
 	e.qm, e.err = r.build(e.key)
 	e.buildMS = float64(time.Since(start)) / float64(time.Millisecond)
@@ -345,6 +348,25 @@ func (r *Registry) buildEntry(e *entry) {
 		r.mu.Unlock()
 	}
 	close(e.ready)
+}
+
+// Drain waits until every detached build goroutine has finished or ctx
+// expires. Builds are detached from their triggering client by design
+// (the calibrate-once contract), so graceful shutdown must join them
+// here — otherwise a calibration in flight at exit is silently killed
+// mid-write with its entry published to nobody.
+func (r *Registry) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		r.builds.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // build constructs the quantized model for a validated key.

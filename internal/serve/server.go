@@ -77,9 +77,15 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Metrics exposes the instrument set.
 func (s *Server) Metrics() *Metrics { return s.met }
 
-// Drain stops admission and waits for in-flight batches (graceful
-// shutdown; pair with http.Server.Shutdown).
-func (s *Server) Drain(ctx context.Context) error { return s.bat.Drain(ctx) }
+// Drain stops admission, waits for in-flight batches, then joins any
+// detached registry builds (graceful shutdown; pair with
+// http.Server.Shutdown).
+func (s *Server) Drain(ctx context.Context) error {
+	if err := s.bat.Drain(ctx); err != nil {
+		return err
+	}
+	return s.reg.Drain(ctx)
+}
 
 // middleware wraps the mux with, outermost first: panic recovery,
 // request accounting and latency, body size limiting, and the

@@ -15,6 +15,7 @@ import (
 	"quq/internal/data"
 	"quq/internal/ptq"
 	"quq/internal/tensor"
+	"quq/internal/testutil"
 	"quq/internal/vit"
 )
 
@@ -351,4 +352,41 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatal("condition not reached in time")
+}
+
+// TestServerLifecycleLeaksNothing is the goroutine-accounting gate for
+// the serving layer: after serving real traffic (including a detached
+// registry build and batched classifies), Drain plus closing the HTTP
+// server must reclaim every goroutine the stack started.
+func TestServerLifecycleLeaksNothing(t *testing.T) {
+	// Registered first so it runs after every other cleanup (LIFO): the
+	// goroutine census happens once the test server is fully closed.
+	t.Cleanup(testutil.VerifyNoLeaks(t))
+
+	s := New(Config{
+		Registry:       testRegistryOptions(),
+		Batcher:        BatcherOptions{MaxBatch: 4, Linger: time.Millisecond, QueueCap: 64},
+		RequestTimeout: 60 * time.Second,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/quantize", modelRequest{Model: "ViT-Nano", Method: "QUQ", Bits: 6, Regime: "full"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("quantize: status %d: %s", resp.StatusCode, body)
+	}
+	flat, _ := flatImages(2)
+	resp, body = postJSON(t, ts.URL+"/v1/classify", classifyRequest{
+		modelRequest: modelRequest{Model: "ViT-Nano", Method: "QUQ", Bits: 6, Regime: "full"},
+		Images:       flat,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify: status %d: %s", resp.StatusCode, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
 }

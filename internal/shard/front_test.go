@@ -2,6 +2,7 @@ package shard_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 	"quq/internal/chaos"
 	"quq/internal/serve/metrics"
 	"quq/internal/shard"
+	"quq/internal/testutil"
 )
 
 // fakeBackend is a minimal stand-in for quq-serve: it records how many
@@ -255,11 +257,11 @@ func TestProberEjectsAndReadmits(t *testing.T) {
 	f, addrs := newFront(t, b0, b1)
 
 	b0.healthy.Store(false)
-	f.ProbeNow() // one failure: below FailAfter=2, still admitted
+	f.ProbeNow(context.Background()) // one failure: below FailAfter=2, still admitted
 	if got := f.Ring().HealthyCount(); got != 2 {
 		t.Fatalf("after 1 failed probe: healthy = %d, want 2", got)
 	}
-	f.ProbeNow() // second consecutive failure: ejected
+	f.ProbeNow(context.Background()) // second consecutive failure: ejected
 	if got := f.Ring().HealthyCount(); got != 1 {
 		t.Fatalf("after 2 failed probes: healthy = %d, want 1", got)
 	}
@@ -268,11 +270,11 @@ func TestProberEjectsAndReadmits(t *testing.T) {
 	}
 
 	b0.healthy.Store(true)
-	f.ProbeNow() // one recovery probe: below OkAfter=2, still ejected
+	f.ProbeNow(context.Background()) // one recovery probe: below OkAfter=2, still ejected
 	if got := f.Ring().HealthyCount(); got != 1 {
 		t.Fatalf("after 1 recovery probe: healthy = %d, want 1 (hysteresis)", got)
 	}
-	f.ProbeNow() // second consecutive ok: readmitted
+	f.ProbeNow(context.Background()) // second consecutive ok: readmitted
 	if got := f.Ring().HealthyCount(); got != 2 {
 		t.Fatalf("after 2 recovery probes: healthy = %d, want 2", got)
 	}
@@ -291,8 +293,8 @@ func TestProberFlapHysteresis(t *testing.T) {
 	f, _ := newFront(t, b0, b1)
 
 	b0.healthy.Store(false)
-	f.ProbeNow()
-	f.ProbeNow() // FailAfter=2 consecutive failures: ejected
+	f.ProbeNow(context.Background())
+	f.ProbeNow(context.Background()) // FailAfter=2 consecutive failures: ejected
 	if got := f.Ring().HealthyCount(); got != 1 {
 		t.Fatalf("flapping backend not ejected: healthy = %d", got)
 	}
@@ -300,12 +302,12 @@ func TestProberFlapHysteresis(t *testing.T) {
 	// Six rounds of perfect flapping: ok, fail, ok, fail, ok, fail.
 	for i := 0; i < 3; i++ {
 		b0.healthy.Store(true)
-		f.ProbeNow()
+		f.ProbeNow(context.Background())
 		if got := f.Ring().HealthyCount(); got != 1 {
 			t.Fatalf("flap round %d: single ok probe readmitted the backend", i)
 		}
 		b0.healthy.Store(false)
-		f.ProbeNow()
+		f.ProbeNow(context.Background())
 	}
 	if got := f.Metrics().Readmissions.Value(); got != 0 {
 		t.Fatalf("readmissions during flapping = %d, want 0", got)
@@ -316,8 +318,8 @@ func TestProberFlapHysteresis(t *testing.T) {
 
 	// A genuinely stable recovery still gets back in.
 	b0.healthy.Store(true)
-	f.ProbeNow()
-	f.ProbeNow()
+	f.ProbeNow(context.Background())
+	f.ProbeNow(context.Background())
 	if got := f.Ring().HealthyCount(); got != 2 {
 		t.Fatalf("stable recovery not readmitted: healthy = %d, want 2", got)
 	}
@@ -340,8 +342,8 @@ func TestFrontHealthz(t *testing.T) {
 	}
 
 	b0.healthy.Store(false)
-	f.ProbeNow()
-	f.ProbeNow()
+	f.ProbeNow(context.Background())
+	f.ProbeNow(context.Background())
 	w = httptest.NewRecorder()
 	f.Handler().ServeHTTP(w, req)
 	if w.Code != http.StatusServiceUnavailable {
@@ -456,7 +458,15 @@ func TestAggregatorDegradesWithStaleShard(t *testing.T) {
 		t.Fatalf("classify: %d", w.Code)
 	}
 
-	b1.metricsBroken.Store(true)
+	// Ring ownership hashes the backends' ephemeral httptest ports, so
+	// which backend served the classify varies per run. Wedge the idle
+	// one: the served backend's counter must survive in the degraded
+	// view, which only holds if its /metrics stays scrapeable.
+	idle := b1
+	if b1.requests.Load() > 0 {
+		idle = b0
+	}
+	idle.metricsBroken.Store(true)
 	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
 	w := httptest.NewRecorder()
 	f.Handler().ServeHTTP(w, req)
@@ -478,7 +488,7 @@ func TestAggregatorDegradesWithStaleShard(t *testing.T) {
 	}
 
 	// Recovery clears the staleness signal on the next scrape.
-	b1.metricsBroken.Store(false)
+	idle.metricsBroken.Store(false)
 	w = httptest.NewRecorder()
 	f.Handler().ServeHTTP(w, req)
 	page, err = metrics.ParseText(bytes.NewReader(w.Body.Bytes()))
@@ -557,4 +567,28 @@ func TestRetryBackoffSeededAndReproducible(t *testing.T) {
 			t.Fatalf("sleep %d = %v outside equal-jitter window [%v, %v)", i, d, step/2, step)
 		}
 	}
+}
+
+// TestFrontLifecycleLeaksNothing is the goroutine-accounting gate for
+// the shard layer: with background probing running, serving traffic and
+// then closing the front must reclaim the prober loop and every probe
+// it spawned.
+func TestFrontLifecycleLeaksNothing(t *testing.T) {
+	// Registered first so it runs after every other cleanup (LIFO),
+	// i.e. once the backends and front are fully closed.
+	t.Cleanup(testutil.VerifyNoLeaks(t))
+
+	a, b := newFakeBackend(t, "a"), newFakeBackend(t, "b")
+	f := shard.New(shard.Options{
+		Backends:      []string{a.srv.URL, b.srv.URL},
+		ProbeInterval: 2 * time.Millisecond,
+		Retries:       -1,
+		RetryBackoff:  1,
+	})
+	w := classify(t, f.Handler(), `{"model":"ViT-Nano","method":"QUQ","bits":6,"regime":"full"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("classify through front: status %d: %s", w.Code, w.Body.String())
+	}
+	f.ProbeNow(context.Background())
+	f.Close()
 }

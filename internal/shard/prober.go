@@ -16,7 +16,12 @@ import (
 // keeps its virtual nodes, so when it returns, exactly the arcs it
 // always owned come back to it (key remapping stays limited to the
 // moved arc in both directions).
+//
+// All probe I/O descends from the base context handed to NewProber, so
+// cancelling it (the embedder shutting down) aborts in-flight health
+// checks instead of letting them run out their timeouts.
 type Prober struct {
+	base      context.Context
 	ring      *Ring
 	client    *http.Client
 	interval  time.Duration
@@ -29,12 +34,14 @@ type Prober struct {
 	done chan struct{}
 }
 
-// NewProber builds a prober over the ring. met may be nil.
-func NewProber(ring *Ring, client *http.Client, interval, timeout time.Duration, failAfter, okAfter int, met *Metrics) *Prober {
+// NewProber builds a prober over the ring. base roots every probe's
+// context and must be non-nil; met may be nil.
+func NewProber(base context.Context, ring *Ring, client *http.Client, interval, timeout time.Duration, failAfter, okAfter int, met *Metrics) *Prober {
 	if okAfter <= 0 {
 		okAfter = 1
 	}
 	return &Prober{
+		base:      base,
 		ring:      ring,
 		client:    client,
 		interval:  interval,
@@ -66,8 +73,10 @@ func (p *Prober) loop() {
 		select {
 		case <-p.stop:
 			return
+		case <-p.base.Done():
+			return
 		case <-t.C:
-			p.ProbeNow()
+			p.ProbeNow(p.base)
 		}
 	}
 }
@@ -82,10 +91,11 @@ func (p *Prober) Stop() {
 	<-p.done
 }
 
-// ProbeNow runs one synchronous probe round over every backend.
-func (p *Prober) ProbeNow() {
+// ProbeNow runs one synchronous probe round over every backend; each
+// round trip is bounded by the probe timeout and ctx.
+func (p *Prober) ProbeNow(ctx context.Context) {
 	for _, b := range p.ring.Backends() {
-		p.probe(b)
+		p.probe(ctx, b)
 	}
 	if p.met != nil {
 		p.met.Healthy.Set(int64(p.ring.HealthyCount()))
@@ -93,8 +103,8 @@ func (p *Prober) ProbeNow() {
 }
 
 // probe checks one backend and applies the ejection/re-admission policy.
-func (p *Prober) probe(b *Backend) {
-	if p.probeOK(b) {
+func (p *Prober) probe(ctx context.Context, b *Backend) {
+	if p.probeOK(ctx, b) {
 		b.probeFails.Store(0)
 		if b.healthy.Load() {
 			return
@@ -115,8 +125,8 @@ func (p *Prober) probe(b *Backend) {
 }
 
 // probeOK reports whether one /healthz round trip succeeded.
-func (p *Prober) probeOK(b *Backend) bool {
-	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+func (p *Prober) probeOK(ctx context.Context, b *Backend) bool {
+	ctx, cancel := context.WithTimeout(ctx, p.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.addr+"/healthz", nil)
 	if err != nil {

@@ -54,7 +54,7 @@ func New(opts Options) *Front {
 		client: client,
 		clock:  opts.Clock,
 		jitter: rng.New(opts.Seed),
-		prober: NewProber(ring, client, opts.ProbeInterval, opts.ProbeTimeout, opts.FailAfter, opts.OkAfter, met),
+		prober: NewProber(opts.BaseContext, ring, client, opts.ProbeInterval, opts.ProbeTimeout, opts.FailAfter, opts.OkAfter, met),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", f.handleProxy)
@@ -86,8 +86,9 @@ func (f *Front) Ring() *Ring { return f.ring }
 // Metrics exposes the front-end's own instrument set.
 func (f *Front) Metrics() *Metrics { return f.met }
 
-// ProbeNow forces one synchronous health-probe round.
-func (f *Front) ProbeNow() { f.prober.ProbeNow() }
+// ProbeNow forces one synchronous health-probe round; each round trip
+// is bounded by ctx and the probe timeout.
+func (f *Front) ProbeNow(ctx context.Context) { f.prober.ProbeNow(ctx) }
 
 // Close stops the background prober.
 func (f *Front) Close() { f.prober.Stop() }

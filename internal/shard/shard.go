@@ -26,6 +26,7 @@
 package shard
 
 import (
+	"context"
 	"net/http"
 	"time"
 
@@ -35,6 +36,10 @@ import (
 
 // Options tunes the sharding front-end.
 type Options struct {
+	// BaseContext roots the front-end's background work (the prober's
+	// health-check round trips). Cancelling it aborts in-flight probes;
+	// nil means the front-end runs until Close with no external deadline.
+	BaseContext context.Context
 	// Backends lists the quq-serve base addresses ("host:port" or full
 	// http:// URLs) forming the initial ring.
 	Backends []string
@@ -89,6 +94,13 @@ type Options struct {
 }
 
 func (o *Options) defaults() {
+	if o.BaseContext == nil {
+		// The one place the front-end mints a root: an embedder that
+		// declines to supply a base context gets background work scoped
+		// only by Close, matching the pre-BaseContext behavior.
+		//quq:ctx-ok explicit opt-out default; embedders thread a real context via Options.BaseContext
+		o.BaseContext = context.Background()
+	}
 	if o.VNodes <= 0 {
 		o.VNodes = 128
 	}

@@ -1,0 +1,156 @@
+// Package testutil holds dependency-free helpers shared by the repo's
+// test suites. Its centerpiece is a goroutine-leak assertion built on
+// runtime.Stack, so lifecycle tests (server Drain, shard front close,
+// fleet teardown) can prove that shutdown actually reclaims every
+// goroutine it started instead of merely returning.
+package testutil
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TB is the subset of *testing.T the leak checker needs, declared
+// locally so this package never imports testing (importing testing
+// from non-test code would register its flags in any binary that links
+// us).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// settleTimeout bounds how long VerifyNoLeaks waits for goroutines that
+// are already on their way out (a Drain returns before the drained
+// worker's final stack frames unwind). A variable so the package's own
+// failure-path test can shorten the wait.
+var settleTimeout = 2 * time.Second
+
+// VerifyNoLeaks snapshots the running goroutines and returns a check to
+// defer; the check fails the test if goroutines created after the
+// snapshot still exist once everything should have shut down:
+//
+//	defer testutil.VerifyNoLeaks(t)()
+//
+// Goroutines are compared by stack signature (creation site and frames,
+// not goroutine ID), so pre-existing pool members with identical stacks
+// cancel out and only net-new survivors count. Runtime and test-harness
+// internals are ignored.
+//
+// The settle loop below polls the runtime's own goroutine table — there
+// is no event to select on and no caller deadline to honor, so a plain
+// bounded wall-clock wait is the correct tool here:
+//
+//quq:sleep-ok bounded settle poll of runtime.Stack; no chaos replay involves this test-only helper
+//quq:ctx-ok test-only helper with its own fixed 2s bound; no caller deadline exists to thread
+func VerifyNoLeaks(tb TB) func() {
+	before := snapshot()
+	return func() {
+		tb.Helper()
+		deadline := time.Now().Add(settleTimeout)
+		var leaked []string
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		tb.Errorf("testutil: %d goroutine(s) leaked past shutdown:\n\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}
+
+// snapshot returns the multiset of interesting goroutine stack
+// signatures currently running.
+func snapshot() map[string]int {
+	counts := map[string]int{}
+	for _, g := range goroutines() {
+		counts[g]++
+	}
+	return counts
+}
+
+// leakedSince diffs the current goroutines against a snapshot and
+// returns the stacks present now but not then, sorted for stable
+// output.
+func leakedSince(before map[string]int) []string {
+	remaining := make(map[string]int, len(before))
+	for sig, n := range before {
+		remaining[sig] = n
+	}
+	var leaked []string
+	for _, g := range goroutines() {
+		if remaining[g] > 0 {
+			remaining[g]--
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	sort.Strings(leaked)
+	return leaked
+}
+
+// goroutines returns the stack signature of every goroutine except the
+// caller's and known runtime/test-harness internals. The signature is
+// the full stack dump minus the "goroutine N [state]:" header, so IDs
+// and wait states (running vs sleeping) never produce spurious diffs.
+func goroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var sigs []string
+	for i, g := range strings.Split(string(buf), "\n\n") {
+		if i == 0 {
+			// First entry is the goroutine calling runtime.Stack — us.
+			continue
+		}
+		header, frames, ok := strings.Cut(g, "\n")
+		if !ok || !strings.HasPrefix(header, "goroutine ") {
+			continue
+		}
+		if boring(frames) {
+			continue
+		}
+		sigs = append(sigs, strings.TrimRight(frames, "\n"))
+	}
+	return sigs
+}
+
+// boring reports stacks the leak checker must ignore: the runtime's and
+// the testing package's own long-lived goroutines, which exist outside
+// any code under test.
+func boring(frames string) bool {
+	for _, marker := range []string{
+		"testing.RunTests(",
+		"testing.(*M).",
+		"testing.(*T).Run(",
+		"testing.tRunner(",
+		"testing.runFuzzing(",
+		"testing.runFuzzTests(",
+		"runtime.goexit",
+		"runtime.gc(",
+		"runtime.bgsweep(",
+		"runtime.bgscavenge(",
+		"runtime.forcegchelper(",
+		"runtime.ReadTrace(",
+		"signal.signal_recv(",
+		"created by runtime.",
+	} {
+		if strings.Contains(frames, marker) {
+			return true
+		}
+	}
+	// A goroutine parked in the race detector or in Stack itself.
+	return strings.TrimSpace(frames) == ""
+}

@@ -1,0 +1,82 @@
+package testutil
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB captures the leak checker's verdict without failing the real
+// test.
+type fakeTB struct {
+	failed bool
+	msg    string
+}
+
+func (f *fakeTB) Helper() {}
+
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.failed = true
+	f.msg = fmt.Sprintf(format, args...)
+}
+
+func TestVerifyNoLeaksPassesOnCleanShutdown(t *testing.T) {
+	fake := &fakeTB{}
+	check := VerifyNoLeaks(fake)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(5 * time.Millisecond)
+	}()
+	<-done
+	check()
+	if fake.failed {
+		t.Fatalf("clean shutdown reported as a leak:\n%s", fake.msg)
+	}
+}
+
+func TestVerifyNoLeaksCatchesALeak(t *testing.T) {
+	// The deliberate leak must not outlive this test: the outer checker
+	// guards the guard.
+	defer VerifyNoLeaks(t)()
+
+	old := settleTimeout
+	settleTimeout = 50 * time.Millisecond
+	defer func() { settleTimeout = old }()
+
+	fake := &fakeTB{}
+	check := VerifyNoLeaks(fake)
+	stop := make(chan struct{})
+	go func() {
+		<-stop
+	}()
+	check()
+	close(stop)
+	if !fake.failed {
+		t.Fatal("a parked goroutine created after the snapshot was not reported")
+	}
+	if !strings.Contains(fake.msg, "goroutine(s) leaked") {
+		t.Fatalf("unexpected leak report: %s", fake.msg)
+	}
+}
+
+func TestSnapshotCancelsIdenticalStacks(t *testing.T) {
+	// Two goroutines parked at the same site must count as two, so one
+	// surviving twin is still a leak.
+	stop := make(chan struct{})
+	park := func() { <-stop }
+	go park()
+	go park()
+	// Let both reach the park before snapshotting.
+	time.Sleep(10 * time.Millisecond)
+	before := snapshot()
+	total := 0
+	for _, n := range before {
+		total += n
+	}
+	if total < 2 {
+		t.Fatalf("snapshot saw %d goroutines, expected at least the two parked twins", total)
+	}
+	close(stop)
+}
