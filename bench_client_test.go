@@ -1,0 +1,149 @@
+// BenchmarkClientDirect measures how much of the quq-shard proxy tax
+// the shard-aware client library wins back. The same two-key workload
+// as BenchmarkShardThroughput runs three ways: raw HTTP straight at
+// each key's owning backend (the floor), through the front-end proxy
+// (the ceiling of the tax), and through shardclient, which routes
+// directly off its local ring replica. The client should sit near the
+// raw-direct floor — it pays the ring lookup and key canonicalization
+// but not the proxy's extra loopback hop, relay copy, or jitter-stream
+// bookkeeping. Results land in artifacts/BENCH_client.json.
+package quq_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"quq/internal/serve"
+	"quq/internal/shard"
+	"quq/internal/shardclient"
+)
+
+func BenchmarkClientDirect(b *testing.B) {
+	const backendsN = 3
+	addrs := make([]string, backendsN)
+	for i := range addrs {
+		s := serve.New(serve.Config{
+			Registry: serve.RegistryOptions{Seed: 7, CalibImages: 2},
+			Batcher:  serve.BatcherOptions{MaxBatch: 8, Linger: time.Millisecond, QueueCap: 256},
+		})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		addrs[i] = ts.URL
+	}
+	front := shard.New(shard.Options{Backends: addrs, ProbeInterval: -1, Retries: -1})
+	defer front.Close()
+	fs := httptest.NewServer(front.Handler())
+	defer fs.Close()
+
+	client, err := shardclient.New(context.Background(), fs.URL, shardclient.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	post := func(b *testing.B, url string, body []byte) {
+		b.Helper()
+		resp, err := http.Post(url+"/v1/classify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bytes.NewBuffer(nil).ReadFrom(resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+
+	img := benchFlatImages(1)
+	type workload struct {
+		model, method string
+	}
+	keys := []workload{{"ViT-Nano", "QUQ"}, {"ViT-Nano", "BaseQ"}}
+	bodies := make([][]byte, len(keys))
+	owners := make([]string, len(keys))
+	for i, sel := range keys {
+		bodies[i] = mustMarshalBench(b, map[string]any{
+			"model": sel.model, "method": sel.method, "bits": 6, "images": img,
+		})
+		key, err := serve.KeyFromWire(sel.model, sel.method, 6, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		owner, ok := front.Ring().Owner(key.String())
+		if !ok {
+			b.Fatal("ring has no backends")
+		}
+		owners[i] = owner.Addr()
+		// Warm through the front so each key calibrates on its owner.
+		post(b, fs.URL, bodies[i])
+	}
+
+	var directIPS, proxiedIPS, clientIPS float64
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k := i % len(bodies)
+			post(b, owners[k], bodies[k])
+		}
+		directIPS = float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(directIPS, "img/s")
+	})
+	b.Run("proxied", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k := i % len(bodies)
+			post(b, fs.URL, bodies[k])
+		}
+		proxiedIPS = float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(proxiedIPS, "img/s")
+	})
+	b.Run("client", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			k := i % len(keys)
+			res, err := client.Classify(ctx, keys[k].model, keys[k].method, 6, "", img)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Via == shardclient.ProxyVia {
+				b.Fatal("client fell back to the proxy mid-benchmark")
+			}
+		}
+		clientIPS = float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(clientIPS, "img/s")
+	})
+
+	if directIPS == 0 || proxiedIPS == 0 || clientIPS == 0 {
+		return // sub-benchmark filtered out; nothing coherent to record
+	}
+	artifact := struct {
+		Backends        int     `json:"backends"`
+		Keys            int     `json:"keys"`
+		DirectImgPerSec float64 `json:"direct_img_per_sec"`
+		ProxyImgPerSec  float64 `json:"proxied_img_per_sec"`
+		ClientImgPerSec float64 `json:"client_img_per_sec"`
+		ProxyOverhead   float64 `json:"proxy_overhead"`
+		ClientOverhead  float64 `json:"client_overhead"`
+	}{backendsN, len(keys), directIPS, proxiedIPS, clientIPS,
+		directIPS / proxiedIPS, directIPS / clientIPS}
+	buf, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.MkdirAll("artifacts", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join("artifacts", "BENCH_client.json"), append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("client routing: direct %.1f img/s, proxied %.1f img/s, client %.1f img/s",
+		directIPS, proxiedIPS, clientIPS)
+}

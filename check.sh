@@ -61,14 +61,21 @@ go test -run '^$' -bench BenchmarkServeThroughput -benchtime 20x .
 go run ./cmd/quq-shard -smoke
 
 # Chaos gate: replay the seeded fault scripts (connection resets, 429
-# storms, failed calibrations, black-holed probes, drains under panic)
-# against an in-process fleet, twice; all failure-domain invariants
-# must hold and the two invariant reports must be byte-identical.
+# storms, failed calibrations, black-holed probes, drains under panic,
+# replica divergence/failover, elastic join/drain/leave membership)
+# against an in-process fleet, twice; all failure-domain invariants —
+# including calibrate-at-most-R and byte-identical replicas — must hold
+# and the two invariant reports must be byte-identical.
 go run ./cmd/quq-shard -chaos
 
 # Sharded throughput benchmark; regenerates artifacts/BENCH_shard.json
 # (direct vs proxied img/s).
 go test -run '^$' -bench BenchmarkShardThroughput -benchtime 5x .
+
+# Shard-aware client benchmark; regenerates artifacts/BENCH_client.json
+# (direct vs proxied vs client-routed img/s — the client must recover
+# most of the proxy hop's overhead by routing reads to owners directly).
+go test -run '^$' -bench BenchmarkClientDirect -benchtime 5x .
 
 # Doc gate: ARCHITECTURE.md's package inventory must cover every
 # package in the module (quqvet's docmissing check covers the inverse:

@@ -137,13 +137,15 @@ func runSmoke(cfg serve.Config) error {
 	}()
 	base := "http://" + ln.Addr().String()
 
+	// The quantize carries a replica-slot stamp, the way a replicating
+	// quq-shard front-end would send it; /models must reflect it back.
 	req := map[string]any{"model": vit.ViTNano.Name, "method": "QUQ", "bits": 6}
 	var warm struct {
 		Key     string  `json:"key"`
 		Cached  bool    `json:"cached"`
 		BuildMS float64 `json:"build_ms"`
 	}
-	if err := postJSON(base+"/v1/quantize", req, &warm); err != nil {
+	if err := postJSON(base+"/v1/quantize", req, &warm, http.Header{serve.ReplicaHeader: []string{"0"}}); err != nil {
 		return fmt.Errorf("quantize: %w", err)
 	}
 	log.Printf("smoke: quantized %s in %.0fms (cached=%v)", warm.Key, warm.BuildMS, warm.Cached)
@@ -157,13 +159,33 @@ func runSmoke(cfg serve.Config) error {
 			Logits []float64 `json:"logits"`
 		} `json:"results"`
 	}
-	if err := postJSON(base+"/v1/classify", req, &cls); err != nil {
+	if err := postJSON(base+"/v1/classify", req, &cls, nil); err != nil {
 		return fmt.Errorf("classify: %w", err)
 	}
 	if len(cls.Results) != 1 || len(cls.Results[0].Logits) != vit.ViTNano.Classes {
 		return fmt.Errorf("classify: malformed response %+v", cls)
 	}
 	log.Printf("smoke: classified via %s -> argmax %d", cls.Key, cls.Results[0].ArgMax)
+
+	var models struct {
+		Entries []serve.EntryInfo `json:"entries"`
+	}
+	if err := getJSON(base+"/models", &models); err != nil {
+		return fmt.Errorf("models: %w", err)
+	}
+	found := false
+	for _, e := range models.Entries {
+		if e.Key == warm.Key {
+			found = true
+			if !e.Ready || e.Replica != 0 {
+				return fmt.Errorf("models entry %s: ready=%v replica=%d, want ready at replica 0", e.Key, e.Ready, e.Replica)
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("models: warmed key %s missing from entries", warm.Key)
+	}
+	log.Printf("smoke: /models reflects %s ready at replica 0", warm.Key)
 
 	resp, err := http.Get(base + "/metrics")
 	if err != nil {
@@ -191,17 +213,42 @@ func runSmoke(cfg serve.Config) error {
 	return nil
 }
 
-// postJSON posts v and decodes the response into out, treating non-2xx
-// statuses as errors.
-func postJSON(url string, v, out any) error {
+// postJSON posts v with optional extra headers and decodes the response
+// into out, treating non-2xx statuses as errors.
+func postJSON(url string, v, out any, extra http.Header) error {
 	buf, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(buf))
 	if err != nil {
 		return err
 	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, vs := range extra {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(url, resp, out)
+}
+
+// getJSON fetches one JSON page.
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(url, resp, out)
+}
+
+// decodeResponse reads, closes and decodes one response, treating
+// non-200 statuses as errors.
+func decodeResponse(url string, resp *http.Response, out any) error {
 	body, err := io.ReadAll(resp.Body)
 	if cerr := resp.Body.Close(); cerr != nil && err == nil {
 		err = cerr

@@ -13,14 +13,22 @@
 // Endpoints:
 //
 //	POST /v1/classify   proxied to the shard owning the request's key
-//	POST /v1/quantize   proxied likewise (warms exactly one shard)
+//	POST /v1/quantize   proxied to the key's R replica owners (-replicas)
 //	GET  /models        fleet-merged registry view
 //	GET  /shards        ring topology, per-backend health and load
+//	GET  /cluster       membership view (epoch, replication, ring params)
+//	POST /admin/join    admit a backend without a restart
+//	POST /admin/drain   re-home a backend's calibrated keys, then remove it
+//	POST /admin/leave   remove a backend abruptly (replication covers it)
 //	GET  /healthz       front-end liveness (503 when no shard is healthy)
 //	GET  /metrics       merged cluster exposition (front-end + shards)
 //
-// Retries with backoff apply only to connection failures; HTTP
-// responses — 429 backpressure above all — are relayed as-is.
+// With -replicas R > 1 each key is placed on R ring successors:
+// quantizes fan out to all of them (a calibration survives any R-1
+// departures) and reads try the replica set in slot order before
+// falling past it. Retries with backoff apply only to connection
+// failures; HTTP responses — 429 backpressure above all — are relayed
+// as-is.
 package main
 
 import (
@@ -50,6 +58,8 @@ func main() {
 		addr          = flag.String("addr", ":8641", "listen address")
 		backends      = flag.String("backends", "", "comma-separated quq-serve backend addresses")
 		vnodes        = flag.Int("vnodes", 128, "virtual nodes per backend")
+		replicas      = flag.Int("replicas", 1, "replication factor R: each key is owned by R ring successors; quantizes fan out to all of them")
+		handoffMax    = flag.Int("handoff-max", 64, "maximum keys re-homed by one /admin/drain")
 		loadFactor    = flag.Float64("load-factor", 1.25, "bounded-load factor c (<= 0 disables load bounding)")
 		probeInterval = flag.Duration("probe-interval", 2*time.Second, "health-probe period (<= 0 disables the probe loop)")
 		probeTimeout  = flag.Duration("probe-timeout", time.Second, "per-probe timeout")
@@ -69,6 +79,8 @@ func main() {
 
 	opts := shard.Options{
 		VNodes:         *vnodes,
+		Replicas:       *replicas,
+		HandoffMaxKeys: *handoffMax,
 		MaxLoadFactor:  *loadFactor,
 		ProbeInterval:  *probeInterval,
 		ProbeTimeout:   *probeTimeout,

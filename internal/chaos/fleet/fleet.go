@@ -16,7 +16,16 @@
 //   - bounded-remap: ejecting and readmitting a shard moves only the
 //     arcs that shard owns, in both directions;
 //   - bounded-drain: drain answers every admitted item — including
-//     abandoned and panicked ones — inside its deadline.
+//     abandoned and panicked ones — inside its deadline;
+//   - calibrate-at-most-R / replicas-identical: with replication on, a
+//     key's calibration runs on at most its R placement owners and the
+//     replicas answer byte-identically, so a failover never changes an
+//     answer;
+//   - zero-lost-keys: killing one replica owner loses no calibrated
+//     key — the surviving replica serves warm, no rebuilds;
+//   - elastic-membership: admin join/drain/leave advance the epoch
+//     monotonically and a drain re-homes the leaver's keys before
+//     removal.
 //
 // Everything stochastic draws from the script seed via internal/rng and
 // every sleep goes through chaos.Clock, so a run's invariant report is
@@ -64,6 +73,9 @@ func Run(ctx context.Context, seed uint64, opts Options) (*chaos.Report, error) 
 		{"backpressure-storm", scenarioBackpressure},
 		{"eject-readmit", scenarioBoundedRemap},
 		{"drain", scenarioBoundedDrain},
+		{"replica-divergence", scenarioReplicaDivergence},
+		{"replica-failover", scenarioReplicaFailover},
+		{"membership-elastic", scenarioMembershipElastic},
 	} {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("chaos scenario %s: %w", sc.name, err)
@@ -96,13 +108,15 @@ type backendShard struct {
 }
 
 // boot starts nShards backends and the front-end. ctx roots the
-// front-end's background work (the prober). script seeds the fault
-// transport (rules may be empty; scenarios add host-targeted rules
-// after boot, once ephemeral addresses exist).
-func boot(ctx context.Context, nShards int, cfg serve.Config, script *chaos.Script, opts Options) (*testFleet, error) {
+// front-end's background work (the prober). replicas is the fleet's
+// replication factor R (1 for the single-owner scenarios). script seeds
+// the fault transport (rules may be empty; scenarios add host-targeted
+// rules after boot, once ephemeral addresses exist).
+func boot(ctx context.Context, nShards, replicas int, cfg serve.Config, script *chaos.Script, opts Options) (*testFleet, error) {
 	f := &testFleet{clock: chaos.NewFake()}
 	sopts := shard.Options{
 		BaseContext:   ctx,
+		Replicas:      replicas,
 		ProbeInterval: -1, // probe rounds are explicit via ProbeNow
 		Seed:          script.Seed,
 		Clock:         f.clock,

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -90,7 +91,7 @@ func classifyBody(sel selection, img []float64) map[string]any {
 // sent gets exactly one answer, with backend completions equal to
 // client successes.
 func scenarioResetFailover(ctx context.Context, seed uint64, opts Options, rep *chaos.Report) error {
-	f, err := boot(ctx, 3, baseConfig(seed), &chaos.Script{Name: "reset-failover", Seed: seed}, opts)
+	f, err := boot(ctx, 3, 1, baseConfig(seed), &chaos.Script{Name: "reset-failover", Seed: seed}, opts)
 	if err != nil {
 		return err
 	}
@@ -181,7 +182,7 @@ func scenarioCalibrateOnce(ctx context.Context, seed uint64, opts Options, rep *
 		}
 		return nil
 	}
-	f, err := boot(ctx, 3, cfg, &chaos.Script{Name: "calibrate-once", Seed: seed}, opts)
+	f, err := boot(ctx, 3, 1, cfg, &chaos.Script{Name: "calibrate-once", Seed: seed}, opts)
 	if err != nil {
 		return err
 	}
@@ -253,7 +254,7 @@ func scenarioBackpressure(ctx context.Context, seed uint64, opts Options, rep *c
 	script := &chaos.Script{Name: "backpressure-storm", Seed: seed, Rules: []chaos.Rule{
 		{Method: http.MethodPost, PathPrefix: "/v1/classify", Fault: chaos.Fault429},
 	}}
-	f, err := boot(ctx, 3, baseConfig(seed), script, opts)
+	f, err := boot(ctx, 3, 1, baseConfig(seed), script, opts)
 	if err != nil {
 		return err
 	}
@@ -291,7 +292,7 @@ func scenarioBackpressure(ctx context.Context, seed uint64, opts Options, rep *c
 // keysPerShard keys, keeping the report's counts independent of the
 // ephemeral port layout.
 func scenarioBoundedRemap(ctx context.Context, seed uint64, opts Options, rep *chaos.Report) error {
-	f, err := boot(ctx, 3, baseConfig(seed), &chaos.Script{Name: "eject-readmit", Seed: seed}, opts)
+	f, err := boot(ctx, 3, 1, baseConfig(seed), &chaos.Script{Name: "eject-readmit", Seed: seed}, opts)
 	if err != nil {
 		return err
 	}
@@ -425,5 +426,243 @@ func scenarioBoundedDrain(ctx context.Context, seed uint64, opts Options, rep *c
 		}
 	}
 	rep.CheckBoundedDrain(drainErr == nil, admitted, finished)
+	return nil
+}
+
+// rawPost sends one body and returns the verbatim response bytes — the
+// replica-divergence check compares them byte for byte.
+func rawPost(ctx context.Context, url string, body any) (int, []byte, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+// adminPost drives one membership mutation through the front-end's
+// admin surface and decodes its outcome.
+func adminPost(ctx context.Context, url, addr string) (epoch uint64, moved int, err error) {
+	status, raw, err := rawPost(ctx, url, map[string]string{"addr": addr})
+	if err != nil {
+		return 0, 0, err
+	}
+	if status != http.StatusOK {
+		return 0, 0, fmt.Errorf("%s: status %d: %s", url, status, raw)
+	}
+	var out struct {
+		Epoch uint64 `json:"epoch"`
+		Moved int    `json:"moved"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return 0, 0, err
+	}
+	return out.Epoch, out.Moved, nil
+}
+
+// buildCounter returns a base config whose BuildHook tallies
+// calibrations per canonical key, plus a snapshot function.
+func buildCounter(seed uint64) (serve.Config, func() map[string]int) {
+	var mu sync.Mutex
+	builds := map[string]int{}
+	cfg := baseConfig(seed)
+	cfg.Registry.BuildHook = func(k serve.Key) error {
+		mu.Lock()
+		builds[k.String()]++
+		mu.Unlock()
+		return nil
+	}
+	return cfg, func() map[string]int {
+		mu.Lock()
+		defer mu.Unlock()
+		snap := make(map[string]int, len(builds))
+		for k, v := range builds {
+			snap[k] = v
+		}
+		return snap
+	}
+}
+
+// scenarioReplicaDivergence checks the replicated write contract at
+// R=2: one quantize through the front calibrates the key on both
+// placement owners — and on nobody else, at most R builds fleet-wide —
+// and the two replicas then answer the same classify byte-identically.
+// A second quantize hits both warm caches without adding builds.
+func scenarioReplicaDivergence(ctx context.Context, seed uint64, opts Options, rep *chaos.Report) error {
+	cfg, snapshot := buildCounter(seed)
+	f, err := boot(ctx, 3, 2, cfg, &chaos.Script{Name: "replica-divergence", Seed: seed}, opts)
+	if err != nil {
+		return err
+	}
+	defer f.close()
+
+	sel := selection{Model: "ViT-Nano", Method: "QUQ", Bits: 6}
+	key, err := sel.key()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ { // second pass must be a fleet-wide cache hit
+		r, err := post(ctx, f.base+"/v1/quantize", sel)
+		if err != nil {
+			return fmt.Errorf("replicated quantize %d: %w", i, err)
+		}
+		if r.status != http.StatusOK {
+			return fmt.Errorf("replicated quantize %d: status %d", i, r.status)
+		}
+	}
+
+	owners := f.front.Ring().OwnerN(key, 2)
+	if len(owners) != 2 {
+		return fmt.Errorf("OwnerN returned %d owners, want 2", len(owners))
+	}
+	img := data.Images(vit.ViTNano, 1, seed)[0].Data()
+	bodies := make([][]byte, len(owners))
+	for i, o := range owners {
+		status, raw, err := rawPost(ctx, o.Addr()+"/v1/classify", classifyBody(sel, img))
+		if err != nil {
+			return fmt.Errorf("direct classify on replica %d: %w", i, err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("direct classify on replica %d: status %d", i, status)
+		}
+		bodies[i] = raw
+	}
+	rep.CheckCalibrateAtMostR(snapshot(), 2)
+	rep.CheckReplicasIdentical(len(owners), bytes.Equal(bodies[0], bodies[1]))
+	return nil
+}
+
+// scenarioReplicaFailover checks that replication turns a worker death
+// into a non-event for calibrated keys: after a replicated warm, a
+// reset storm kills the primary owner and every subsequent read is
+// answered by the surviving replica from its warm cache — zero new
+// calibrations, zero answers from the corpse.
+func scenarioReplicaFailover(ctx context.Context, seed uint64, opts Options, rep *chaos.Report) error {
+	cfg, snapshot := buildCounter(seed)
+	f, err := boot(ctx, 3, 2, cfg, &chaos.Script{Name: "replica-failover", Seed: seed}, opts)
+	if err != nil {
+		return err
+	}
+	defer f.close()
+
+	sel := selection{Model: "ViT-Nano", Method: "BaseQ", Bits: 6}
+	key, err := sel.key()
+	if err != nil {
+		return err
+	}
+	if r, err := post(ctx, f.base+"/v1/quantize", sel); err != nil || r.status != http.StatusOK {
+		return fmt.Errorf("replicated warm: %v (status %d)", err, r.status)
+	}
+	warmBuilds := snapshot()[key]
+
+	owners := f.front.Ring().OwnerN(key, 2)
+	if len(owners) != 2 {
+		return fmt.Errorf("OwnerN returned %d owners, want 2", len(owners))
+	}
+	victim := hostOf(owners[0].Addr())
+	f.faults.AddRule(chaos.Rule{Host: victim, PathPrefix: "/v1/classify", Fault: chaos.FaultReset})
+
+	img := data.Images(vit.ViTNano, 1, seed)[0].Data()
+	const reads = 6
+	readsOK := 0
+	for i := 0; i < reads; i++ {
+		r, err := post(ctx, f.base+"/v1/classify", classifyBody(sel, img))
+		if err != nil {
+			return fmt.Errorf("failover read %d: %w", i, err)
+		}
+		if r.status == http.StatusOK && hostOf(r.backend) != victim {
+			readsOK++
+		}
+	}
+	rep.CheckZeroLostKeys(reads, readsOK, snapshot()[key]-warmBuilds)
+	return nil
+}
+
+// scenarioMembershipElastic drives the fleet through its elastic
+// lifecycle over the admin surface — join a cold backend, drain the
+// member owning a calibrated key, abruptly remove another — and checks
+// that the epoch advances monotonically, the drain re-homes the key
+// before departure, and the key keeps serving warm afterwards.
+func scenarioMembershipElastic(ctx context.Context, seed uint64, opts Options, rep *chaos.Report) error {
+	cfg, snapshot := buildCounter(seed)
+	f, err := boot(ctx, 2, 1, cfg, &chaos.Script{Name: "membership-elastic", Seed: seed}, opts)
+	if err != nil {
+		return err
+	}
+	defer f.close()
+	epochs := []uint64{f.front.Members().Epoch()}
+
+	sel := selection{Model: "ViT-Nano", Method: "QUQ", Bits: 6}
+	key, err := sel.key()
+	if err != nil {
+		return err
+	}
+	if r, err := post(ctx, f.base+"/v1/quantize", sel); err != nil || r.status != http.StatusOK {
+		return fmt.Errorf("warm: %v (status %d)", err, r.status)
+	}
+	owner, ok := f.front.Ring().Owner(key)
+	if !ok {
+		return errors.New("empty ring")
+	}
+
+	// Join a cold third backend through the admin surface.
+	third, err := f.startBackend(cfg)
+	if err != nil {
+		return fmt.Errorf("starting late backend: %w", err)
+	}
+	f.backends = append(f.backends, third)
+	epoch, _, err := adminPost(ctx, f.base+"/admin/join", third.host)
+	if err != nil {
+		return err
+	}
+	epochs = append(epochs, epoch)
+
+	// Drain the owner: its one calibrated key must re-home first.
+	epoch, moved, err := adminPost(ctx, f.base+"/admin/drain", hostOf(owner.Addr()))
+	if err != nil {
+		return err
+	}
+	epochs = append(epochs, epoch)
+	drainedBuilds := snapshot()[key]
+
+	// The key keeps serving — warm, off a survivor, no recalibration.
+	img := data.Images(vit.ViTNano, 1, seed)[0].Data()
+	lost := 0
+	r, err := post(ctx, f.base+"/v1/classify", classifyBody(sel, img))
+	if err != nil {
+		return fmt.Errorf("post-drain read: %w", err)
+	}
+	if r.status != http.StatusOK || hostOf(r.backend) == hostOf(owner.Addr()) {
+		lost++
+	}
+	lost += snapshot()[key] - drainedBuilds
+
+	// Abrupt leave of a remaining original member still bumps the epoch.
+	for _, b := range f.backends[:2] {
+		if b.host != hostOf(owner.Addr()) {
+			epoch, _, err = adminPost(ctx, f.base+"/admin/leave", b.host)
+			if err != nil {
+				return err
+			}
+			epochs = append(epochs, epoch)
+			break
+		}
+	}
+	rep.CheckElasticMembership(epochs, moved, lost)
 	return nil
 }

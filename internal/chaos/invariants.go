@@ -156,3 +156,63 @@ func (r *Report) CheckBoundedDrain(withinDeadline bool, admitted, finished int) 
 	r.Add("bounded-drain", pass,
 		"within-deadline=%v admitted=%d finished=%d", withinDeadline, admitted, finished)
 }
+
+// CheckCalibrateAtMostR is calibrate-exactly-once generalized to a
+// replicated fleet: each key's calibration ran at least once (it was
+// served) and at most R times fleet-wide — one build per replica owner,
+// never a smear onto non-owners or a per-request rebuild.
+func (r *Report) CheckCalibrateAtMostR(builds map[string]int, rFactor int) {
+	keys := make([]string, 0, len(builds))
+	for k := range builds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	pass := len(keys) > 0
+	detail := ""
+	for _, k := range keys {
+		if builds[k] < 1 || builds[k] > rFactor {
+			pass = false
+		}
+		if detail != "" {
+			detail += " "
+		}
+		detail += fmt.Sprintf("%s=%d", k, builds[k])
+	}
+	r.Add("calibrate-at-most-r", pass, "r=%d builds: %s", rFactor, detail)
+}
+
+// CheckReplicasIdentical asserts replica determinism: the same classify
+// served directly by each of a key's replica owners returned
+// byte-identical responses. Divergent replicas would make a failover
+// visible to clients as a silent answer change.
+func (r *Report) CheckReplicasIdentical(replicas int, identical bool) {
+	r.Add("replicas-identical", identical, "replicas=%d byte-identical=%v", replicas, identical)
+}
+
+// CheckZeroLostKeys asserts the replicated-failover contract: after
+// killing one replica owner, every read of its calibrated keys was
+// answered by a survivor (reads-ok counts only responses NOT served by
+// the victim) with zero new calibrations — the surviving replica
+// already holds the artifact.
+func (r *Report) CheckZeroLostKeys(reads, readsOK, newBuilds int) {
+	pass := readsOK == reads && newBuilds == 0
+	r.Add("zero-lost-keys", pass,
+		"reads=%d reads-ok=%d new-builds=%d", reads, readsOK, newBuilds)
+}
+
+// CheckElasticMembership asserts the membership subsystem's contract
+// over a join/drain/leave sequence: the epoch advanced strictly
+// monotonically (every effective mutation visible, none reordered), the
+// drain re-homed at least one calibrated key, and no key was lost — the
+// drained member's keys kept serving warm, without recalibration.
+func (r *Report) CheckElasticMembership(epochs []uint64, moved, lost int) {
+	monotonic := len(epochs) > 1
+	for i := 1; i < len(epochs); i++ {
+		if epochs[i] <= epochs[i-1] {
+			monotonic = false
+		}
+	}
+	pass := monotonic && moved >= 1 && lost == 0
+	r.Add("elastic-membership", pass,
+		"epochs=%v moved=%d lost=%d", epochs, moved, lost)
+}

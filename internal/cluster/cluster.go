@@ -1,0 +1,210 @@
+// Package cluster is the membership subsystem for the quq-shard fleet:
+// the source of truth for which workers are members, which are
+// draining, and how many replicas each registry key keeps. Every
+// topology mutation — join, leave, drain — bumps a monotonic epoch, so
+// any party holding a copy of the ring (the shard-aware client library
+// above all) can tell a stale view from a fresh one with a single
+// integer compare instead of diffing member lists.
+//
+// The package deliberately owns no routing state and no I/O: the
+// consistent-hash ring stays in internal/shard, and the Membership
+// mutates it through the OnJoin/OnLeave callbacks while HTTP-level key
+// handoff is injected via Handoff. That keeps the dependency arrow
+// pointing one way (shard imports cluster, never the reverse) and makes
+// the membership state machine testable with plain function values.
+//
+// Drain is the graceful departure: the member keeps serving while
+// Handoff warms its keys' calibrations onto the post-departure owners
+// (bounded by the caller's context and the handoff cap), and only then
+// does the member leave the ring. An abrupt Leave skips the handoff —
+// replication (Replicas > 1) is what keeps keys alive through that.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Membership errors.
+var (
+	// ErrNotMember is returned when leaving or draining an address that
+	// is not on the roster.
+	ErrNotMember = errors.New("cluster: not a member")
+	// ErrDraining is returned when draining a member whose drain is
+	// already in progress.
+	ErrDraining = errors.New("cluster: drain already in progress")
+)
+
+// Config assembles a Membership.
+type Config struct {
+	// Replicas is the replication factor R: how many ring successors
+	// hold each registry key's calibration (default 1, no replication).
+	Replicas int
+	// OnJoin mutates the routing index when an address becomes a member
+	// (e.g. shard.Ring.Add). Called with the membership lock held; it
+	// must not block.
+	OnJoin func(addr string)
+	// OnLeave is OnJoin's inverse (e.g. shard.Ring.Remove). Same
+	// contract.
+	OnLeave func(addr string)
+	// Handoff re-homes the draining member's keys onto their
+	// post-departure owners before the member leaves. It runs outside
+	// the membership lock (it does HTTP round trips) and is bounded by
+	// ctx; returning an error aborts the drain with the member intact.
+	// May be nil: drain then degenerates to leave.
+	Handoff func(ctx context.Context, addr string) (moved int, err error)
+}
+
+// memberState is the per-member roster entry.
+type memberState struct {
+	draining bool
+}
+
+// Membership tracks the fleet roster behind one mutex. All methods are
+// safe for concurrent use.
+type Membership struct {
+	cfg Config
+
+	mu      sync.Mutex
+	epoch   uint64
+	members map[string]*memberState
+}
+
+// New builds an empty membership. Replicas below 1 is treated as 1.
+func New(cfg Config) *Membership {
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	return &Membership{cfg: cfg, members: make(map[string]*memberState)}
+}
+
+// Replicas returns the replication factor R.
+func (m *Membership) Replicas() int { return m.cfg.Replicas }
+
+// Epoch returns the current membership epoch. The epoch starts at zero
+// and increments on every effective topology change, so two views with
+// equal epochs describe identical rosters.
+func (m *Membership) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// Join adds an address to the roster, returning the resulting epoch and
+// whether the roster changed. Joining an existing member is an
+// idempotent no-op: the epoch does not move, so clients holding the
+// current view are not forced through a spurious refresh.
+func (m *Membership) Join(addr string) (epoch uint64, added bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.members[addr]; ok {
+		return m.epoch, false
+	}
+	m.members[addr] = &memberState{}
+	if m.cfg.OnJoin != nil {
+		m.cfg.OnJoin(addr)
+	}
+	m.epoch++
+	return m.epoch, true
+}
+
+// Leave removes an address abruptly — no handoff; surviving replicas
+// (and, for unreplicated keys, recalibration on the successor) cover
+// the departure. Returns ErrNotMember for an unknown address.
+func (m *Membership) Leave(addr string) (epoch uint64, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.leaveLocked(addr)
+}
+
+func (m *Membership) leaveLocked(addr string) (uint64, error) {
+	if _, ok := m.members[addr]; !ok {
+		return m.epoch, fmt.Errorf("%w: %s", ErrNotMember, addr)
+	}
+	delete(m.members, addr)
+	if m.cfg.OnLeave != nil {
+		m.cfg.OnLeave(addr)
+	}
+	m.epoch++
+	return m.epoch, nil
+}
+
+// Drain gracefully removes a member: mark it draining (it keeps
+// serving), run the bounded key handoff, then leave. A failed handoff
+// aborts the drain and the member stays, un-draining, on the roster —
+// the caller can retry or fall back to an abrupt Leave. Concurrent
+// drains of one address conflict (ErrDraining); drains of distinct
+// addresses proceed independently.
+func (m *Membership) Drain(ctx context.Context, addr string) (moved int, epoch uint64, err error) {
+	m.mu.Lock()
+	st, ok := m.members[addr]
+	if !ok {
+		epoch = m.epoch
+		m.mu.Unlock()
+		return 0, epoch, fmt.Errorf("%w: %s", ErrNotMember, addr)
+	}
+	if st.draining {
+		epoch = m.epoch
+		m.mu.Unlock()
+		return 0, epoch, fmt.Errorf("%w: %s", ErrDraining, addr)
+	}
+	st.draining = true
+	handoff := m.cfg.Handoff
+	m.mu.Unlock()
+
+	if handoff != nil {
+		moved, err = handoff(ctx, addr)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		// The member survived the failed handoff; clear the flag so a
+		// retry can run. It may have left concurrently, in which case
+		// there is nothing to clear.
+		if st, ok := m.members[addr]; ok {
+			st.draining = false
+		}
+		return moved, m.epoch, fmt.Errorf("cluster: drain handoff for %s: %w", addr, err)
+	}
+	epoch, err = m.leaveLocked(addr)
+	return moved, epoch, err
+}
+
+// Member describes one roster entry in a View.
+type Member struct {
+	Addr     string `json:"addr"`
+	Draining bool   `json:"draining"`
+}
+
+// View is a consistent snapshot of the roster: the epoch and the
+// members it numbers, sorted by address for deterministic rendering.
+type View struct {
+	Epoch    uint64   `json:"epoch"`
+	Replicas int      `json:"replicas"`
+	Members  []Member `json:"members"`
+}
+
+// View snapshots the roster.
+func (m *Membership) View() View {
+	m.mu.Lock()
+	v := View{Epoch: m.epoch, Replicas: m.cfg.Replicas, Members: make([]Member, 0, len(m.members))}
+	// Map order is irrelevant here: the snapshot is sorted below.
+	for addr, st := range m.members {
+		v.Members = append(v.Members, Member{Addr: addr, Draining: st.draining})
+	}
+	m.mu.Unlock()
+	sort.Slice(v.Members, func(i, j int) bool { return v.Members[i].Addr < v.Members[j].Addr })
+	return v
+}
+
+// IsMember reports whether an address is on the roster.
+func (m *Membership) IsMember(addr string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.members[addr]
+	return ok
+}

@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// harness wires a Membership to a recorded fake routing index.
+type harness struct {
+	m      *Membership
+	joins  []string
+	leaves []string
+}
+
+func newHarness(replicas int, handoff func(ctx context.Context, addr string) (int, error)) *harness {
+	h := &harness{}
+	h.m = New(Config{
+		Replicas: replicas,
+		OnJoin:   func(addr string) { h.joins = append(h.joins, addr) },
+		OnLeave:  func(addr string) { h.leaves = append(h.leaves, addr) },
+		Handoff:  handoff,
+	})
+	return h
+}
+
+// TestJoinLeaveEpoch: every effective mutation bumps the epoch exactly
+// once; ineffective ones (re-join, unknown leave) leave it alone.
+func TestJoinLeaveEpoch(t *testing.T) {
+	h := newHarness(2, nil)
+	if e := h.m.Epoch(); e != 0 {
+		t.Fatalf("fresh epoch = %d, want 0", e)
+	}
+	e1, added := h.m.Join("a")
+	if !added || e1 != 1 {
+		t.Fatalf("Join(a) = %d, %v; want 1, true", e1, added)
+	}
+	if e, added := h.m.Join("a"); added || e != 1 {
+		t.Fatalf("re-Join(a) = %d, %v; want 1, false", e, added)
+	}
+	if _, added := h.m.Join("b"); !added {
+		t.Fatal("Join(b) not added")
+	}
+	if e, err := h.m.Leave("a"); err != nil || e != 3 {
+		t.Fatalf("Leave(a) = %d, %v; want 3, nil", e, err)
+	}
+	if _, err := h.m.Leave("a"); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("double Leave error = %v, want ErrNotMember", err)
+	}
+	if e := h.m.Epoch(); e != 3 {
+		t.Fatalf("epoch after failed leave = %d, want 3", e)
+	}
+	if got, want := fmt.Sprint(h.joins), "[a b]"; got != want {
+		t.Fatalf("joins = %s, want %s", got, want)
+	}
+	if got, want := fmt.Sprint(h.leaves), "[a]"; got != want {
+		t.Fatalf("leaves = %s, want %s", got, want)
+	}
+	if h.m.IsMember("a") || !h.m.IsMember("b") {
+		t.Fatal("roster disagrees with the mutation history")
+	}
+}
+
+// TestDrainHandoffThenLeave: drain runs the handoff before the member
+// leaves the roster, and reports the moved-key count.
+func TestDrainHandoffThenLeave(t *testing.T) {
+	var handedOff string
+	h := newHarness(2, nil)
+	h.m.cfg.Handoff = func(ctx context.Context, addr string) (int, error) {
+		handedOff = addr
+		if h.m.IsMember(addr) == false {
+			t.Error("handoff ran after the member left")
+		}
+		return 5, nil
+	}
+	h.m.Join("a")
+	h.m.Join("b")
+	moved, epoch, err := h.m.Drain(context.Background(), "a")
+	if err != nil || moved != 5 || epoch != 3 {
+		t.Fatalf("Drain = %d, %d, %v; want 5, 3, nil", moved, epoch, err)
+	}
+	if handedOff != "a" {
+		t.Fatalf("handoff saw %q, want \"a\"", handedOff)
+	}
+	if h.m.IsMember("a") {
+		t.Fatal("drained member still on the roster")
+	}
+	if got, want := fmt.Sprint(h.leaves), "[a]"; got != want {
+		t.Fatalf("leaves = %s, want %s", got, want)
+	}
+}
+
+// TestDrainFailureKeepsMember: a failed handoff aborts the drain; the
+// member stays, un-draining, and a retry can succeed.
+func TestDrainFailureKeepsMember(t *testing.T) {
+	fail := true
+	h := newHarness(1, nil)
+	h.m.cfg.Handoff = func(ctx context.Context, addr string) (int, error) {
+		if fail {
+			return 2, errors.New("backend unreachable")
+		}
+		return 3, nil
+	}
+	h.m.Join("a")
+	moved, epoch, err := h.m.Drain(context.Background(), "a")
+	if err == nil {
+		t.Fatal("failed handoff reported drain success")
+	}
+	if moved != 2 || epoch != 1 {
+		t.Fatalf("failed Drain = %d, %d; want moved 2, epoch 1 (unchanged)", moved, epoch)
+	}
+	if !h.m.IsMember("a") {
+		t.Fatal("failed drain removed the member")
+	}
+	fail = false
+	if moved, _, err := h.m.Drain(context.Background(), "a"); err != nil || moved != 3 {
+		t.Fatalf("drain retry = %d, %v; want 3, nil", moved, err)
+	}
+	if h.m.IsMember("a") {
+		t.Fatal("retried drain left the member behind")
+	}
+}
+
+// TestDrainConflicts: a drain already in progress rejects a second
+// drain of the same address; unknown addresses are ErrNotMember.
+func TestDrainConflicts(t *testing.T) {
+	inHandoff := make(chan struct{})
+	release := make(chan struct{})
+	h := newHarness(1, nil)
+	h.m.cfg.Handoff = func(ctx context.Context, addr string) (int, error) {
+		close(inHandoff)
+		<-release
+		return 0, nil
+	}
+	h.m.Join("a")
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := h.m.Drain(context.Background(), "a")
+		done <- err
+	}()
+	<-inHandoff
+	if _, _, err := h.m.Drain(context.Background(), "a"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("concurrent drain error = %v, want ErrDraining", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("first drain failed: %v", err)
+	}
+	if _, _, err := h.m.Drain(context.Background(), "nope"); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("unknown drain error = %v, want ErrNotMember", err)
+	}
+}
+
+// TestViewDeterministic: the view is sorted by address and carries the
+// replication factor and draining flags.
+func TestViewDeterministic(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	h := newHarness(3, nil)
+	h.m.cfg.Handoff = func(ctx context.Context, addr string) (int, error) {
+		close(started)
+		<-block
+		return 0, nil
+	}
+	for _, a := range []string{"c", "a", "b"} {
+		h.m.Join(a)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		//quq:errdrop-ok the drain outcome is irrelevant here; the test inspects the mid-drain view
+		_, _, _ = h.m.Drain(context.Background(), "b")
+	}()
+	<-started
+	v := h.m.View()
+	if v.Epoch != 3 || v.Replicas != 3 || len(v.Members) != 3 {
+		t.Fatalf("view = %+v, want epoch 3, replicas 3, 3 members", v)
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if v.Members[i].Addr != want {
+			t.Fatalf("member %d = %s, want %s", i, v.Members[i].Addr, want)
+		}
+		if drainWant := want == "b"; v.Members[i].Draining != drainWant {
+			t.Fatalf("member %s draining = %v, want %v", want, v.Members[i].Draining, drainWant)
+		}
+	}
+	close(block)
+	<-done
+	if h.m.IsMember("b") {
+		t.Fatal("drained member still present after release")
+	}
+}
+
+// TestReplicasFloor: a replication factor below 1 clamps to 1.
+func TestReplicasFloor(t *testing.T) {
+	if r := New(Config{}).Replicas(); r != 1 {
+		t.Fatalf("default replicas = %d, want 1", r)
+	}
+	if r := New(Config{Replicas: -3}).Replicas(); r != 1 {
+		t.Fatalf("clamped replicas = %d, want 1", r)
+	}
+	if r := New(Config{Replicas: 2}).Replicas(); r != 2 {
+		t.Fatalf("replicas = %d, want 2", r)
+	}
+}

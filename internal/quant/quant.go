@@ -66,9 +66,13 @@ func saturatingRound(v float64) int64 {
 // [-absmax, absmax] with b bits: Δ = absmax / (2^(b−1) − 1). This is the
 // BaseQ calibration rule used throughout the paper's comparisons.
 func UniformDelta(absmax float64, bits int) float64 {
-	if absmax <= 0 {
-		// Degenerate all-zero tensor: any positive delta quantizes it
-		// exactly; 1 keeps downstream arithmetic well-behaved.
+	if absmax < praMagFloor {
+		// Degenerate tensor: magnitudes below the PRA floor carry no
+		// usable range information and are treated as exact zeros
+		// (see splitMagnitudes). Any positive delta quantizes them
+		// exactly; 1 keeps downstream arithmetic well-behaved. The floor
+		// also keeps the division below from underflowing the delta to
+		// zero when absmax is subnormal.
 		return 1
 	}
 	return absmax / float64((int64(1)<<(bits-1))-1)

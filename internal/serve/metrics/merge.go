@@ -138,6 +138,18 @@ func (e *Exposition) parseSample(line string, help map[string]string) error {
 				return fmt.Errorf("metrics: bad quantile value in %q: %w", line, err)
 			}
 			return nil
+		case validScalarLabel(label):
+			// A GaugeVec series (per-backend gauge). The full
+			// name{label="value"} string is the merge key, so the same
+			// series from two pages sums and distinct label values stay
+			// distinct; sorted-name rendering keeps the family's lines
+			// adjacent and deterministic.
+			v, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return fmt.Errorf("metrics: bad labelled scalar value in %q: %w", line, err)
+			}
+			e.scalars[name] = &scalarSample{value: v}
+			return nil
 		}
 		return fmt.Errorf("metrics: unsupported labelled sample %q", line)
 	}
@@ -169,6 +181,18 @@ func (e *Exposition) parseSample(line string, help map[string]string) error {
 	}
 	e.scalars[name] = &scalarSample{help: help[name], value: v}
 	return nil
+}
+
+// validScalarLabel reports whether a label body is a single
+// `key="quoted value"` pair — the only labelled-scalar shape the
+// instruments in this package emit.
+func validScalarLabel(label string) bool {
+	key, val, ok := strings.Cut(label, "=")
+	if !ok || key == "" || strings.ContainsAny(key, `{}", `) {
+		return false
+	}
+	_, err := strconv.Unquote(val)
+	return err == nil
 }
 
 // splitLabel splits `name{label="x"}` into name and `label="x"`.

@@ -154,10 +154,66 @@ func TestParseTextRejectsGarbage(t *testing.T) {
 		"quq_serve_requests_total not-a-number\n",
 		"quq_x_bucket{le=\"nope\"} 3\n",
 		"just-a-name-no-value\n",
-		"quq_x{weird=\"label\"} 3\n",
+		"quq_x{a=\"1\",b=\"2\"} 3\n", // multi-label samples are outside the dialect
 	} {
 		if _, err := ParseText(strings.NewReader(bad)); err == nil {
 			t.Errorf("ParseText(%q) accepted garbage", bad)
 		}
+	}
+}
+
+// TestMergeLabelledScalars: GaugeVec series survive the parse/merge
+// round trip — same (name, label value) sums across pages, distinct
+// label values stay distinct series, and the merged rendering is
+// re-parseable.
+func TestMergeLabelledScalars(t *testing.T) {
+	pageFor := func(t *testing.T, pairs map[string]int64) string {
+		t.Helper()
+		r := NewRegistry()
+		v := r.NewGaugeVec("quq_shard_backend_inflight", "in-flight per backend", "backend")
+		for addr, n := range pairs {
+			v.Set(addr, n)
+		}
+		var buf strings.Builder
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, err := ParseText(strings.NewReader(pageFor(t, map[string]int64{"127.0.0.1:1": 2, "127.0.0.1:2": 5})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseText(strings.NewReader(pageFor(t, map[string]int64{"127.0.0.1:2": 1, "127.0.0.1:3": 7})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]float64{
+		`quq_shard_backend_inflight{backend="127.0.0.1:1"}`: 2,
+		`quq_shard_backend_inflight{backend="127.0.0.1:2"}`: 6,
+		`quq_shard_backend_inflight{backend="127.0.0.1:3"}`: 7,
+	} {
+		if got, ok := a.Scalar(name); !ok || got != want {
+			t.Fatalf("%s = %v, %v; want %v", name, got, ok, want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := a.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseText(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("merged page does not re-parse: %v", err)
+	}
+
+	// Malformed labelled lines must still be rejected, not merged as
+	// zeros.
+	if _, err := ParseText(strings.NewReader("x{backend=unquoted} 1\n")); err == nil {
+		t.Fatal("unquoted label value parsed")
+	}
+	if _, err := ParseText(strings.NewReader(`x{backend="a"} notanumber` + "\n")); err == nil {
+		t.Fatal("non-numeric labelled scalar parsed")
 	}
 }

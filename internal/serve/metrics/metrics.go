@@ -67,6 +67,73 @@ func (g *Gauge) write(w io.Writer) error {
 	return err
 }
 
+// GaugeVec is a family of gauges distinguished by one label — the
+// per-backend view of a fleet quantity (in-flight requests per shard).
+// Cardinality is bounded by construction: values are keyed by cluster
+// membership, which join/leave/drain mutate explicitly, and Delete
+// retires a member's series when it leaves. All methods are safe for
+// concurrent use.
+type GaugeVec struct {
+	name, help, label string
+
+	mu   sync.Mutex
+	vals map[string]int64
+}
+
+// Set replaces the gauge for one label value, minting the series on
+// first use.
+func (v *GaugeVec) Set(value string, n int64) {
+	v.mu.Lock()
+	v.vals[value] = n
+	v.mu.Unlock()
+}
+
+// Delete retires one label value's series (a member left the fleet).
+func (v *GaugeVec) Delete(value string) {
+	v.mu.Lock()
+	delete(v.vals, value)
+	v.mu.Unlock()
+}
+
+// Value returns the gauge for one label value.
+func (v *GaugeVec) Value(value string) (int64, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n, ok := v.vals[value]
+	return n, ok
+}
+
+// Len returns the number of live series.
+func (v *GaugeVec) Len() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.vals)
+}
+
+func (v *GaugeVec) write(w io.Writer) error {
+	if err := writeHelp(w, v.name, v.help); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	values := make([]string, 0, len(v.vals))
+	for val := range v.vals {
+		values = append(values, val)
+	}
+	sort.Strings(values)
+	lines := make([]int64, len(values))
+	for i, val := range values {
+		lines[i] = v.vals[val]
+	}
+	v.mu.Unlock()
+	for i, val := range values {
+		//quq:label-ok label values are cluster member addresses, bounded by explicit join/leave membership and retired on Delete
+		if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, val, lines[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Histogram counts observations into fixed buckets and tracks their sum,
 // supporting approximate quantiles by linear interpolation inside the
 // containing bucket.
@@ -265,6 +332,15 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 	g := &Gauge{name: name, help: help}
 	r.register(name, g)
 	return g
+}
+
+// NewGaugeVec registers and returns a one-label gauge family. The label
+// name is fixed at construction; label values must come from a bounded
+// domain (cluster membership), never request data.
+func (r *Registry) NewGaugeVec(name, help, label string) *GaugeVec {
+	v := &GaugeVec{name: name, help: help, label: label, vals: make(map[string]int64)}
+	r.register(name, v)
+	return v
 }
 
 // NewHistogram registers and returns a histogram over the given ascending

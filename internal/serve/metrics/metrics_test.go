@@ -116,3 +116,42 @@ func TestConcurrentObserve(t *testing.T) {
 		t.Fatalf("histogram count = %d, want 8000", h.Count())
 	}
 }
+
+// TestGaugeVec: series mint on Set, render sorted by label value, and
+// retire on Delete.
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("backend_inflight", "per-backend in-flight requests", "backend")
+	v.Set("http://b:2", 3)
+	v.Set("http://a:1", 1)
+	v.Set("http://c:3", 0)
+	if n, ok := v.Value("http://b:2"); !ok || n != 3 {
+		t.Fatalf("Value = %d, %v; want 3, true", n, ok)
+	}
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", v.Len())
+	}
+	var buf strings.Builder
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP backend_inflight per-backend in-flight requests\n" +
+		"backend_inflight{backend=\"http://a:1\"} 1\n" +
+		"backend_inflight{backend=\"http://b:2\"} 3\n" +
+		"backend_inflight{backend=\"http://c:3\"} 0\n"
+	if buf.String() != want {
+		t.Fatalf("rendered:\n%s\nwant:\n%s", buf.String(), want)
+	}
+
+	v.Delete("http://b:2")
+	if _, ok := v.Value("http://b:2"); ok {
+		t.Fatal("deleted series still present")
+	}
+	buf.Reset()
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "http://b:2") {
+		t.Fatalf("deleted series still rendered:\n%s", buf.String())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"quq/internal/baselines"
@@ -139,6 +140,22 @@ func KeyFromWire(model, method string, bits int, regime string) (Key, error) {
 	return CanonicalKey(Key{Config: model, Method: method, Bits: bits, Regime: rg})
 }
 
+// ParseKey inverts Key.String: "Config/Method/wNaN/regime" back into a
+// canonical key. The drain handoff in quq-shard lives on this — it
+// learns a leaving backend's entries from /models (key strings) and
+// must turn them back into quantize requests for the new owners.
+func ParseKey(s string) (Key, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 4 {
+		return Key{}, fmt.Errorf("%w: key %q is not Config/Method/wNaN/regime", ErrBadRequest, s)
+	}
+	var wb, ab int
+	if _, err := fmt.Sscanf(parts[2], "w%da%d", &wb, &ab); err != nil || wb != ab {
+		return Key{}, fmt.Errorf("%w: key %q has malformed bit-width %q", ErrBadRequest, s, parts[2])
+	}
+	return KeyFromWire(parts[0], parts[1], wb, parts[3])
+}
+
 func newMethod(name string) (ptq.Method, bool) {
 	switch name {
 	case "", "QUQ":
@@ -212,6 +229,7 @@ type entry struct {
 	qm      *ptq.QuantizedModel
 	err     error
 	buildMS float64
+	replica atomic.Int32 // replica index stamped by the front-end; -1 until known
 }
 
 // baseEntry is the per-config singleflight slot for the FP32 base model
@@ -306,6 +324,7 @@ func (r *Registry) Get(ctx context.Context, key Key) (*ptq.QuantizedModel, bool,
 	e, cached := r.entries[key]
 	if !cached {
 		e = &entry{key: key, ready: make(chan struct{})}
+		e.replica.Store(-1)
 		r.entries[key] = e
 		r.builds.Add(1)
 		go r.buildEntry(e)
@@ -348,6 +367,29 @@ func (r *Registry) buildEntry(e *entry) {
 		r.mu.Unlock()
 	}
 	close(e.ready)
+}
+
+// NoteReplica records which replica slot this process holds for a key,
+// as stamped by the replicating front-end (the X-Quq-Replica request
+// header). The index is advisory observability — it never enters the
+// cache key, so replica 0 and replica 1 of one selection are still one
+// entry per process — and only the first non-negative note sticks: a
+// key's replica position on a given backend is fixed until the ring
+// moves it, at which point the entry itself is what gets rebuilt.
+func (r *Registry) NoteReplica(key Key, replica int) {
+	if replica < 0 {
+		return
+	}
+	key, err := CanonicalKey(key)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	e := r.entries[key]
+	r.mu.Unlock()
+	if e != nil {
+		e.replica.CompareAndSwap(-1, int32(replica))
+	}
 }
 
 // Drain waits until every detached build goroutine has finished or ctx
@@ -431,12 +473,15 @@ func (r *Registry) baseSeed(name string) uint64 {
 	return r.opts.Seed + uint64(len(vit.ZooConfigs))*1000
 }
 
-// EntryInfo is the /models view of one registry entry.
+// EntryInfo is the /models view of one registry entry. Replica is the
+// replica slot the front-end stamped on requests for this key (-1 for
+// direct, unreplicated traffic).
 type EntryInfo struct {
 	Key     string  `json:"key"`
 	Ready   bool    `json:"ready"`
 	Error   string  `json:"error,omitempty"`
 	BuildMS float64 `json:"build_ms,omitempty"`
+	Replica int     `json:"replica"`
 }
 
 // Entries snapshots the registry in deterministic (key-string) order.
@@ -451,7 +496,7 @@ func (r *Registry) Entries() []EntryInfo {
 	sort.Slice(list, func(i, j int) bool { return list[i].key.String() < list[j].key.String() })
 	out := make([]EntryInfo, 0, len(list))
 	for _, e := range list {
-		info := EntryInfo{Key: e.key.String()}
+		info := EntryInfo{Key: e.key.String(), Replica: int(e.replica.Load())}
 		select {
 		case <-e.ready:
 			info.Ready = e.err == nil

@@ -6,12 +6,21 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"quq/internal/data"
 	"quq/internal/ptq"
 	"quq/internal/tensor"
 )
+
+// ReplicaHeader names the request header a replicating front-end (or a
+// shard-aware client) stamps with the replica slot this backend holds
+// for the request's key: 0 is the primary owner, 1..R-1 the successor
+// replicas. The index is recorded on the registry entry and surfaced by
+// /models; it never influences the cache key or the computation, so a
+// wrong or missing header costs observability, not correctness.
+const ReplicaHeader = "X-Quq-Replica"
 
 // Config assembles the server from its tunables.
 type Config struct {
@@ -184,6 +193,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	s.reg.NoteReplica(key, replicaFrom(r))
 	items, err := s.bat.Submit(r.Context(), key.String(), qm, images)
 	if err != nil {
 		s.writeError(w, err)
@@ -228,11 +238,26 @@ func (s *Server) handleQuantize(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	s.reg.NoteReplica(key, replicaFrom(r))
 	s.writeJSON(w, http.StatusOK, quantizeResponse{
 		Key:     key.String(),
 		Cached:  cached,
 		BuildMS: float64(time.Since(start)) / float64(time.Millisecond),
 	})
+}
+
+// replicaFrom reads the replica slot off a request; -1 when the header
+// is absent or malformed (direct traffic carries no replica identity).
+func replicaFrom(r *http.Request) int {
+	v := r.Header.Get(ReplicaHeader)
+	if v == "" {
+		return -1
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
 }
 
 type modelInfo struct {

@@ -38,6 +38,12 @@ func (f *Front) aggregate(ctx context.Context) (*metrics.Exposition, error) {
 	f.met.Healthy.Set(int64(f.ring.HealthyCount()))
 
 	backends := f.ring.Backends() // sorted by address
+	// Refresh the per-backend inflight gauge so the merged page carries
+	// this scrape round's load picture. Members that left were already
+	// retired from the vec by onLeave.
+	for _, b := range backends {
+		f.met.Inflight.Set(b.Addr(), b.Inflight())
+	}
 	pages := make([]*metrics.Exposition, len(backends))
 	var wg sync.WaitGroup
 	for i, b := range backends {

@@ -46,3 +46,48 @@ func TestRetryDelaysDeterministic(t *testing.T) {
 		t.Fatalf("base=0 schedule = %v, want nil", got)
 	}
 }
+
+// TestRetryDelaysEqualJitterBounds sweeps attempt counts, bases and
+// seeds and pins every delay inside its equal-jitter window: attempt i
+// draws from [base*2^i/2, base*2^i) — a floor of half the step (an
+// instant retry against a refused connection is wasted work) and a
+// jittered upper half (so a fleet of front-ends sharing an outage does
+// not retry in lockstep).
+func TestRetryDelaysEqualJitterBounds(t *testing.T) {
+	for _, base := range []time.Duration{time.Millisecond, 50 * time.Millisecond, time.Second} {
+		for retries := 1; retries <= 6; retries++ {
+			for seed := uint64(1); seed <= 20; seed++ {
+				delays := retryDelays(rng.New(seed), base, retries)
+				if len(delays) != retries {
+					t.Fatalf("base=%v retries=%d: schedule length %d", base, retries, len(delays))
+				}
+				step := base
+				for i, d := range delays {
+					if lo, hi := step/2, step; d < lo || d >= hi {
+						t.Fatalf("base=%v retries=%d seed=%d attempt %d: delay %v outside [%v, %v)",
+							base, retries, seed, i, d, lo, hi)
+					}
+					step *= 2
+				}
+			}
+		}
+	}
+}
+
+// TestRetryDelaysDegenerateCallsDrawNothing: a disabled-retry call must
+// not advance the shared jitter stream — with the stream consumption
+// being part of the chaos determinism contract, a silent draw on the
+// degenerate path would shift every schedule drawn after it.
+func TestRetryDelaysDegenerateCallsDrawNothing(t *testing.T) {
+	src := rng.New(7)
+	retryDelays(src, 50*time.Millisecond, 0)
+	retryDelays(src, 50*time.Millisecond, -1)
+	retryDelays(src, 0, 3)
+	want := retryDelays(rng.New(7), 50*time.Millisecond, 3)
+	got := retryDelays(src, 50*time.Millisecond, 3)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("degenerate calls consumed jitter: schedule %v, want %v", got, want)
+		}
+	}
+}

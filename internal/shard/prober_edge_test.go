@@ -1,0 +1,60 @@
+package shard_test
+
+import (
+	"context"
+	"testing"
+
+	"quq/internal/shard"
+)
+
+// TestProberReadmitsImmediatelyAtOkAfterOne pins the hysteresis edge:
+// with OkAfter=1, a single healthy probe readmits an ejected backend —
+// there is no hidden extra round — and the recovery streak still resets
+// on every failure, so a flapping backend needs its one healthy probe
+// AFTER the last failure, not amortized across them.
+func TestProberReadmitsImmediatelyAtOkAfterOne(t *testing.T) {
+	b0, b1 := newFakeBackend(t, "b0"), newFakeBackend(t, "b1")
+	f := shard.New(shard.Options{
+		Backends:      []string{b0.srv.URL, b1.srv.URL},
+		ProbeInterval: -1,
+		Retries:       -1,
+		RetryBackoff:  1,
+		OkAfter:       1,
+	})
+	t.Cleanup(f.Close)
+	ctx := context.Background()
+
+	b0.healthy.Store(false)
+	f.ProbeNow(ctx) // FailAfter=2: one strike
+	f.ProbeNow(ctx) // ejected
+	if got := f.Ring().HealthyCount(); got != 1 {
+		t.Fatalf("after 2 failed probes: healthy = %d, want 1", got)
+	}
+
+	b0.healthy.Store(true)
+	f.ProbeNow(ctx) // OkAfter=1: readmitted on the first healthy probe
+	if got := f.Ring().HealthyCount(); got != 2 {
+		t.Fatalf("one healthy probe at OkAfter=1 did not readmit: healthy = %d", got)
+	}
+	if got := f.Metrics().Readmissions.Value(); got != 1 {
+		t.Fatalf("readmissions = %d, want 1", got)
+	}
+
+	// Eject again, then interleave a failure before the healthy probe:
+	// the readmission must key off the probe AFTER the failure.
+	b0.healthy.Store(false)
+	f.ProbeNow(ctx)
+	f.ProbeNow(ctx)
+	if got := f.Ring().HealthyCount(); got != 1 {
+		t.Fatalf("second ejection: healthy = %d, want 1", got)
+	}
+	f.ProbeNow(ctx) // still down: streak stays broken
+	b0.healthy.Store(true)
+	f.ProbeNow(ctx)
+	if got := f.Ring().HealthyCount(); got != 2 {
+		t.Fatalf("healthy probe after failure streak did not readmit: healthy = %d", got)
+	}
+	if got := f.Metrics().Readmissions.Value(); got != 2 {
+		t.Fatalf("readmissions = %d, want 2", got)
+	}
+}

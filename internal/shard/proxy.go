@@ -9,11 +9,13 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"quq/internal/chaos"
+	"quq/internal/cluster"
 	"quq/internal/rng"
 	"quq/internal/serve"
 )
@@ -22,11 +24,19 @@ import (
 // address of the backend that served a proxied request.
 const BackendHeader = "X-Quq-Shard"
 
+// EpochHeader names the response header carrying the membership epoch.
+// Every proxied response and every /cluster page is stamped with it, so
+// a shard-aware client routing directly to workers can detect — from
+// any response it happens to see — that its cached ring view is stale
+// and refresh before the next request.
+const EpochHeader = "X-Quq-Epoch"
+
 // Front is the sharding front-end: an http.Handler that routes
 // inference traffic onto the ring and aggregates fleet observability.
 type Front struct {
 	opts    Options
 	ring    *Ring
+	members *cluster.Membership
 	prober  *Prober
 	met     *Metrics
 	client  *http.Client
@@ -42,10 +52,6 @@ func New(opts Options) *Front {
 	opts.defaults()
 	met := NewShardMetrics()
 	ring := NewRing(opts.VNodes, opts.MaxLoadFactor)
-	for _, addr := range opts.Backends {
-		ring.Add(normalizeAddr(addr))
-	}
-	met.Healthy.Set(int64(ring.HealthyCount()))
 	client := &http.Client{Transport: opts.Transport}
 	f := &Front{
 		opts:   opts,
@@ -56,16 +62,52 @@ func New(opts Options) *Front {
 		jitter: rng.New(opts.Seed),
 		prober: NewProber(opts.BaseContext, ring, client, opts.ProbeInterval, opts.ProbeTimeout, opts.FailAfter, opts.OkAfter, met),
 	}
+	// The membership owns the roster and epoch; the ring is its routing
+	// index, mutated only through these callbacks so the two can never
+	// disagree about who is a member.
+	f.members = cluster.New(cluster.Config{
+		Replicas: opts.Replicas,
+		OnJoin:   f.onJoin,
+		OnLeave:  f.onLeave,
+		Handoff:  f.handoffKeys,
+	})
+	for _, addr := range opts.Backends {
+		f.members.Join(normalizeAddr(addr))
+	}
+	f.met.RingEpoch.Set(int64(f.members.Epoch()))
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", f.handleProxy)
 	mux.HandleFunc("POST /v1/quantize", f.handleProxy)
 	mux.HandleFunc("GET /models", f.handleModels)
 	mux.HandleFunc("GET /shards", f.handleShards)
+	mux.HandleFunc("GET /cluster", f.handleCluster)
+	mux.HandleFunc("POST /admin/join", f.handleAdminJoin)
+	mux.HandleFunc("POST /admin/drain", f.handleAdminDrain)
+	mux.HandleFunc("POST /admin/leave", f.handleAdminLeave)
 	mux.HandleFunc("GET /healthz", f.handleHealthz)
 	mux.HandleFunc("GET /metrics", f.handleMetrics)
 	f.handler = f.middleware(mux)
 	f.prober.Start()
 	return f
+}
+
+// onJoin and onLeave keep the ring and the topology gauges in lockstep
+// with the roster. Both run under the membership lock and do nothing
+// that blocks (ring and gauge mutations are short critical sections).
+func (f *Front) onJoin(addr string) {
+	f.ring.Add(addr)
+	f.met.Joins.Inc()
+	f.met.Inflight.Set(addr, 0)
+	f.met.RingBackends.Set(int64(len(f.ring.Backends())))
+	f.met.Healthy.Set(int64(f.ring.HealthyCount()))
+}
+
+func (f *Front) onLeave(addr string) {
+	f.ring.Remove(addr)
+	f.met.Leaves.Inc()
+	f.met.Inflight.Delete(addr)
+	f.met.RingBackends.Set(int64(len(f.ring.Backends())))
+	f.met.Healthy.Set(int64(f.ring.HealthyCount()))
 }
 
 // normalizeAddr turns "host:port" into a base URL.
@@ -142,9 +184,17 @@ func (f *Front) handleProxy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Calibration-bearing requests replicate: a quantize warms all R
+	// owners so a key's artifact survives any R-1 departures. Reads (and
+	// everything at R = 1) take the single-backend path below.
+	if f.opts.Replicas > 1 && r.URL.Path == "/v1/quantize" {
+		f.proxyReplicated(w, r, key.String(), body)
+		return
+	}
+
 	exclude := map[*Backend]bool{}
 	for {
-		b, err := f.ring.Pick(key.String(), exclude)
+		b, replica, err := f.pickReplica(key.String(), exclude)
 		if err != nil {
 			f.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("%w for key %s", err, key))
 			return
@@ -152,7 +202,7 @@ func (f *Front) handleProxy(w http.ResponseWriter, r *http.Request) {
 		if len(exclude) > 0 {
 			f.met.Failovers.Inc()
 		}
-		resp, err := f.forward(r.Context(), b, r.URL.Path, body)
+		resp, err := f.forward(r.Context(), b, r.URL.Path, body, replica, f.drawDelays())
 		if err != nil {
 			// The backend is unreachable after retries: eject it so the
 			// ring stops routing there until a probe readmits it, and move
@@ -171,18 +221,114 @@ func (f *Front) handleProxy(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// pickReplica chooses the backend for a read. With replication on, the
+// key's replica set is tried in slot order first — those are the
+// backends holding (or entitled to hold) the calibration, and a slot's
+// identity survives its siblings' health flaps — and only when every
+// replica is excluded or unhealthy does the walk continue past the set
+// via Pick, which preserves the R = 1 failover semantics: a read never
+// fails while any healthy backend remains, it just pays a fresh
+// calibration beyond the replica set. The int is the replica slot the
+// choice occupies, -1 when the backend is outside the set.
+func (f *Front) pickReplica(key string, exclude map[*Backend]bool) (*Backend, int, error) {
+	if f.opts.Replicas > 1 {
+		for slot, b := range f.ring.OwnerN(key, f.opts.Replicas) {
+			if !exclude[b] && b.healthy.Load() {
+				return b, slot, nil
+			}
+		}
+	}
+	b, err := f.ring.Pick(key, exclude)
+	return b, -1, err
+}
+
+// proxyReplicated fans one quantize out to every healthy replica owner
+// of the key, concurrently, and relays the lowest-slot success. The
+// replica set itself is placement-pure: an ejected owner is skipped
+// (it re-warms on demand once readmitted), never substituted — writes
+// past the set would smear calibrations onto non-owners and break the
+// at-most-R-builds invariant. Owners that fail mid-request are ejected
+// like any other connection failure; the request fails only when every
+// replica is unreachable.
+func (f *Front) proxyReplicated(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+	slots := []int{}
+	owners := []*Backend{}
+	for slot, b := range f.ring.OwnerN(key, f.opts.Replicas) {
+		if b.healthy.Load() {
+			slots = append(slots, slot)
+			owners = append(owners, b)
+		}
+	}
+	if len(owners) == 0 {
+		f.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("%w for key %s", ErrNoBackends, key))
+		return
+	}
+	// Draw every owner's retry schedule in slot order before any
+	// goroutine starts: the jitter stream is shared, and drawing inside
+	// the goroutines would order the draws by scheduler whim — breaking
+	// the byte-identical replays the chaos harness holds over this path.
+	schedules := make([][]time.Duration, len(owners))
+	for i := range owners {
+		schedules[i] = f.drawDelays()
+	}
+	resps := make([]*http.Response, len(owners))
+	errs := make([]error, len(owners))
+	var wg sync.WaitGroup
+	for i, b := range owners {
+		wg.Add(1)
+		go func(i int, b *Backend) {
+			defer wg.Done()
+			resps[i], errs[i] = f.forward(r.Context(), b, r.URL.Path, body, slots[i], schedules[i])
+		}(i, b)
+	}
+	wg.Wait()
+	relay := -1
+	for i := range owners {
+		switch {
+		case errs[i] != nil:
+			eject(owners[i], f.met)
+		case relay < 0:
+			relay = i
+		default:
+			discard(resps[i])
+		}
+	}
+	f.met.Healthy.Set(int64(f.ring.HealthyCount()))
+	if relay < 0 {
+		f.writeError(w, http.StatusBadGateway,
+			fmt.Errorf("shard: all %d replicas unreachable for key %s: %w", len(owners), key, errs[0]))
+		return
+	}
+	f.relay(w, resps[relay], owners[relay])
+}
+
+// drawDelays draws one forward's full retry schedule under the rng
+// mutex. Schedules are drawn whole, in request (and replica-slot)
+// order, so the shared jitter stream's consumption sequence is a pure
+// function of the request sequence — never of goroutine interleaving.
+func (f *Front) drawDelays() []time.Duration {
+	f.rngMu.Lock()
+	defer f.rngMu.Unlock()
+	return retryDelays(f.jitter, f.opts.RetryBackoff, f.opts.Retries)
+}
+
+// discard drains and closes a response that will not be relayed (the
+// non-primary replicas of a fan-out).
+func discard(resp *http.Response) {
+	//quq:errdrop-ok best-effort drain for connection reuse; the response is deliberately unrelayed
+	_, _ = io.Copy(io.Discard, resp.Body)
+	//quq:errdrop-ok closing an unrelayed response has no remaining audience
+	_ = resp.Body.Close()
+}
+
 // forward posts body to one backend, retrying connection failures with
-// seeded equal-jitter backoff slept through the injected clock. Any
-// HTTP response, whatever its status, is final.
-func (f *Front) forward(ctx context.Context, b *Backend, path string, body []byte) (*http.Response, error) {
+// seeded equal-jitter backoff (the schedule is pre-drawn by drawDelays)
+// slept through the injected clock. replica >= 0 stamps the request
+// with the replica slot the backend occupies for this key. Any HTTP
+// response, whatever its status, is final.
+func (f *Front) forward(ctx context.Context, b *Backend, path string, body []byte, replica int, delays []time.Duration) (*http.Response, error) {
 	b.inflight.Add(1)
 	defer b.inflight.Add(-1)
-	// Draw the whole schedule up front under the rng mutex: the jitter
-	// stream is shared across requests, and per-request draws interleaved
-	// mid-flight would make the sequence depend on goroutine scheduling.
-	f.rngMu.Lock()
-	delays := retryDelays(f.jitter, f.opts.RetryBackoff, f.opts.Retries)
-	f.rngMu.Unlock()
 	var lastErr error
 	for attempt := 0; attempt <= f.opts.Retries; attempt++ {
 		if attempt > 0 {
@@ -196,6 +342,9 @@ func (f *Front) forward(ctx context.Context, b *Backend, path string, body []byt
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if replica >= 0 {
+			req.Header.Set(serve.ReplicaHeader, strconv.Itoa(replica))
+		}
 		resp, err := f.client.Do(req)
 		if err == nil {
 			return resp, nil
@@ -226,6 +375,7 @@ func (f *Front) relay(w http.ResponseWriter, resp *http.Response, b *Backend) {
 		w.Header().Set("Retry-After", ra)
 	}
 	w.Header().Set(BackendHeader, b.addr)
+	w.Header().Set(EpochHeader, strconv.FormatUint(f.members.Epoch(), 10))
 	if resp.StatusCode == http.StatusTooManyRequests {
 		f.met.Backpressure.Inc()
 	}

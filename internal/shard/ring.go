@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"quq/internal/check"
 )
 
 // ErrNoBackends is returned when no healthy backend can serve a key.
@@ -33,6 +35,12 @@ func (b *Backend) Healthy() bool { return b.healthy.Load() }
 // backend.
 func (b *Backend) Inflight() int64 { return b.inflight.Load() }
 
+// SetHealthy overrides the health bit. On a serving front-end the
+// prober owns health; the setter exists for client-side ring replicas,
+// which mirror the /cluster view's snapshot and record their own
+// observed connection failures until the next refresh.
+func (b *Backend) SetHealthy(v bool) { b.healthy.Store(v) }
+
 // Ring is a consistent-hash ring with virtual nodes and bounded-load
 // overflow. Placement depends only on the backend address set and the
 // key bytes — FNV-1a hashing, no map iteration, no randomness, no time —
@@ -56,9 +64,12 @@ type ringPoint struct {
 
 // NewRing builds an empty ring with the given virtual-node count per
 // backend and bounded-load factor (<= 0 disables load bounding).
+// vnodes must be positive: a silent default here would let a ring and a
+// shardclient replica of it disagree on placement, so a non-positive
+// count is a programmer error, not a tunable.
 func NewRing(vnodes int, maxLoadFactor float64) *Ring {
 	if vnodes <= 0 {
-		vnodes = 128
+		panic(check.Invariantf("shard: NewRing vnodes must be positive, got %d", vnodes))
 	}
 	return &Ring{
 		vnodes:        vnodes,
@@ -154,6 +165,66 @@ func (r *Ring) startLocked(key string) int {
 		i = 0
 	}
 	return i
+}
+
+// OwnerN returns the key's replica set: the first n distinct backends
+// on the ring-successor walk, in placement order, health-agnostic.
+// Index i in the result IS the key's replica-i slot — a deliberately
+// pure function of membership and key bytes, so the slot identity never
+// shifts when a member flaps. Transient health belongs to the caller
+// (skip unhealthy entries but keep their slots); only membership
+// changes — join, leave, drain — remap the set. Fewer than n members
+// yields a shorter set, never duplicates.
+func (r *Ring) OwnerN(key string, n int) []*Backend {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ownerNLocked(key, n, "")
+}
+
+// ownerNLocked is OwnerN with an optional address to skip — the drain
+// path computes the post-departure owners while the leaver is still a
+// ring member and still serving.
+func (r *Ring) ownerNLocked(key string, n int, skip string) []*Backend {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	start := r.startLocked(key)
+	owners := make([]*Backend, 0, n)
+	seen := make(map[*Backend]bool, len(r.backends))
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.b] {
+			continue
+		}
+		seen[p.b] = true
+		if p.b.addr == skip {
+			continue
+		}
+		owners = append(owners, p.b)
+	}
+	return owners
+}
+
+// OwnerNSkip is OwnerN computed as if the named backend had already
+// left the ring (drain handoff planning).
+func (r *Ring) OwnerNSkip(key string, n int, skip string) []*Backend {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ownerNLocked(key, n, skip)
+}
+
+// VNodes returns the virtual-node count per backend.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// MaxLoadFactor returns the bounded-load factor (<= 0: unbounded).
+func (r *Ring) MaxLoadFactor() float64 { return r.maxLoadFactor }
+
+// Points returns the number of virtual nodes currently on the ring —
+// always members × vnodes; the Add-idempotency tests pin that.
+func (r *Ring) Points() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.points)
 }
 
 // Pick returns the backend that should serve a key right now: the first

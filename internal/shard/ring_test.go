@@ -218,3 +218,90 @@ func TestRingBoundedLoad(t *testing.T) {
 		t.Fatal("unbounded ring must ignore load")
 	}
 }
+
+// TestNewRingRejectsNonPositiveVNodes: a vnode count of zero would let
+// two rings built from the same view silently disagree on placement, so
+// construction rejects it outright instead of papering over it with a
+// default.
+func TestNewRingRejectsNonPositiveVNodes(t *testing.T) {
+	for _, vnodes := range []int{0, -1, -128} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRing(%d, 0) did not panic", vnodes)
+				}
+			}()
+			NewRing(vnodes, 0)
+		}()
+	}
+}
+
+// TestRingAddIdempotent: re-adding a member must return the existing
+// backend and claim no additional virtual nodes — double-inserted
+// vnodes would double the member's keyspace share and desynchronize
+// any ring replica built from the membership view.
+func TestRingAddIdempotent(t *testing.T) {
+	r := NewRing(64, 0)
+	first := r.Add("http://backend-0:86")
+	r.Add("http://backend-1:86")
+	points := r.Points()
+	if points != 2*64 {
+		t.Fatalf("points = %d, want %d", points, 2*64)
+	}
+	again := r.Add("http://backend-0:86")
+	if again != first {
+		t.Fatal("re-Add returned a different *Backend")
+	}
+	if got := r.Points(); got != points {
+		t.Fatalf("re-Add grew the ring: %d -> %d points", points, got)
+	}
+	if n := len(r.Backends()); n != 2 {
+		t.Fatalf("backends = %d, want 2", n)
+	}
+}
+
+// TestRingOwnerN: the replica walk yields distinct backends in
+// successor order — owner 0 is Owner(key); the set is a pure function
+// of membership, so an unhealthy member keeps its slot (callers skip
+// it but never renumber); the skip variant previews post-departure
+// ownership.
+func TestRingOwnerN(t *testing.T) {
+	r := NewRing(64, 0)
+	addrs := make([]string, 4)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("http://backend-%d:86", i)
+		r.Add(addrs[i])
+	}
+	for _, key := range testKeys(200) {
+		owners := r.OwnerN(key, 2)
+		if len(owners) != 2 {
+			t.Fatalf("OwnerN(%q, 2) = %d owners", key, len(owners))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("OwnerN(%q, 2) returned a duplicate backend", key)
+		}
+		if primary, _ := r.Owner(key); owners[0] != primary {
+			t.Fatalf("OwnerN(%q)[0] = %s, Owner = %s", key, owners[0].Addr(), primary.Addr())
+		}
+	}
+
+	key := "ViT-S/QUQ/w6a6/partial"
+	all := r.OwnerN(key, len(addrs)+3)
+	if len(all) != len(addrs) {
+		t.Fatalf("OwnerN over-asked = %d owners, want %d", len(all), len(addrs))
+	}
+	all[0].healthy.Store(false)
+	stable := r.OwnerN(key, 2)
+	if len(stable) != 2 || stable[0] != all[0] || stable[1] != all[1] {
+		t.Fatal("transient unhealth renumbered the replica slots")
+	}
+	all[0].healthy.Store(true)
+
+	skipped := r.OwnerNSkip(key, 2, all[0].Addr())
+	if len(skipped) != 2 || skipped[0] != all[1] || skipped[1] != all[2] {
+		t.Fatal("OwnerNSkip did not preview the post-departure owners")
+	}
+	if got := r.OwnerN(key, 0); got != nil {
+		t.Fatalf("OwnerN(key, 0) = %v, want nil", got)
+	}
+}

@@ -51,6 +51,15 @@ type Options struct {
 	// its keys to the next ring successor (default 1.25; <= 0 disables
 	// bounding).
 	MaxLoadFactor float64
+	// Replicas is the replication factor R: each registry key's
+	// calibration lives on its first R healthy ring successors. Warming
+	// requests (/v1/quantize) fan out to all R owners; reads are served
+	// by the first reachable replica. Default 1 (no replication).
+	Replicas int
+	// HandoffMaxKeys bounds how many registry keys one admin drain
+	// re-homes before the member leaves (default 64). Entries beyond
+	// the cap rely on replication or on-demand recalibration.
+	HandoffMaxKeys int
 	// ProbeInterval is the /healthz probe period (default 2s; negative
 	// disables the background prober — ProbeNow still works).
 	ProbeInterval time.Duration
@@ -107,6 +116,12 @@ func (o *Options) defaults() {
 	if o.MaxLoadFactor == 0 {
 		o.MaxLoadFactor = 1.25
 	}
+	if o.Replicas < 1 {
+		o.Replicas = 1
+	}
+	if o.HandoffMaxKeys <= 0 {
+		o.HandoffMaxKeys = 64
+	}
 	if o.ProbeInterval == 0 {
 		o.ProbeInterval = 2 * time.Second
 	}
@@ -154,8 +169,14 @@ type Metrics struct {
 	Ejections    *metrics.Counter   // backends marked unhealthy
 	Readmissions *metrics.Counter   // ejected backends readmitted by a probe
 	ScrapeErrors *metrics.Counter   // backend /metrics scrapes that failed
+	Joins        *metrics.Counter   // members admitted through /admin/join
+	Leaves       *metrics.Counter   // members removed (drain or leave)
+	Handoffs     *metrics.Counter   // registry keys re-homed by drains
 	Healthy      *metrics.Gauge     // healthy backends on the ring
 	Stale        *metrics.Gauge     // healthy backends missing from the last fleet view
+	RingBackends *metrics.Gauge     // ring members (healthy or not)
+	RingEpoch    *metrics.Gauge     // membership epoch (monotonic per topology change)
+	Inflight     *metrics.GaugeVec  // per-backend in-flight proxied requests
 	Latency      *metrics.Histogram // front-end request wall time, seconds
 }
 
@@ -174,8 +195,14 @@ func NewShardMetrics() *Metrics {
 		Ejections:    r.NewCounter("quq_shard_ejections_total", "backends marked unhealthy"),
 		Readmissions: r.NewCounter("quq_shard_readmissions_total", "ejected backends readmitted after a healthy probe"),
 		ScrapeErrors: r.NewCounter("quq_shard_scrape_errors_total", "backend /metrics scrapes that failed"),
+		Joins:        r.NewCounter("quq_shard_joins_total", "backends admitted to the ring through membership joins"),
+		Leaves:       r.NewCounter("quq_shard_leaves_total", "backends removed from the ring (drain or leave)"),
+		Handoffs:     r.NewCounter("quq_shard_handoff_keys_total", "registry keys re-homed onto new owners by drains"),
 		Healthy:      r.NewGauge("quq_shard_healthy_backends", "healthy backends on the ring"),
 		Stale:        r.NewGauge("quq_shard_stale_shards", "healthy backends whose contribution to the last merged /metrics view is stale (scrape failed)"),
+		RingBackends: r.NewGauge("quq_shard_ring_backends", "backends on the ring, healthy or not"),
+		RingEpoch:    r.NewGauge("quq_shard_ring_epoch", "membership epoch; increments on every join, leave or drain"),
+		Inflight:     r.NewGaugeVec("quq_shard_backend_inflight", "in-flight proxied requests per backend", "backend"),
 		Latency:      r.NewHistogram("quq_shard_request_seconds", "front-end request latency in seconds", metrics.LatencyBuckets()),
 	}
 }
