@@ -1,0 +1,174 @@
+// Benchmark for the occupancy-adaptive scheduler: static split versus
+// governor-steered batching/parallelism on a mixed workload. See
+// EXPERIMENTS.md "Occupancy-adaptive scheduling" for the methodology.
+package quq_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"quq/internal/rng"
+	"quq/internal/serve"
+)
+
+// schedPercentile returns the q-quantile of the collected latencies by
+// nearest-rank on a sorted copy.
+func schedPercentile(durs []time.Duration, q float64) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), durs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// BenchmarkSchedOccupancy drives one static and one governor-steered
+// quq-serve through the same seeded arrival mix — sequential singles
+// (low occupancy) alternating with concurrent multi-image bursts — and
+// records per-request latency percentiles to artifacts/BENCH_sched.json.
+// The paired claim under test: at low occupancy the governor's immediate
+// dispatch beats the static linger wait on p50, and under bursts its
+// shrink-to-MinIntraOp keeps the p99 tail from regressing (hard gate at
+// 2× to stay robust to machine noise).
+func BenchmarkSchedOccupancy(b *testing.B) {
+	const (
+		singles   = 8 // sequential single-image requests per round
+		bursts    = 4 // concurrent burst requests per round
+		maxBatch  = 8
+		lingerDur = 2 * time.Millisecond
+	)
+	flat := benchFlatImages(maxBatch)
+	bodies := make([][]byte, maxBatch+1)
+	for n := 1; n <= maxBatch; n++ {
+		bodies[n] = mustMarshalBench(b, map[string]any{
+			"model": "ViT-Nano", "method": "QUQ", "bits": 6,
+			"images": flat[:n],
+		})
+	}
+
+	run := func(b *testing.B, adaptive bool) (p50Low, p99All time.Duration) {
+		cfg := serve.Config{
+			Registry: serve.RegistryOptions{Seed: 7, CalibImages: 2},
+			Batcher:  serve.BatcherOptions{MaxBatch: maxBatch, Linger: lingerDur, QueueCap: 256},
+		}
+		if adaptive {
+			cfg.Governor = serve.GovernorOptions{
+				Window: 50 * time.Millisecond, MinIntraOp: 1, MaxIntraOp: 4,
+			}
+		}
+		s := serve.New(cfg)
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+
+		timedPost := func(body []byte) time.Duration {
+			start := time.Now()
+			resp, err := http.Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return -1
+			}
+			if _, err := bytes.NewBuffer(nil).ReadFrom(resp.Body); err != nil {
+				return -1
+			}
+			if err := resp.Body.Close(); err != nil || resp.StatusCode != http.StatusOK {
+				return -1
+			}
+			return time.Since(start)
+		}
+
+		// Warm the registry so no request pays the calibration.
+		if d := timedPost(bodies[1]); d < 0 {
+			b.Fatal("warm classify failed")
+		}
+
+		// The arrival mix is seeded so both modes replay the identical
+		// burst-size sequence.
+		src := rng.New(2024)
+		var low, all []time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < singles; j++ {
+				d := timedPost(bodies[1])
+				if d < 0 {
+					b.Fatal("single classify failed")
+				}
+				low = append(low, d)
+				all = append(all, d)
+			}
+			sizes := make([]int, bursts)
+			for k := range sizes {
+				sizes[k] = 2 + src.Intn(maxBatch-1) // 2..maxBatch images
+			}
+			durs := make([]time.Duration, bursts)
+			var wg sync.WaitGroup
+			for k, n := range sizes {
+				wg.Add(1)
+				go func(k int, body []byte) {
+					defer wg.Done()
+					durs[k] = timedPost(body)
+				}(k, bodies[n])
+			}
+			wg.Wait()
+			for _, d := range durs {
+				if d < 0 {
+					b.Fatal("burst classify failed")
+				}
+				all = append(all, d)
+			}
+		}
+		b.StopTimer()
+		p50Low = schedPercentile(low, 0.5)
+		p99All = schedPercentile(all, 0.99)
+		b.ReportMetric(float64(p50Low)/1e6, "p50low-ms")
+		b.ReportMetric(float64(p99All)/1e6, "p99-ms")
+		return p50Low, p99All
+	}
+
+	var staticP50, staticP99, adaptiveP50, adaptiveP99 time.Duration
+	b.Run("static", func(b *testing.B) { staticP50, staticP99 = run(b, false) })
+	b.Run("adaptive", func(b *testing.B) { adaptiveP50, adaptiveP99 = run(b, true) })
+
+	if staticP50 == 0 || adaptiveP50 == 0 {
+		return // sub-benchmark filtered out; nothing coherent to record
+	}
+	if adaptiveP50 >= staticP50 {
+		b.Fatalf("adaptive p50 at low occupancy = %v, static = %v: immediate dispatch should beat the linger wait", adaptiveP50, staticP50)
+	}
+	if adaptiveP99 > 2*staticP99 {
+		b.Fatalf("adaptive p99 = %v regressed past 2× static %v under bursts", adaptiveP99, staticP99)
+	}
+	artifact := struct {
+		Singles          int     `json:"singles_per_round"`
+		Bursts           int     `json:"bursts_per_round"`
+		MaxBatch         int     `json:"max_batch"`
+		LingerMS         float64 `json:"linger_ms"`
+		StaticP50LowMS   float64 `json:"static_p50_low_ms"`
+		AdaptiveP50LowMS float64 `json:"adaptive_p50_low_ms"`
+		StaticP99MS      float64 `json:"static_p99_ms"`
+		AdaptiveP99MS    float64 `json:"adaptive_p99_ms"`
+		P50Speedup       float64 `json:"p50_low_speedup"`
+	}{
+		singles, bursts, maxBatch, float64(lingerDur) / 1e6,
+		float64(staticP50) / 1e6, float64(adaptiveP50) / 1e6,
+		float64(staticP99) / 1e6, float64(adaptiveP99) / 1e6,
+		float64(staticP50) / float64(adaptiveP50),
+	}
+	buf, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.MkdirAll("artifacts", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join("artifacts", "BENCH_sched.json"), append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -77,6 +77,12 @@ go test -run '^$' -bench BenchmarkShardThroughput -benchtime 5x .
 # most of the proxy hop's overhead by routing reads to owners directly).
 go test -run '^$' -bench BenchmarkClientDirect -benchtime 5x .
 
+# Occupancy-adaptive scheduler benchmark; regenerates
+# artifacts/BENCH_sched.json (static vs adaptive on a seeded arrival
+# mix — the benchmark itself fails unless adaptive p50 beats static at
+# low occupancy and adaptive p99 stays within 2x static under bursts).
+go test -run '^$' -bench BenchmarkSchedOccupancy -benchtime 3x .
+
 # Doc gate: ARCHITECTURE.md's package inventory must cover every
 # package in the module (quqvet's docmissing check covers the inverse:
 # every package documents itself in source).
@@ -85,6 +91,18 @@ for pkg in $(go list ./...); do
     echo "ARCHITECTURE.md: missing package $pkg" >&2
     exit 1
   }
+done
+
+# Tuning-guide gate: every CLI flag of both serving binaries must be
+# documented in docs/TUNING.md (as `-flagname`), so the operator's
+# guide can never drift behind the code.
+for main in cmd/quq-serve/main.go cmd/quq-shard/main.go; do
+  for f in $(grep -o 'flag\.[A-Za-z0-9]*("[a-z-]*"' "$main" | sed 's/.*("\([a-z-]*\)".*/\1/'); do
+    grep -Fq -- "\`-$f\`" docs/TUNING.md || {
+      echo "docs/TUNING.md: missing flag -$f from $main" >&2
+      exit 1
+    }
+  done
 done
 
 gofmt -l . | tee /dev/stderr | wc -l | grep -qx 0

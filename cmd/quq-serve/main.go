@@ -31,6 +31,7 @@ import (
 	"net"
 	"net/http"
 	"os/signal"
+	"runtime"
 	"sync"
 	"syscall"
 	"time"
@@ -52,6 +53,11 @@ func main() {
 		timeout  = flag.Duration("timeout", 60*time.Second, "per-request timeout, including first-request calibration")
 		maxBody  = flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 		smoke    = flag.Bool("smoke", false, "start on an ephemeral port, run a quantize+classify round trip, exit")
+
+		latencyBudget  = flag.Duration("latency-budget", 0, "default per-request latency budget; estimated queue waits beyond it shed with 429 (0 disables; X-Quq-Latency-Budget overrides per request)")
+		governorWindow = flag.Duration("governor-window", 0, "occupancy window for the adaptive scheduler (0 disables adaptation: static linger and min-intraop workers)")
+		minIntraOp     = flag.Int("min-intraop", 1, "per-batch intra-op worker floor the governor shrinks to under load")
+		maxIntraOp     = flag.Int("max-intraop", runtime.GOMAXPROCS(0), "per-batch intra-op worker ceiling granted at low occupancy")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -63,9 +69,15 @@ func main() {
 			Checkpoint:  *ckpt,
 		},
 		Batcher: serve.BatcherOptions{
-			MaxBatch: *maxBatch,
-			Linger:   *linger,
-			QueueCap: *queue,
+			MaxBatch:      *maxBatch,
+			Linger:        *linger,
+			QueueCap:      *queue,
+			LatencyBudget: *latencyBudget,
+		},
+		Governor: serve.GovernorOptions{
+			Window:     *governorWindow,
+			MinIntraOp: *minIntraOp,
+			MaxIntraOp: *maxIntraOp,
 		},
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,

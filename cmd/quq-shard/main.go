@@ -40,6 +40,7 @@ import (
 	"net"
 	"net/http"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -73,6 +74,11 @@ func main() {
 		smoke         = flag.Bool("smoke", false, "spawn 3 in-process quq-serve shards and run the multi-key self-test")
 		chaosMode     = flag.Bool("chaos", false, "replay the seeded fault-injection scripts against an in-process fleet and verify the failure-domain invariants")
 		chaosSeed     = flag.Uint64("chaos-seed", 7, "fault-schedule seed for -chaos")
+
+		latencyBudget  = flag.Duration("latency-budget", 0, "default per-request latency budget on the -smoke backends; estimated queue waits beyond it shed with 429 (0 disables)")
+		governorWindow = flag.Duration("governor-window", 0, "occupancy window for the -smoke backends' adaptive scheduler (0 disables adaptation)")
+		minIntraOp     = flag.Int("min-intraop", 1, "per-batch intra-op worker floor on the -smoke backends")
+		maxIntraOp     = flag.Int("max-intraop", runtime.GOMAXPROCS(0), "per-batch intra-op worker ceiling on the -smoke backends")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -93,8 +99,18 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 	}
 
+	backendCfg := serve.Config{
+		Registry: serve.RegistryOptions{Seed: 2024, CalibImages: 2},
+		Batcher:  serve.BatcherOptions{LatencyBudget: *latencyBudget},
+		Governor: serve.GovernorOptions{
+			Window:     *governorWindow,
+			MinIntraOp: *minIntraOp,
+			MaxIntraOp: *maxIntraOp,
+		},
+	}
+
 	if *smoke {
-		if err := runSmoke(context.Background(), opts); err != nil {
+		if err := runSmoke(context.Background(), opts, backendCfg); err != nil {
 			log.Fatalf("smoke: %v", err)
 		}
 		log.Printf("smoke: ok")
@@ -212,11 +228,10 @@ func startShard(cfg serve.Config, serving *sync.WaitGroup) (*smokeShard, error) 
 // runSmoke is the acceptance demonstration: three shards, four registry
 // keys each calibrated on exactly one shard (proven by the aggregated
 // metrics), canonicalized spellings hitting the warm cache, then a
-// backend kill with failover and ejection.
-func runSmoke(ctx context.Context, opts shard.Options) error {
-	cfg := serve.Config{
-		Registry: serve.RegistryOptions{Seed: 2024, CalibImages: 2},
-	}
+// backend kill with failover and ejection. cfg configures the spawned
+// backends, carrying the scheduler flags (-latency-budget,
+// -governor-window, -min/max-intraop) onto them.
+func runSmoke(ctx context.Context, opts shard.Options, cfg serve.Config) error {
 	var serving sync.WaitGroup
 	defer serving.Wait()
 	const nShards = 3

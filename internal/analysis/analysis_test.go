@@ -172,6 +172,30 @@ func TestDocMissingConformingFixture(t *testing.T) {
 	runFixture(t, DocMissing, "docmissingok", "quq/internal/docmissingok")
 }
 
+func TestDocMissingKnobFieldsFixture(t *testing.T) {
+	runFixture(t, DocMissing, "docknob", "quq/internal/serve/docknobfixture")
+}
+
+func TestDocMissingKnobFieldsConformingFixture(t *testing.T) {
+	runFixture(t, DocMissing, "docknobok", "quq/internal/shard/docknobok")
+}
+
+func TestDocMissingKnobFieldsOutOfScope(t *testing.T) {
+	// The same knob corpus outside the serving tree must be clean: the
+	// field rule scopes to "serve"/"shard" path segments only.
+	loader, err := fixtureLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "docknob"), "quq/internal/docknobelsewhere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := RunAnalyzers(pkg, []*Analyzer{DocMissing}); len(diags) != 0 {
+		t.Fatalf("docmissing flagged knob fields outside the serving tree: %v", diags)
+	}
+}
+
 func TestHotAllocFixture(t *testing.T) {
 	runFixture(t, HotAlloc, "hotalloc", "quq/internal/hotallocfixture")
 }

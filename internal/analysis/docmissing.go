@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -9,11 +10,16 @@ import (
 // opens with a godoc package comment naming its role — for library
 // packages one starting "Package <name> ..." (the godoc convention, and
 // what ARCHITECTURE.md's inventory is generated against), for commands
-// any package doc (idiomatically "Command <name> ..."). The check has no
-// suppression directive: a package either documents itself or fails vet.
+// any package doc (idiomatically "Command <name> ..."). In the serving
+// tree (packages under a "serve" or "shard" path segment) it further
+// requires a doc comment on every exported field of exported structs
+// named *Options or *Config: those fields are operator knobs surfaced
+// as CLI flags, and docs/TUNING.md is written against their godoc. The
+// check has no suppression directive: a package either documents itself
+// or fails vet.
 var DocMissing = &Analyzer{
 	Name: "docmissing",
-	Doc:  "every package must carry a package doc comment (library docs start \"Package <name>\")",
+	Doc:  "every package must carry a package doc comment (library docs start \"Package <name>\"); serving-tree Options/Config fields need doc comments",
 	Run:  runDocMissing,
 }
 
@@ -21,6 +27,7 @@ func runDocMissing(pass *Pass) {
 	if len(pass.Files) == 0 {
 		return
 	}
+	checkKnobFieldDocs(pass)
 	var documented []*ast.File
 	for _, f := range pass.Files {
 		if f.Doc != nil {
@@ -52,4 +59,61 @@ func runDocMissing(pass *Pass) {
 		}
 	}
 	pass.Reportf(documented[0].Doc.Pos(), "package doc comment must start with %q (godoc convention)", want)
+}
+
+// servingTreePath reports whether the package lives in the serving tree,
+// where exported knob structs feed CLI flags and the tuning guide.
+func servingTreePath(pkgPath string) bool {
+	for _, seg := range strings.Split(pkgPath, "/") {
+		if seg == "serve" || seg == "shard" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkKnobFieldDocs requires a doc comment on every exported field of
+// exported Options/Config structs in serving-tree packages. Embedded
+// fields are exempt (their docs live on the embedded type); unexported
+// fields and structs are private plumbing and stay free-form.
+func checkKnobFieldDocs(pass *Pass) {
+	if !servingTreePath(pass.PkgPath) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				name := ts.Name.Name
+				if !strings.HasSuffix(name, "Options") && !strings.HasSuffix(name, "Config") {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					if len(field.Names) == 0 {
+						continue // embedded field
+					}
+					if field.Doc != nil && strings.TrimSpace(field.Doc.Text()) != "" {
+						continue
+					}
+					for _, fn := range field.Names {
+						if !fn.IsExported() {
+							continue
+						}
+						pass.Reportf(fn.Pos(), "exported knob %s.%s needs a doc comment (serving-tree Options/Config fields are operator-facing)", name, fn.Name)
+					}
+				}
+			}
+		}
+	}
 }

@@ -1,0 +1,40 @@
+// Package docknob exercises the serving-tree knob rule: exported
+// fields of exported Options/Config structs are operator knobs and
+// must each carry a doc comment.
+package docknob
+
+// BatcherOptions mirrors a serving knob struct.
+type BatcherOptions struct {
+	// MaxBatch is documented and passes.
+	MaxBatch int
+	Linger   int // want `exported knob BatcherOptions\.Linger needs a doc comment`
+	queueCap int
+}
+
+// ProxyConfig aggregates front-end knobs.
+type ProxyConfig struct {
+	Retries int // want `exported knob ProxyConfig\.Retries needs a doc comment`
+	// Backoff is documented.
+	Backoff int
+}
+
+// EmbedOptions embeds another knob struct; the embedded field is exempt
+// because its docs live on the embedded type.
+type EmbedOptions struct {
+	BatcherOptions
+	Extra int // want `exported knob EmbedOptions\.Extra needs a doc comment`
+}
+
+// result is unexported: its fields are private plumbing, not knobs.
+type result struct {
+	Value int
+}
+
+// Summary is exported but not an Options/Config type, so stays
+// free-form.
+type Summary struct {
+	Count int
+}
+
+// use keeps the unexported plumbing referenced.
+func use() int { return result{Value: 1}.Value + BatcherOptions{}.queueCap }

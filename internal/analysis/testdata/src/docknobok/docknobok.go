@@ -1,0 +1,25 @@
+// Package docknobok is the conforming serving-tree corpus: every
+// exported knob field carries a doc comment, so the analyzer stays
+// silent even under a shard import path.
+package docknobok
+
+// Options configures a fixture front-end.
+type Options struct {
+	// Vnodes is the ring density per backend.
+	Vnodes int
+	// LoadFactor bounds per-backend overload.
+	LoadFactor float64
+	// unexported fields stay free-form.
+	depth int
+}
+
+// TierConfig is a nested knob struct whose embedded field rides on the
+// embedded type's docs.
+type TierConfig struct {
+	Options
+	// Name labels the tier.
+	Name string
+}
+
+// use keeps the unexported plumbing referenced.
+func use() int { return Options{}.depth }

@@ -211,6 +211,7 @@ func TestReportDeterminismAndVerdicts(t *testing.T) {
 			0,
 		)
 		r.CheckBoundedDrain(true, 4, 4)
+		r.CheckLatencySLO(5, 5, 1, 0, []int{4, 1, 4}, true)
 		return r
 	}
 	var a, b strings.Builder
@@ -238,7 +239,12 @@ func TestReportDeterminismAndVerdicts(t *testing.T) {
 		map[string]int{"k1": 0, "k2": 1},
 		0,
 	)
-	r.CheckBoundedDrain(false, 4, 4) // deadline blown
+	r.CheckBoundedDrain(false, 4, 4)                     // deadline blown
+	r.CheckLatencySLO(5, 4, 1, 0, []int{4, 1, 4}, true)  // admitted request missed its budget
+	r.CheckLatencySLO(5, 5, 0, 0, []int{4, 1, 4}, true)  // overload never shed
+	r.CheckLatencySLO(5, 5, 1, 2, []int{4, 1, 4}, true)  // shed request held queue slots
+	r.CheckLatencySLO(5, 5, 1, 0, []int{4, 4, 4}, true)  // governor never adapted
+	r.CheckLatencySLO(5, 5, 1, 0, []int{4, 1, 4}, false) // shed counter absent from merged view
 	for i, c := range r.Results {
 		if c.Pass {
 			t.Errorf("check %d (%s) passed on a violating history: %s", i, c.Name, c.Detail)

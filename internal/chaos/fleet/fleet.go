@@ -25,7 +25,12 @@
 //     key — the surviving replica serves warm, no rebuilds;
 //   - elastic-membership: admin join/drain/leave advance the epoch
 //     monotonically and a drain re-homes the leaver's keys before
-//     removal.
+//     removal;
+//   - latency-slo: under deliberate overload the occupancy-adaptive
+//     governor shrinks then restores the per-batch worker budget,
+//     admission control sheds impatient requests up front (429, no
+//     queue slot) while every admitted request meets its budget, and
+//     the shed counter surfaces in the merged /metrics view.
 //
 // Everything stochastic draws from the script seed via internal/rng and
 // every sleep goes through chaos.Clock, so a run's invariant report is
@@ -76,6 +81,7 @@ func Run(ctx context.Context, seed uint64, opts Options) (*chaos.Report, error) 
 		{"replica-divergence", scenarioReplicaDivergence},
 		{"replica-failover", scenarioReplicaFailover},
 		{"membership-elastic", scenarioMembershipElastic},
+		{"overload-shed", scenarioOverloadShed},
 	} {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("chaos scenario %s: %w", sc.name, err)

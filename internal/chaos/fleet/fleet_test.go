@@ -34,8 +34,8 @@ func TestRunInvariantsHoldAndReplayIsByteIdentical(t *testing.T) {
 	if rep.Failed() {
 		t.Fatalf("invariants failed on the healthy stack:\n%s", text1)
 	}
-	if got := len(rep.Results); got != 9 {
-		t.Fatalf("checks = %d, want the 9 failure-domain invariants", got)
+	if got := len(rep.Results); got != 10 {
+		t.Fatalf("checks = %d, want the 10 failure-domain invariants", got)
 	}
 	_, text2 := render(t, 7, Options{})
 	if text1 != text2 {

@@ -8,7 +8,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"quq/internal/chaos"
@@ -391,7 +394,7 @@ func scenarioBoundedDrain(ctx context.Context, seed uint64, opts Options, rep *c
 				panic("chaos: injected worker crash")
 			}
 		},
-	}, nil)
+	}, nil, nil)
 
 	imgs := data.Images(vit.ViTNano, 8, seed+1)
 	admitted := 0
@@ -664,5 +667,222 @@ func scenarioMembershipElastic(ctx context.Context, seed uint64, opts Options, r
 		}
 	}
 	rep.CheckElasticMembership(epochs, moved, lost)
+	return nil
+}
+
+// budgetPost is rawPost with an X-Quq-Latency-Budget header attached —
+// the overload scenario's lenient backdrop client and its impatient
+// probes differ only in this header.
+func budgetPost(ctx context.Context, url, budget string, body any) (int, http.Header, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if budget != "" {
+		req.Header.Set(serve.LatencyBudgetHeader, budget)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, resp.Header, nil
+}
+
+// scenarioOverloadShed drives the occupancy-adaptive scheduler through
+// its whole operating range on a fake clock and checks the latency-SLO
+// invariant:
+//
+//   - sparse singles keep the governor at the wide point (MaxIntraOp
+//     workers, immediate dispatch) and finish inside the default budget;
+//   - one full batch shrinks the worker budget to MinIntraOp instantly;
+//   - with the queue backed up behind a gated worker, an impatient probe
+//     is shed with 429 before taking a queue slot, while the lenient
+//     backdrop (explicit wide budget) is admitted and completes;
+//   - after the occupancy window ages out, the governor returns to the
+//     wide point and the shed counter shows up in the front-end's merged
+//     /metrics view.
+//
+// Every figure in the report — request counts, worker allocations, shed
+// tallies, queue depths — is script-determined: the injected clock makes
+// service times exact, so two replays render byte-identical verdicts.
+func scenarioOverloadShed(ctx context.Context, seed uint64, opts Options, rep *chaos.Report) error {
+	clk := chaos.NewFake()
+	gate := make(chan struct{})
+	var block atomic.Bool
+	cfg := baseConfig(seed)
+	cfg.Batcher = serve.BatcherOptions{
+		MaxBatch: 4, QueueCap: 64, Workers: 2,
+		LatencyBudget: 20 * time.Millisecond,
+		ForwardHook: func(string) {
+			if block.Load() {
+				<-gate
+			}
+			// The fake clock advances instantly and only fails on a
+			// cancelled scenario context, at which point the forward's
+			// outcome is moot.
+			//quq:errdrop-ok fake-clock sleep cannot fail except on scenario teardown
+			_ = clk.Sleep(ctx, 5*time.Millisecond)
+		},
+	}
+	cfg.Governor = serve.GovernorOptions{
+		Window: 500 * time.Millisecond, MinIntraOp: 1, MaxIntraOp: 4, Clock: clk,
+	}
+	f, err := boot(ctx, 1, 1, cfg, &chaos.Script{Name: "overload-shed", Seed: seed}, opts)
+	if err != nil {
+		return err
+	}
+	defer f.close()
+	backend := f.backends[0]
+	sel := selection{Model: "ViT-Nano", Method: "QUQ", Bits: 6}
+	imgs := data.Images(vit.ViTNano, 12, seed)
+	flat := make([][]float64, len(imgs))
+	for i, img := range imgs {
+		flat[i] = img.Data()
+	}
+	multi := func(n int) map[string]any {
+		return map[string]any{
+			"model": sel.Model, "method": sel.Method, "bits": sel.Bits,
+			"images": flat[:n],
+		}
+	}
+
+	// Warm the key so classify latency is pure serving, not calibration.
+	if r, err := post(ctx, f.base+"/v1/quantize", sel); err != nil || r.status != http.StatusOK {
+		return fmt.Errorf("warm quantize: status %v: %w", r.status, err)
+	}
+
+	admitted, withinBudget := 0, 0
+	var workerPath []int
+	// timed runs one admitted request and scores it against its budget
+	// using the fake clock — service time is exactly the injected sleeps.
+	timed := func(budget time.Duration, send func() error) error {
+		start := clk.Now()
+		if err := send(); err != nil {
+			return err
+		}
+		admitted++
+		if clk.Now().Sub(start) <= budget {
+			withinBudget++
+		}
+		return nil
+	}
+
+	// Phase 1 — sparse singles: occupancy 1/4 sits at the low threshold,
+	// so the governor holds the wide point it boots with.
+	for i := 0; i < 2; i++ {
+		if err := timed(cfg.Batcher.LatencyBudget, func() error {
+			r, err := post(ctx, f.base+"/v1/classify", classifyBody(sel, flat[0]))
+			if err != nil || r.status != http.StatusOK {
+				return fmt.Errorf("sparse classify %d: status %d: %w", i, r.status, err)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	workerPath = append(workerPath, int(backend.srv.Metrics().IntraopWorkers.Value()))
+
+	// Phase 2 — one full batch: instantaneous occupancy 1.0 shrinks the
+	// per-batch worker budget to the floor.
+	if err := timed(cfg.Batcher.LatencyBudget, func() error {
+		status, _, err := budgetPost(ctx, f.base+"/v1/classify", "", multi(4))
+		if err != nil || status != http.StatusOK {
+			return fmt.Errorf("full batch: status %d: %w", status, err)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	workerPath = append(workerPath, int(backend.srv.Metrics().IntraopWorkers.Value()))
+
+	// Phase 3 — overload: jam the workers and queue a 12-image backdrop
+	// from a lenient client (wide explicit budget) straight at the
+	// backend, then probe it with the default budget. The probe's
+	// estimated wait (5ms × 12 queued / 2 workers = 30ms) beats its 20ms
+	// budget, so admission control sheds it up front. Both go direct —
+	// 429 pass-through via the front is the backpressure scenario's
+	// claim; this one pins the backend's own shed behaviour, so a
+	// deliberately broken front transport cannot perturb its counts.
+	block.Store(true)
+	backdropErr := make(chan error, 1)
+	go func() {
+		backdropErr <- timed(time.Second, func() error {
+			status, _, err := budgetPost(ctx, "http://"+backend.host+"/v1/classify", "1s", multi(12))
+			if err != nil || status != http.StatusOK {
+				return fmt.Errorf("backdrop: status %d: %w", status, err)
+			}
+			return nil
+		})
+	}()
+	for backend.srv.Metrics().QueueDepth.Value() != 12 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		runtime.Gosched()
+	}
+
+	status, hdr, err := budgetPost(ctx, "http://"+backend.host+"/v1/classify", "", classifyBody(sel, flat[0]))
+	if err != nil {
+		return fmt.Errorf("shed probe: %w", err)
+	}
+	shed := 0
+	if status == http.StatusTooManyRequests && hdr.Get("Retry-After") != "" {
+		shed = int(backend.srv.Metrics().Shed.Value())
+	}
+	shedQueueSlots := int(backend.srv.Metrics().QueueDepth.Value()) - 12
+
+	block.Store(false)
+	close(gate)
+	if err := <-backdropErr; err != nil {
+		return err
+	}
+
+	// Phase 4 — recovery: age the occupancy window out entirely; the
+	// next sparse single dispatches immediately at the wide point again.
+	if err := clk.Sleep(ctx, 600*time.Millisecond); err != nil {
+		return err
+	}
+	if err := timed(cfg.Batcher.LatencyBudget, func() error {
+		r, err := post(ctx, f.base+"/v1/classify", classifyBody(sel, flat[0]))
+		if err != nil || r.status != http.StatusOK {
+			return fmt.Errorf("recovery classify: status %d: %w", r.status, err)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	workerPath = append(workerPath, int(backend.srv.Metrics().IntraopWorkers.Value()))
+
+	// The shed counter must surface through the front-end's merged view.
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.base+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("merged metrics: %w", err)
+	}
+	page, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	merged := strings.Contains(string(page), fmt.Sprintf("quq_serve_shed_total %d", shed))
+
+	rep.CheckLatencySLO(admitted, withinBudget, shed, shedQueueSlots, workerPath, merged)
 	return nil
 }

@@ -200,6 +200,32 @@ func (r *Report) CheckZeroLostKeys(reads, readsOK, newBuilds int) {
 		"reads=%d reads-ok=%d new-builds=%d", reads, readsOK, newBuilds)
 }
 
+// CheckLatencySLO asserts the occupancy-adaptive scheduling contract
+// over an overload script: every admitted request finished inside its
+// latency budget (admission control refused the rest up front — a shed
+// count of zero under deliberate overload means shedding never fired),
+// shed requests consumed no queue capacity, and the governor both
+// lowered the per-batch worker budget under load and raised it back at
+// low occupancy (workerPath is the script-observed allocation sequence).
+// merged asserts the shed counter surfaced through the fleet's merged
+// /metrics view.
+func (r *Report) CheckLatencySLO(admitted, withinBudget, shed, shedQueueSlots int, workerPath []int, merged bool) {
+	lowered, raised := false, false
+	for i := 1; i < len(workerPath); i++ {
+		if workerPath[i] < workerPath[i-1] {
+			lowered = true
+		}
+		if workerPath[i] > workerPath[i-1] {
+			raised = true
+		}
+	}
+	pass := admitted == withinBudget && shed > 0 && shedQueueSlots == 0 &&
+		lowered && raised && merged
+	r.Add("latency-slo", pass,
+		"admitted=%d within-budget=%d shed=%d shed-queue-slots=%d workers=%v lowered=%v raised=%v merged-metrics=%v",
+		admitted, withinBudget, shed, shedQueueSlots, workerPath, lowered, raised, merged)
+}
+
 // CheckElasticMembership asserts the membership subsystem's contract
 // over a join/drain/leave sequence: the epoch advanced strictly
 // monotonically (every effective mutation visible, none reordered), the

@@ -16,6 +16,11 @@ import (
 var (
 	ErrQueueFull = errors.New("serve: request queue full")
 	ErrDraining  = errors.New("serve: server is draining")
+	// ErrOverBudget is deadline-aware load shedding: admission control
+	// estimated the request would wait longer than its latency budget
+	// before even starting, so it is refused up front (429) instead of
+	// sitting in the queue only to miss its deadline anyway.
+	ErrOverBudget = errors.New("serve: estimated queue wait exceeds the latency budget; request shed")
 )
 
 // BatcherOptions tunes the micro-batching scheduler.
@@ -37,6 +42,11 @@ type BatcherOptions struct {
 	// that stalls simulates a slow worker, a hook that panics exercises
 	// the panic-to-error conversion. Not for production use.
 	ForwardHook func(key string)
+	// LatencyBudget is the default per-request latency budget behind
+	// admission control: a submit whose estimated queue wait already
+	// exceeds it is shed with ErrOverBudget before taking a queue slot.
+	// Zero disables shedding; SubmitBudget overrides it per request.
+	LatencyBudget time.Duration
 }
 
 func (o *BatcherOptions) defaults() {
@@ -85,6 +95,7 @@ type pending struct {
 type Batcher struct {
 	opts   BatcherOptions
 	met    *Metrics
+	gov    *Governor
 	tokens chan struct{} // worker-pool semaphore
 
 	mu       sync.Mutex
@@ -94,12 +105,19 @@ type Batcher struct {
 	wg       sync.WaitGroup
 }
 
-// NewBatcher builds a scheduler. met may be nil.
-func NewBatcher(opts BatcherOptions, met *Metrics) *Batcher {
+// NewBatcher builds a scheduler. gov is the occupancy-adaptive governor
+// steering the batching/parallelism split (nil builds a disabled one:
+// static linger, MinIntraOp workers). met may be nil.
+func NewBatcher(opts BatcherOptions, gov *Governor, met *Metrics) *Batcher {
 	opts.defaults()
+	if gov == nil {
+		gov = NewGovernor(GovernorOptions{}, met)
+	}
+	gov.bind(opts.MaxBatch, opts.Workers)
 	return &Batcher{
 		opts:   opts,
 		met:    met,
+		gov:    gov,
 		tokens: make(chan struct{}, opts.Workers),
 		pend:   make(map[string]*pending),
 	}
@@ -118,6 +136,18 @@ func NewBatcher(opts BatcherOptions, met *Metrics) *Batcher {
 // abandoned client must not hold admission capacity until dispatch.
 // Items already dispatched complete normally in the background.
 func (b *Batcher) Submit(ctx context.Context, key string, qm *ptq.QuantizedModel, images []*tensor.Tensor) ([]*Item, error) {
+	return b.SubmitBudget(ctx, key, qm, images, 0)
+}
+
+// SubmitBudget is Submit with an explicit per-request latency budget:
+// if admission control estimates the request would wait longer than
+// budget before the worker pool even starts it, it is shed with
+// ErrOverBudget — before taking a queue slot, not after missing its
+// deadline inside one. budget <= 0 falls back to the configured
+// BatcherOptions.LatencyBudget; zero for both disables shedding. A
+// submitter context deadline tighter than the budget tightens it
+// further.
+func (b *Batcher) SubmitBudget(ctx context.Context, key string, qm *ptq.QuantizedModel, images []*tensor.Tensor, budget time.Duration) ([]*Item, error) {
 	if ctx == nil {
 		// Mirroring http.NewRequestWithContext: a nil context is a
 		// programming error at the call site, not a runtime condition to
@@ -132,10 +162,25 @@ func (b *Batcher) Submit(ctx context.Context, key string, qm *ptq.QuantizedModel
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if budget <= 0 {
+		budget = b.opts.LatencyBudget
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(dl); budget <= 0 || remaining < budget {
+			budget = remaining
+		}
+	}
 	b.mu.Lock()
 	if b.draining {
 		b.mu.Unlock()
 		return nil, ErrDraining
+	}
+	if budget > 0 && b.gov.EstimatedWait(b.queued) > budget {
+		b.mu.Unlock()
+		if b.met != nil {
+			b.met.Shed.Inc()
+		}
+		return nil, ErrOverBudget
 	}
 	if b.queued+len(images) > b.opts.QueueCap {
 		b.mu.Unlock()
@@ -170,6 +215,16 @@ func (b *Batcher) Submit(ctx context.Context, key string, qm *ptq.QuantizedModel
 		it.p = p
 		p.items = append(p.items, it)
 		if len(p.items) >= b.opts.MaxBatch || b.opts.Linger == 0 {
+			b.flushLocked(p)
+		}
+	}
+	if b.gov.ImmediateDispatch() {
+		// Low-occupancy regime: flush at the end of the submit call, after
+		// every image of this request has been appended — within-request
+		// batching is preserved, only the cross-request linger wait is
+		// skipped. A size-triggered flush above leaves b.pend[key] nil, so
+		// this is naturally a no-op then.
+		if p := b.pend[key]; p != nil && len(p.items) > 0 {
 			b.flushLocked(p)
 		}
 	}
@@ -214,7 +269,9 @@ func (b *Batcher) flushIf(key string, p *pending) {
 	b.mu.Unlock()
 }
 
-// flushLocked detaches p and dispatches it. Caller holds b.mu.
+// flushLocked detaches p and dispatches it. Caller holds b.mu. The
+// queue depth at dispatch rides along so the governor observes the
+// backlog that existed when the batch left the queue.
 func (b *Batcher) flushLocked(p *pending) {
 	delete(b.pend, p.key)
 	p.dispatched = true
@@ -222,7 +279,7 @@ func (b *Batcher) flushLocked(p *pending) {
 		return
 	}
 	b.wg.Add(1)
-	go b.run(p)
+	go b.run(p, b.queued)
 }
 
 // run executes one batch on the worker pool: each image's forward pass
@@ -231,11 +288,26 @@ func (b *Batcher) flushLocked(p *pending) {
 // converted to a per-item error instead of killing the server. An item
 // whose submitter already gave up is finished with its context error
 // without paying for the forward pass.
-func (b *Batcher) run(p *pending) {
+//
+// Ordering matters for determinism: the governor observes the dispatch
+// (NoteBatch) before any forward runs, and the service time
+// (NoteService) before any submitter is woken — so a caller whose Await
+// has returned is guaranteed to see governor state that already reflects
+// its own batch, which is what lets the chaos harness replay occupancy
+// traces byte-identically.
+func (b *Batcher) run(p *pending, depth int) {
 	defer b.wg.Done()
+	b.gov.NoteBatch(len(p.items), depth)
 	if b.met != nil {
 		b.met.BatchSize.Observe(float64(len(p.items)))
 	}
+	if extra := b.gov.BatchWorkers() - 1; extra > 0 {
+		// This batch's share of the core budget: contribute extra intra-op
+		// workers to the tensor pool for the duration of its forwards.
+		g := tensor.GrantWorkers(extra)
+		defer g.Release()
+	}
+	start := b.gov.clock().Now()
 	var iwg sync.WaitGroup
 	for _, it := range p.items {
 		b.tokens <- struct{}{}
@@ -248,7 +320,6 @@ func (b *Batcher) run(p *pending) {
 						b.met.Panics.Inc()
 					}
 				}
-				b.finish(it)
 				<-b.tokens
 				iwg.Done()
 			}()
@@ -268,6 +339,10 @@ func (b *Batcher) run(p *pending) {
 		}(it)
 	}
 	iwg.Wait()
+	b.gov.NoteService(len(p.items), b.gov.clock().Now().Sub(start))
+	for _, it := range p.items {
+		b.finish(it)
+	}
 }
 
 // finish releases an item's queue slot and wakes its submitter.

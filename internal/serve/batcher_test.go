@@ -29,7 +29,7 @@ func batchModel(t *testing.T) (*ptq.QuantizedModel, []*tensor.Tensor) {
 func TestBatcherCoalesces(t *testing.T) {
 	qm, imgs := batchModel(t)
 	met := NewMetrics()
-	b := NewBatcher(BatcherOptions{MaxBatch: 8, Linger: 20 * time.Millisecond, QueueCap: 64}, met)
+	b := NewBatcher(BatcherOptions{MaxBatch: 8, Linger: 20 * time.Millisecond, QueueCap: 64}, nil, met)
 
 	var items []*Item
 	for _, img := range imgs[:4] {
@@ -73,7 +73,7 @@ func TestBatcherMaxBatchFlush(t *testing.T) {
 	qm, imgs := batchModel(t)
 	met := NewMetrics()
 	// Hour-long linger: only the size trigger can flush.
-	b := NewBatcher(BatcherOptions{MaxBatch: 2, Linger: time.Hour, QueueCap: 64}, met)
+	b := NewBatcher(BatcherOptions{MaxBatch: 2, Linger: time.Hour, QueueCap: 64}, nil, met)
 	items, err := b.Submit(context.Background(), "k", qm, imgs[:4])
 	if err != nil {
 		t.Fatal(err)
@@ -94,7 +94,7 @@ func TestBatcherMaxBatchFlush(t *testing.T) {
 func TestBatcherBackpressureAndDrain(t *testing.T) {
 	qm, imgs := batchModel(t)
 	met := NewMetrics()
-	b := NewBatcher(BatcherOptions{MaxBatch: 64, Linger: time.Hour, QueueCap: 3}, met)
+	b := NewBatcher(BatcherOptions{MaxBatch: 64, Linger: time.Hour, QueueCap: 3}, nil, met)
 
 	items, err := b.Submit(context.Background(), "k", qm, imgs[:3])
 	if err != nil {
@@ -129,7 +129,7 @@ func TestBatcherBackpressureAndDrain(t *testing.T) {
 // finish in the background.
 func TestAwaitTimeout(t *testing.T) {
 	qm, imgs := batchModel(t)
-	b := NewBatcher(BatcherOptions{MaxBatch: 64, Linger: time.Hour, QueueCap: 8}, nil)
+	b := NewBatcher(BatcherOptions{MaxBatch: 64, Linger: time.Hour, QueueCap: 8}, nil, nil)
 	items, err := b.Submit(context.Background(), "k", qm, imgs[:1])
 	if err != nil {
 		t.Fatal(err)
@@ -156,7 +156,7 @@ func TestBatcherCancelledSubmitterFreesSlot(t *testing.T) {
 	met := NewMetrics()
 	// Hour-long linger and a roomy MaxBatch: nothing dispatches on its
 	// own, so the only way the slots come back is the abandonment path.
-	b := NewBatcher(BatcherOptions{MaxBatch: 64, Linger: time.Hour, QueueCap: 2}, met)
+	b := NewBatcher(BatcherOptions{MaxBatch: 64, Linger: time.Hour, QueueCap: 2}, nil, met)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	items, err := b.Submit(ctx, "k", qm, imgs[:2])
@@ -215,7 +215,7 @@ func TestBatcherCancelledBeforeDispatchSkipsForward(t *testing.T) {
 	b := NewBatcher(BatcherOptions{
 		MaxBatch: 64, Linger: time.Hour, QueueCap: 8, Workers: 1,
 		ForwardHook: func(string) { <-gate; forwards++ },
-	}, met)
+	}, nil, met)
 
 	// The single worker slot serializes the batch: at most the first
 	// item can enter the hook before cancellation; the ones behind it
@@ -260,7 +260,7 @@ func TestBatcherForwardHookPanicConverted(t *testing.T) {
 				panic("chaos: injected worker crash")
 			}
 		},
-	}, met)
+	}, nil, met)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 

@@ -288,6 +288,12 @@ func SizeBuckets() []float64 {
 	return []float64{1, 2, 4, 8, 16, 32, 64, 128}
 }
 
+// FractionBuckets is an eighths layout for ratios in (0, 1], such as
+// batch occupancy (images / max-batch).
+func FractionBuckets() []float64 {
+	return []float64{0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1}
+}
+
 type renderable interface {
 	write(w io.Writer) error
 }

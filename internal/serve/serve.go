@@ -15,6 +15,13 @@
 //     in a bounded queue, are coalesced per model key under a
 //     max-batch / max-linger deadline, and execute on a GOMAXPROCS-sized
 //     worker pool;
+//   - Governor (governor.go): the occupancy-adaptive scheduler — it
+//     watches batch occupancy and queue depth over a sliding window
+//     (via an injectable chaos.Clock), trades the linger and per-batch
+//     intra-op worker grants against batching width, and estimates
+//     queue waits for deadline-aware admission control (requests whose
+//     estimated wait exceeds their latency budget shed with 429 before
+//     taking a queue slot);
 //   - Server (server.go): the HTTP surface (POST /v1/classify,
 //     POST /v1/quantize, GET /models, /healthz, /metrics) with panic
 //     recovery, request size limits, per-request timeouts, queue
@@ -45,6 +52,11 @@ type Metrics struct {
 	QueueDepth *metrics.Gauge     // items admitted and not yet finished
 	Abandoned  *metrics.Counter   // queued items released after their submitter gave up
 
+	// Occupancy-adaptive scheduling (governor.go).
+	IntraopWorkers *metrics.Gauge     // per-batch intra-op worker allocation the governor chose
+	Occupancy      *metrics.Histogram // batch occupancy (images / max-batch) per dispatched batch
+	Shed           *metrics.Counter   // requests shed by latency-budget admission control (429)
+
 	// Model registry.
 	CacheHits    *metrics.Counter   // registry lookups that found an entry
 	CacheMisses  *metrics.Counter   // lookups that triggered a calibration
@@ -67,6 +79,10 @@ func NewMetrics() *Metrics {
 		BatchSize:  r.NewHistogram("quq_serve_batch_size", "images per dispatched micro-batch", metrics.SizeBuckets()),
 		QueueDepth: r.NewGauge("quq_serve_queue_depth", "images admitted and not yet finished"),
 		Abandoned:  r.NewCounter("quq_serve_abandoned_total", "queued items released after their submitter's context expired"),
+
+		IntraopWorkers: r.NewGauge("quq_serve_intraop_workers", "per-batch intra-op worker allocation chosen by the governor"),
+		Occupancy:      r.NewHistogram("quq_serve_occupancy", "batch occupancy (images / max-batch) per dispatched micro-batch", metrics.FractionBuckets()),
+		Shed:           r.NewCounter("quq_serve_shed_total", "requests shed by latency-budget admission control (429)"),
 
 		CacheHits:    r.NewCounter("quq_serve_model_cache_hits_total", "registry lookups served from cache"),
 		CacheMisses:  r.NewCounter("quq_serve_model_cache_misses_total", "registry lookups that calibrated a model"),

@@ -22,10 +22,25 @@ import (
 // wrong or missing header costs observability, not correctness.
 const ReplicaHeader = "X-Quq-Replica"
 
+// LatencyBudgetHeader names the request header a client sets to attach
+// a per-request latency budget to a classify call (a Go duration such
+// as "50ms"). Admission control sheds the request with 429 when its
+// estimated queue wait already exceeds the budget; it overrides the
+// server-wide -latency-budget default for that request only.
+const LatencyBudgetHeader = "X-Quq-Latency-Budget"
+
 // Config assembles the server from its tunables.
 type Config struct {
+	// Registry tunes the model registry: which configs are servable, the
+	// calibration sample budget, and the cache capacity.
 	Registry RegistryOptions
-	Batcher  BatcherOptions
+	// Batcher tunes the micro-batching scheduler: batch geometry, linger,
+	// queue capacity, worker pool, and the default latency budget.
+	Batcher BatcherOptions
+	// Governor tunes the occupancy-adaptive scheduler that re-splits the
+	// core budget between batching and intra-op parallelism. The zero
+	// value disables adaptation (static split).
+	Governor GovernorOptions
 	// RequestTimeout bounds one request end-to-end, including a
 	// first-request calibration (default 60s).
 	RequestTimeout time.Duration
@@ -61,11 +76,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.defaults()
 	met := NewMetrics()
+	gov := NewGovernor(cfg.Governor, met)
 	s := &Server{
 		cfg: cfg,
 		met: met,
 		reg: NewRegistry(cfg.Registry, met),
-		bat: NewBatcher(cfg.Batcher, met),
+		bat: NewBatcher(cfg.Batcher, gov, met),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", s.handleClassify)
@@ -194,7 +210,12 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reg.NoteReplica(key, replicaFrom(r))
-	items, err := s.bat.Submit(r.Context(), key.String(), qm, images)
+	budget, err := latencyBudgetFrom(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	items, err := s.bat.SubmitBudget(r.Context(), key.String(), qm, images, budget)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -244,6 +265,24 @@ func (s *Server) handleQuantize(w http.ResponseWriter, r *http.Request) {
 		Cached:  cached,
 		BuildMS: float64(time.Since(start)) / float64(time.Millisecond),
 	})
+}
+
+// latencyBudgetFrom reads the per-request latency budget header; zero
+// (defer to the server-wide default) when absent. A malformed duration
+// is a client mistake and reported as one, not silently ignored —
+// otherwise a typo would quietly disable the shedding the client asked
+// for.
+func latencyBudgetFrom(r *http.Request) (time.Duration, error) {
+	v := r.Header.Get(LatencyBudgetHeader)
+	if v == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("%w: invalid %s %q (want a positive Go duration such as 50ms)",
+			ErrBadRequest, LatencyBudgetHeader, v)
+	}
+	return d, nil
 }
 
 // replicaFrom reads the replica slot off a request; -1 when the header
@@ -315,14 +354,15 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // writeError maps an error onto the HTTP status taxonomy: client
-// mistakes to 400, backpressure to 429 (with Retry-After), draining to
-// 503, timeouts to 504, everything else to 500.
+// mistakes to 400, backpressure and latency-budget shedding to 429
+// (with Retry-After), draining to 503, timeouts to 504, everything
+// else to 500.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrBadRequest):
 		code = http.StatusBadRequest
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverBudget):
 		code = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, ErrDraining):

@@ -79,6 +79,45 @@ func IntraOpWorkers() int {
 	return 1
 }
 
+// WorkerGrant is a per-call contribution of extra intra-op workers: the
+// tokens it adds live in the shared pool for the grant's lifetime, so a
+// caller that knows it is the only hot batch (the occupancy-adaptive
+// scheduler at low load) can let its GEMMs borrow helpers without
+// touching the process-global SetIntraOpWorkers budget. Release is
+// idempotent and must be called when the batch completes; outstanding
+// borrows are accounted for (the pool balance may swing negative until
+// borrowed workers return, which only pauses new borrows).
+type WorkerGrant struct {
+	n        int32
+	released atomic.Bool
+}
+
+// GrantWorkers adds n extra workers to the intra-op pool for the
+// lifetime of the returned grant. n <= 0 returns an empty grant.
+// Bit-identity is unaffected: worker counts never change results, only
+// timing (see SetIntraOpWorkers).
+func GrantWorkers(n int) *WorkerGrant {
+	g := &WorkerGrant{}
+	if n > 0 {
+		g.n = int32(n)
+		intraOpExtra.Add(g.n)
+	}
+	return g
+}
+
+// Release returns the grant's workers to nowhere — it withdraws the
+// extra capacity. Safe to call more than once; only the first call
+// takes effect.
+func (g *WorkerGrant) Release() {
+	if g == nil || g.n == 0 {
+		return
+	}
+	if !g.released.CompareAndSwap(false, true) {
+		return
+	}
+	intraOpExtra.Add(-g.n)
+}
+
 // acquireExtra takes up to max extra workers from the pool.
 func acquireExtra(max int) int {
 	for {

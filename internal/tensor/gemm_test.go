@@ -166,6 +166,34 @@ func TestParallelConcurrentCallers(t *testing.T) {
 	releaseExtra(2)
 }
 
+// TestWorkerGrant exercises the per-call budget seam the serve-layer
+// governor uses: a grant adds extra workers to the pool, a parallel GEMM
+// under the grant stays bit-identical to the serial reference, and
+// Release (idempotently) withdraws exactly the granted capacity.
+func TestWorkerGrant(t *testing.T) {
+	if got := acquireExtra(1); got != 0 {
+		t.Fatalf("pool not empty before grant: acquired %d", got)
+	}
+	g := GrantWorkers(3)
+	src := rng.New(18)
+	a := randTensor(src, 64, 128)
+	b := randTensor(src, 128, 80)
+	assertBitEqual(t, "granted MatMul", MatMul(a, b), MatMulRef(a, b))
+	// The grant's tokens are all back in the pool after the call.
+	if got := acquireExtra(4); got != 3 {
+		t.Fatalf("acquired %d extra workers under a 3-worker grant, want 3", got)
+	}
+	releaseExtra(3)
+	g.Release()
+	g.Release() // idempotent
+	if got := acquireExtra(1); got != 0 {
+		t.Fatalf("pool not empty after release: acquired %d", got)
+	}
+	GrantWorkers(0).Release() // empty grant is a no-op
+	var nilGrant *WorkerGrant
+	nilGrant.Release() // nil-safe
+}
+
 func TestAddInto(t *testing.T) {
 	src := rng.New(17)
 	a := randTensor(src, 5, 7)
