@@ -1,0 +1,303 @@
+// Integer kernel-layer benchmarks: the resident-operand QUB GEMM against
+// the pre-integer-kernel-layer scalar path, plus the end-to-end int-path
+// forward against the float path. Results land in
+// artifacts/BENCH_int.json.
+//
+// The "before" side is measured in the same run as the "after" side: a
+// line-for-line replica of the pre-PR accel intGEMM (per-call decode of
+// both QUB operand streams into freshly allocated vx/vw, the retained
+// 4x4 scalar loops, fresh Acc/Out per call) lives below in test code, so
+// the speedup ratio is immune to machine-load drift between sessions —
+// the same structure bench_kernels_test.go uses for the float layer.
+package quq_test
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"quq/internal/accel"
+	"quq/internal/dist"
+	"quq/internal/ptq"
+	"quq/internal/quant"
+	"quq/internal/qub"
+	"quq/internal/rng"
+	"quq/internal/tensor"
+	"quq/internal/vit"
+)
+
+// intKernelShapes are the integer-GEMM benchmark shapes: the ViT-Nano
+// block GEMMs for context, and the proxy-config sizes the acceptance
+// gate holds to (Gate: the measured speedup over the scalar baseline
+// must be >= intGEMMSpeedupFloor there).
+var intKernelShapes = []struct {
+	Name    string
+	M, K, N int
+	Gate    bool
+}{
+	{"qkv", 17, 48, 144, false},
+	{"mlp_fc1", 17, 48, 192, false},
+	{"mlp_fc2", 17, 192, 48, false},
+	{"proxy_96x384x96", 96, 384, 96, true},
+	{"proxy_64x256x128", 64, 256, 128, true},
+}
+
+// intGEMMSpeedupFloor is the acceptance floor for the gated shapes.
+const intGEMMSpeedupFloor = 2.0
+
+// intBenchOperands is one calibrated, QUB-encoded [m,k]·[k,n] operand
+// pair plus the prepared resident weight and the requantization unit —
+// everything the steady-state serve path holds per layer.
+type intBenchOperands struct {
+	m, k, n int
+	x, w    []qub.Word
+	rx, rw  qub.Registers
+	prep    *accel.PreparedOperand
+	qu      *accel.QuantizeUnit
+}
+
+func buildIntOperands(tb testing.TB, bits, m, k, n int, seed uint64) *intBenchOperands {
+	tb.Helper()
+	px := quant.PRA(dist.Sample(dist.PostGELU, 4096, rng.New(seed)), bits, quant.DefaultPRAOptions())
+	pw := quant.PRA(dist.Sample(dist.QueryWeight, 4096, rng.New(seed+1)), bits, quant.DefaultPRAOptions())
+	ql, err := accel.NewQuantizedLinear(px, pw)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	qu, err := accel.NewQuantizeUnit(pw, ql.AccUnit())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ops := &intBenchOperands{
+		m: m, k: k, n: n,
+		x:  qub.EncodeTensor(px, dist.Sample(dist.PostGELU, m*k, rng.New(seed+2))),
+		w:  qub.EncodeTensor(pw, dist.Sample(dist.QueryWeight, k*n, rng.New(seed+3))),
+		rx: ql.XRegs, rw: ql.WRegs,
+		qu: qu,
+	}
+	ops.prep, err = accel.PrepareWords(ops.w, ops.rw, k, n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ops
+}
+
+// refDecodeWords replays the pre-PR per-call operand decode: one
+// qub.Decode plus the Eq. (5) subrange shift per element, into a fresh
+// slice.
+func refDecodeWords(ws []qub.Word, r qub.Registers) []int64 {
+	dst := make([]int64, len(ws))
+	for i, w := range ws {
+		d := qub.Decode(w, r)
+		dst[i] = int64(d.D) << d.Nsh
+	}
+	return dst
+}
+
+// refIntGEMM is a line-for-line replica of the pre-kernel-layer accel
+// intGEMM: decode both QUB streams into freshly allocated int64 slices,
+// run the retained scalar loops, allocate Acc/Out, scan the accumulator
+// width and requantize. It is the timing baseline and the bit-identity
+// oracle for the optimized path.
+func refIntGEMM(ops *intBenchOperands) ([]qub.Word, []int64) {
+	vx := refDecodeWords(ops.x, ops.rx)
+	vw := refDecodeWords(ops.w, ops.rw)
+	acc := make([]int64, ops.m*ops.n)
+	accel.ScalarIntGEMM(acc, vx, vw, ops.m, ops.k, ops.n)
+	out := make([]qub.Word, ops.m*ops.n)
+	for i, a := range acc {
+		out[i] = qub.Encode(ops.qu.Params, ops.qu.Requantize(a))
+	}
+	return out, acc
+}
+
+// measurePairedNs times two closures interleaved — each round runs a
+// burst of both, order alternating — so slow machine-load drift cancels
+// out of the ratio (see measureForwardPaired).
+func measurePairedNs(rounds, opsPerRound int, ref, opt func()) (refNs, optNs float64) {
+	ref()
+	opt()
+	var tRef, tOpt time.Duration
+	for r := 0; r < rounds; r++ {
+		runRef := func() {
+			t0 := time.Now()
+			for i := 0; i < opsPerRound; i++ {
+				ref()
+			}
+			tRef += time.Since(t0)
+		}
+		runOpt := func() {
+			t0 := time.Now()
+			for i := 0; i < opsPerRound; i++ {
+				opt()
+			}
+			tOpt += time.Since(t0)
+		}
+		if r%2 == 0 {
+			runRef()
+			runOpt()
+		} else {
+			runOpt()
+			runRef()
+		}
+	}
+	n := float64(rounds * opsPerRound)
+	return float64(tRef.Nanoseconds()) / n, float64(tOpt.Nanoseconds()) / n
+}
+
+// requantGrid16 snaps a logit onto the 2^-16 grid, normalizing signed
+// zero. The integer path computes the exact integer sum then scales
+// once; the float path rounds per accumulation step; on this grid both
+// must agree exactly (the cross-backend contract the chaos gate also
+// holds replicas to).
+func requantGrid16(v float64) float64 {
+	q := math.RoundToEven(math.Ldexp(v, 16))
+	if q == 0 {
+		return 0
+	}
+	return math.Ldexp(q, -16)
+}
+
+// BenchmarkIntKernels measures the resident-operand integer GEMM against
+// the pre-PR scalar intGEMM replica, verifies the requantized QUB
+// outputs are bit-identical, times the end-to-end int-path forward
+// against the float path on the same quantized model, and records
+// everything in artifacts/BENCH_int.json. The gated proxy shapes must
+// clear intGEMMSpeedupFloor or the benchmark fails.
+func BenchmarkIntKernels(b *testing.B) {
+	type shapeResult struct {
+		Shape            string  `json:"shape"`
+		M                int     `json:"m"`
+		K                int     `json:"k"`
+		N                int     `json:"n"`
+		ScalarNs         float64 `json:"scalar_ns_per_op"`
+		KernelNs         float64 `json:"kernel_ns_per_op"`
+		Speedup          float64 `json:"speedup"`
+		Gated            bool    `json:"gated"`
+		RequantIdentical bool    `json:"requantized_out_bit_identical"`
+	}
+	const bits = 6
+	arr := accel.DefaultArray(bits)
+	results := make([]shapeResult, len(intKernelShapes))
+	for si, s := range intKernelShapes {
+		ops := buildIntOperands(b, bits, s.M, s.K, s.N, uint64(100+10*si))
+		res := &results[si]
+		*res = shapeResult{Shape: s.Name, M: s.M, K: s.K, N: s.N, Gated: s.Gate}
+
+		// Bit-identity gate before any timing is worth recording: the
+		// kernel-layer resident-operand path must reproduce the scalar
+		// replica's requantized QUB words and raw accumulators exactly.
+		wantOut, wantAcc := refIntGEMM(ops)
+		got, err := arr.GEMMPrepared(ops.x, ops.rx, ops.prep, s.M, s.K, ops.qu)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.RequantIdentical = true
+		for i := range wantOut {
+			if got.Out[i] != wantOut[i] || got.Acc[i] != wantAcc[i] {
+				res.RequantIdentical = false
+				b.Errorf("%s elem %d: kernel out %#x acc %d, scalar reference %#x acc %d",
+					s.Name, i, got.Out[i], got.Acc[i], wantOut[i], wantAcc[i])
+				break
+			}
+		}
+
+		res.ScalarNs, res.KernelNs = measurePairedNs(8, 2,
+			func() { refIntGEMM(ops) },
+			func() {
+				if _, err := arr.GEMMPrepared(ops.x, ops.rx, ops.prep, s.M, s.K, ops.qu); err != nil {
+					b.Fatal(err)
+				}
+			})
+		if res.KernelNs > 0 {
+			res.Speedup = res.ScalarNs / res.KernelNs
+		}
+		b.Run("gemm/"+s.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := arr.GEMMPrepared(ops.x, ops.rx, ops.prep, s.M, s.K, ops.qu); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.ScalarNs, "scalar-ns/op")
+			b.ReportMetric(res.KernelNs, "kernel-ns/op")
+			b.ReportMetric(res.Speedup, "speedup")
+		})
+		if s.Gate && res.Speedup < intGEMMSpeedupFloor {
+			b.Errorf("%s: integer-GEMM speedup %.2fx below the %.1fx acceptance floor",
+				s.Name, res.Speedup, intGEMMSpeedupFloor)
+		}
+	}
+
+	// End-to-end: the int-path forward against the float path on the same
+	// quantized ViT-Nano. The logits must agree on the 2^-16 requantized
+	// grid with identical argmax; the timing ratio is recorded (the weight
+	// GEMMs are a fraction of the forward, so this ratio is informational,
+	// not gated).
+	qm, img := benchQuantizedModel(b)
+	eng, err := ptq.NewIntEngine(qm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	intOpts := vit.ForwardOpts{Engine: eng}
+	floatLogits := qm.Forward(img).Clone()
+	intLogits := qm.ForwardOpts(img, intOpts)
+	gridIdentical := intLogits.ArgMax() == floatLogits.ArgMax()
+	for i, v := range intLogits.Data() {
+		if math.Float64bits(requantGrid16(v)) != math.Float64bits(requantGrid16(floatLogits.Data()[i])) {
+			gridIdentical = false
+			b.Errorf("logit %d: int path %v, float path %v differ on the 2^-16 grid", i, v, floatLogits.Data()[i])
+		}
+	}
+	if !gridIdentical {
+		b.Error("int-path logits not identical to float path on the requantized grid")
+	}
+	floatNs, intNs := measurePairedNs(12, 3,
+		func() { qm.Forward(img) },
+		func() { qm.ForwardOpts(img, intOpts) })
+	b.Run("forward/paired", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			qm.Forward(img)
+		}
+		b.ReportMetric(floatNs, "float-ns/fwd")
+		b.ReportMetric(intNs, "int-ns/fwd")
+		b.ReportMetric(floatNs/intNs, "speedup")
+	})
+
+	artifact := struct {
+		Note               string        `json:"note"`
+		Workers            int           `json:"intra_op_workers"`
+		SpeedupFloor       float64       `json:"gated_speedup_floor"`
+		GEMM               []shapeResult `json:"gemm"`
+		ForwardFloatNs     float64       `json:"forward_float_ns_per_op"`
+		ForwardIntNs       float64       `json:"forward_int_ns_per_op"`
+		ForwardSpeedup     float64       `json:"forward_int_speedup"`
+		LogitsGridIdentity bool          `json:"logits_identical_on_requantized_grid"`
+	}{
+		Note: "scalar side replayed in the same run by a line-for-line replica of the pre-PR " +
+			"accel intGEMM (per-call QUB decode + scalar loops + fresh Acc/Out), so the " +
+			"speedup ratio is immune to machine-load drift; the forward ratio covers the " +
+			"whole pass, of which the weight GEMMs are only a fraction",
+		Workers:            tensor.IntraOpWorkers(),
+		SpeedupFloor:       intGEMMSpeedupFloor,
+		GEMM:               results,
+		ForwardFloatNs:     floatNs,
+		ForwardIntNs:       intNs,
+		ForwardSpeedup:     floatNs / intNs,
+		LogitsGridIdentity: gridIdentical,
+	}
+	buf, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.MkdirAll("artifacts", 0o755); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join("artifacts", "BENCH_int.json"), append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("int GEMM proxy speedups gated at %.1fx; forward float %.0f ns vs int %.0f ns (%.2fx), grid-identical=%v",
+		intGEMMSpeedupFloor, floatNs, intNs, floatNs/intNs, gridIdentical)
+}

@@ -38,6 +38,7 @@ go test -race ./...
 go test -fuzz=FuzzPRA -fuzztime=5s -run=^$ ./internal/quant/
 go test -fuzz=FuzzQUBRoundtrip -fuzztime=5s -run=^$ ./internal/qub/
 go test -fuzz=FuzzGEMMEquivalence -fuzztime=5s -run=^$ ./internal/tensor/
+go test -fuzz=FuzzIntGEMMEquivalence -fuzztime=5s -run=^$ ./internal/tensor/
 
 # Kernel-layer smoke: per-shape GEMM naive-vs-tiled plus the end-to-end
 # quantized forward against the in-run pre-kernel-layer replica;
@@ -46,6 +47,14 @@ go test -fuzz=FuzzGEMMEquivalence -fuzztime=5s -run=^$ ./internal/tensor/
 # (The allocation-regression gate is TestForwardAllocBudget, which runs
 # with the suite above.)
 go test -run '^$' -bench BenchmarkKernels -benchtime 20x .
+
+# Integer kernel-layer smoke: the resident-operand QUB GEMM against an
+# in-run replica of the pre-PR scalar intGEMM (per-call decode + fresh
+# buffers); regenerates artifacts/BENCH_int.json. The benchmark itself
+# fails unless the gated proxy shapes clear the 2x speedup floor and the
+# requantized QUB outputs (and the int-path logits, on the 2^-16 grid)
+# are bit-identical to the scalar/float references.
+go test -run '^$' -bench BenchmarkIntKernels -benchtime 20x .
 
 # quq-serve smoke: boot the inference service on an ephemeral port and
 # drive one quantize + classify round trip through the real HTTP stack.

@@ -53,6 +53,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 60*time.Second, "per-request timeout, including first-request calibration")
 		maxBody  = flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 		smoke    = flag.Bool("smoke", false, "start on an ephemeral port, run a quantize+classify round trip, exit")
+		intPath  = flag.Bool("int-path", false, "run QUQ-method weight GEMMs on resident integer operands (no float64 weight rehydration); requantized outputs are byte-identical to the float path")
 
 		latencyBudget  = flag.Duration("latency-budget", 0, "default per-request latency budget; estimated queue waits beyond it shed with 429 (0 disables; X-Quq-Latency-Budget overrides per request)")
 		governorWindow = flag.Duration("governor-window", 0, "occupancy window for the adaptive scheduler (0 disables adaptation: static linger and min-intraop workers)")
@@ -67,6 +68,7 @@ func main() {
 			Seed:        *seed,
 			CalibImages: *calib,
 			Checkpoint:  *ckpt,
+			IntPath:     *intPath,
 		},
 		Batcher: serve.BatcherOptions{
 			MaxBatch:      *maxBatch,

@@ -72,6 +72,7 @@ func main() {
 		timeout       = flag.Duration("timeout", 120*time.Second, "per-request timeout, including first-request calibration")
 		maxBody       = flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 		smoke         = flag.Bool("smoke", false, "spawn 3 in-process quq-serve shards and run the multi-key self-test")
+		intPath       = flag.Bool("int-path", false, "enable the integer weight path on the -smoke backends (QUQ-method models run weight GEMMs on resident integer operands)")
 		chaosMode     = flag.Bool("chaos", false, "replay the seeded fault-injection scripts against an in-process fleet and verify the failure-domain invariants")
 		chaosSeed     = flag.Uint64("chaos-seed", 7, "fault-schedule seed for -chaos")
 
@@ -100,7 +101,7 @@ func main() {
 	}
 
 	backendCfg := serve.Config{
-		Registry: serve.RegistryOptions{Seed: 2024, CalibImages: 2},
+		Registry: serve.RegistryOptions{Seed: 2024, CalibImages: 2, IntPath: *intPath},
 		Batcher:  serve.BatcherOptions{LatencyBudget: *latencyBudget},
 		Governor: serve.GovernorOptions{
 			Window:     *governorWindow,

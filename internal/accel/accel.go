@@ -211,32 +211,62 @@ type GEMMResult struct {
 	MaxAbsAcc int64
 }
 
-// GEMM multiplies QUB-encoded x [m,k] by w [k,n].
+// GEMM multiplies QUB-encoded x [m,k] by w [k,n]. Both operand streams
+// are decoded once into pooled arena scratch (each DU decodes a stream),
+// folding the Eq. (5) subrange shift into the decoded value: the
+// original per-MAC product (D_a·D_b) << (n_a+n_b) equals
+// (D_a<<n_a)·(D_b<<n_b) exactly — shifts distribute over products mod
+// 2^64 — so pre-shifting is bit-exact and removes the shift from the
+// inner loop, which runs on the tensor kernel layer's tiled/SIMD int64
+// GEMM. For a weight operand reused across calls, prepare it once with
+// PrepareWords and use GEMMPrepared instead.
+//
+//quq:hotpath per-inference integer GEMM; decode scratch is arena-pooled, only the escaping result is allocated
 func (c ArrayConfig) GEMM(x []qub.Word, rx qub.Registers, w []qub.Word, rw qub.Registers, m, k, n int, qu *QuantizeUnit) (*GEMMResult, error) {
 	if len(x) != m*k || len(w) != k*n {
 		return nil, fmt.Errorf("accel: GEMM operand sizes %d,%d do not match %dx%dx%d", len(x), len(w), m, k, n)
 	}
-	// Decode once per operand element (each DU decodes a stream), folding
-	// the Eq. (5) subrange shift into the decoded value. The original
-	// per-MAC product (D_a·D_b) << (n_a+n_b) equals (D_a<<n_a)·(D_b<<n_b)
-	// exactly — shifts distribute over products mod 2^64 — so pre-shifting
-	// is bit-exact and removes the shift from the inner loop.
-	vx := make([]int64, len(x))
-	for i, word := range x {
-		d := qub.Decode(word, rx)
-		vx[i] = int64(d.D) << d.Nsh
+	ar := tensor.GetArena()
+	defer ar.Release()
+	vw := ar.Int64(len(w))
+	decodeWords(vw, w, rw)
+	res, err := c.gemmDecoded(ar, x, rx, vw, m, k, n, qu)
+	ar.PutInt64(vw)
+	return res, err
+}
+
+// GEMMPrepared multiplies QUB-encoded x [m,k] by a resident prepared
+// operand w [k, w.Cols] — decoded once at prepare time and reused across
+// calls, so the steady state decodes only the activation stream.
+// Bit-identical to GEMM over the words w was prepared from.
+//
+//quq:hotpath per-inference integer GEMM; decode scratch is arena-pooled, only the escaping result is allocated
+func (c ArrayConfig) GEMMPrepared(x []qub.Word, rx qub.Registers, w *PreparedOperand, m, k int, qu *QuantizeUnit) (*GEMMResult, error) {
+	if len(x) != m*k || w.Rows != k || len(w.V) != w.Rows*w.Cols {
+		return nil, fmt.Errorf("accel: GEMMPrepared operand sizes %d,%dx%d do not match m=%d k=%d", len(x), w.Rows, w.Cols, m, k)
 	}
-	vw := make([]int64, len(w))
-	for i, word := range w {
-		d := qub.Decode(word, rw)
-		vw[i] = int64(d.D) << d.Nsh
-	}
+	ar := tensor.GetArena()
+	defer ar.Release()
+	return c.gemmDecoded(ar, x, rx, w.V, m, k, w.Cols, qu)
+}
+
+// gemmDecoded is the shared GEMM core: decode the activation stream into
+// arena scratch, multiply on the int64 kernel layer (which honors the
+// intra-op worker budget — SetIntraOpWorkers/GrantWorkers — like the
+// float kernels), then scan for the accumulator-width statistic and
+// requantize.
+//
+//quq:hotpath per-inference integer GEMM core; decode scratch is arena-pooled, only the escaping result is allocated
+func (c ArrayConfig) gemmDecoded(ar *tensor.Arena, x []qub.Word, rx qub.Registers, vw []int64, m, k, n int, qu *QuantizeUnit) (*GEMMResult, error) {
+	vx := ar.Int64(len(x))
+	decodeWords(vx, x, rx)
 	res := &GEMMResult{
-		Out:   make([]qub.Word, m*n),
-		Acc:   make([]int64, m*n),
+		Out:   make([]qub.Word, m*n), //quq:hotalloc-ok the result escapes to the caller; per-call scratch is the arena-pooled decode buffer above
+		Acc:   make([]int64, m*n),    //quq:hotalloc-ok the result escapes to the caller; per-call scratch is the arena-pooled decode buffer above
 		Stats: c.Cycles(m, k, n),
 	}
-	intGEMM(res.Acc, vx, vw, m, k, n)
+	tensor.IntMatMulInto(res.Acc, vx, vw, m, k, n)
+	ar.PutInt64(vx)
 	for i, acc := range res.Acc {
 		if aa := abs64(acc); aa > res.MaxAbsAcc {
 			res.MaxAbsAcc = aa
@@ -248,14 +278,24 @@ func (c ArrayConfig) GEMM(x []qub.Word, rx qub.Registers, w []qub.Word, rw qub.R
 	return res, nil
 }
 
-// intGEMM computes dst = a·b ([m,k]·[k,n], row-major int64) with the same
-// 4×4 register-tiled micro-kernel shape as the float kernel layer in
-// internal/tensor. Unlike floats, int64 addition wraps mod 2^64 and is
-// fully associative, so any accumulation order is bit-exact; the kernel
-// keeps ascending-k order anyway to mirror the float kernels' contract.
-//
-//quq:hotpath simulated integer GEMM inner loop; operands and accumulators are caller-allocated int64 slices
-func intGEMM(dst, a, b []int64, m, k, n int) {
+// decodeWords decodes a QUB word stream into pre-shifted int64 values
+// v = D << n_sh; see the GEMM doc for why pre-shifting is bit-exact.
+func decodeWords(dst []int64, ws []qub.Word, r qub.Registers) {
+	for i, w := range ws {
+		d := qub.Decode(w, r)
+		dst[i] = int64(d.D) << d.Nsh
+	}
+}
+
+// ScalarIntGEMM computes dst = a·b ([m,k]·[k,n], row-major int64) with
+// the pre-kernel-layer 4×4 register-tiled scalar loops. Unlike floats,
+// int64 addition wraps mod 2^64 and is fully associative, so any
+// accumulation order is bit-exact; the loop keeps ascending-k order
+// anyway to mirror the float kernels' contract. It is retained as the
+// baseline the integer kernel benchmarks measure and an oracle for the
+// equivalence tests; production code routes through
+// tensor.IntMatMulInto.
+func ScalarIntGEMM(dst, a, b []int64, m, k, n int) {
 	i := 0
 	for ; i+4 <= m; i += 4 {
 		a0, a1 := a[i*k:(i+1)*k], a[(i+1)*k:(i+2)*k]
@@ -326,8 +366,16 @@ func intGEMM(dst, a, b []int64, m, k, n int) {
 	}
 }
 
+// abs64 returns |v|, saturating at MaxInt64 for MinInt64 — whose true
+// magnitude is not representable in int64, and whose two's-complement
+// negation is itself (negative). Returning that negative value would
+// silently corrupt the MaxAbsAcc accumulator-width statistic and every
+// overflow bound computed from it.
 func abs64(v int64) int64 {
 	if v < 0 {
+		if v == math.MinInt64 {
+			return math.MaxInt64
+		}
 		return -v
 	}
 	return v

@@ -103,14 +103,18 @@ type BlockRunner struct {
 	p   *BlockParams
 	arr ArrayConfig
 
-	ln1, ln2      *sfu.LayerNormUnit
-	softmax       *sfu.Unit
-	gelu          *sfu.Unit
-	add1, add2    *sfu.AddUnit
-	wQKV, wProj   []qub.Word
-	wFC1, wFC2    []qub.Word
-	rWQKV, rWProj qub.Registers
-	rWFC1, rWFC2  qub.Registers
+	ln1, ln2   *sfu.LayerNormUnit
+	softmax    *sfu.Unit
+	gelu       *sfu.Unit
+	add1, add2 *sfu.AddUnit
+
+	// Resident prepared weight operands: QUB-decoded once at construction
+	// into pre-shifted int64 form and reused by every Run. The QKV weight
+	// is split into its three column groups so each can feed its own
+	// quantization unit.
+	pQ, pK, pV *PreparedOperand
+	pProj      *PreparedOperand
+	pFC1, pFC2 *PreparedOperand
 
 	// Activation register files, resolved once at construction so Run
 	// never has to handle a RegistersFor failure mid-execution.
@@ -148,23 +152,31 @@ func NewBlockRunner(blk *vit.Block, p *BlockParams, arr ArrayConfig) (*BlockRunn
 	if r.add2, err = sfu.NewAddUnit(p.Resid1, p.FC2Out, p.Resid2); err != nil {
 		return nil, fmt.Errorf("accel: residual adder 2: %w", err)
 	}
-	enc := func(p *quant.Params, w *tensor.Tensor) ([]qub.Word, qub.Registers, error) {
+	// Encode each weight once and decode it straight into a resident
+	// prepared operand: Run never touches qub words (or floats) on the
+	// weight side again.
+	prep := func(p *quant.Params, w *tensor.Tensor) (*PreparedOperand, error) {
 		regs, err := qub.RegistersFor(p)
 		if err != nil {
-			return nil, qub.Registers{}, err
+			return nil, err
 		}
-		return qub.EncodeTensor(p, w.Data()), regs, nil
+		return PrepareWords(qub.EncodeTensor(p, w.Data()), regs, w.Dim(0), w.Dim(1))
 	}
-	if r.wQKV, r.rWQKV, err = enc(p.WQKV, blk.QKV.W); err != nil {
+	qkv, err := prep(p.WQKV, blk.QKV.W)
+	if err != nil {
 		return nil, err
 	}
-	if r.wProj, r.rWProj, err = enc(p.WProj, blk.Proj.W); err != nil {
+	dim := blk.QKV.W.Dim(0)
+	r.pQ = qkv.SliceCols(0, dim)
+	r.pK = qkv.SliceCols(dim, 2*dim)
+	r.pV = qkv.SliceCols(2*dim, 3*dim)
+	if r.pProj, err = prep(p.WProj, blk.Proj.W); err != nil {
 		return nil, err
 	}
-	if r.wFC1, r.rWFC1, err = enc(p.WFC1, blk.FC1.W); err != nil {
+	if r.pFC1, err = prep(p.WFC1, blk.FC1.W); err != nil {
 		return nil, err
 	}
-	if r.wFC2, r.rWFC2, err = enc(p.WFC2, blk.FC2.W); err != nil {
+	if r.pFC2, err = prep(p.WFC2, blk.FC2.W); err != nil {
 		return nil, err
 	}
 	for _, a := range []struct {
@@ -188,10 +200,11 @@ func NewBlockRunner(blk *vit.Block, p *BlockParams, arr ArrayConfig) (*BlockRunn
 	return r, nil
 }
 
-// gemmQ runs x ([m,k] QUB with regs rx) against pre-encoded weights,
-// adds the layer bias in accumulator units, and requantizes into pout.
-// scale is an extra factor folded into the accumulator unit (1 except
-// for attention's 1/√d_h).
+// gemmQ runs x ([m,k] QUB with regs rx) against a dynamically-produced
+// QUB word operand (the attention GEMMs, whose right-hand sides are
+// activations), adds the layer bias in accumulator units, and
+// requantizes into pout. scale is an extra factor folded into the
+// accumulator unit (1 except for attention's 1/√d_h).
 func (r *BlockRunner) gemmQ(x []qub.Word, rx qub.Registers, w []qub.Word, rw qub.Registers,
 	m, k, n int, bias []float64, scale float64, pout *quant.Params, stats *RunStats) ([]qub.Word, error) {
 
@@ -199,11 +212,33 @@ func (r *BlockRunner) gemmQ(x []qub.Word, rx qub.Registers, w []qub.Word, rw qub
 	if err != nil {
 		return nil, err
 	}
-	stats.GEMMCycles += res.Stats.Cycles
-	stats.MACs += res.Stats.MACs
-
 	//quq:float-ok accumulator-unit derivation is requantizer configuration (exact power-of-two products), computed once per GEMM, not per-element datapath work
 	accUnit := rx.BaseDelta * rw.BaseDelta * scale
+	return r.finishGEMM(res, accUnit, m, n, bias, pout, stats)
+}
+
+// gemmP runs x ([m,k] QUB with regs rx) against a resident prepared
+// weight operand — decoded once at construction, reused by every Run —
+// then adds the bias and requantizes like gemmQ.
+func (r *BlockRunner) gemmP(x []qub.Word, rx qub.Registers, w *PreparedOperand,
+	m, k int, bias []float64, pout *quant.Params, stats *RunStats) ([]qub.Word, error) {
+
+	res, err := r.arr.GEMMPrepared(x, rx, w, m, k, nil)
+	if err != nil {
+		return nil, err
+	}
+	//quq:float-ok accumulator-unit derivation is requantizer configuration (exact power-of-two products), computed once per GEMM, not per-element datapath work
+	accUnit := rx.BaseDelta * w.Delta
+	return r.finishGEMM(res, accUnit, m, w.Cols, bias, pout, stats)
+}
+
+// finishGEMM is the shared epilogue of gemmQ/gemmP: cycle accounting,
+// bias addition in accumulator units, and requantization into pout.
+func (r *BlockRunner) finishGEMM(res *GEMMResult, accUnit float64, m, n int,
+	bias []float64, pout *quant.Params, stats *RunStats) ([]qub.Word, error) {
+
+	stats.GEMMCycles += res.Stats.Cycles
+	stats.MACs += res.Stats.MACs
 	qu, err := NewQuantizeUnit(pout, accUnit)
 	if err != nil {
 		return nil, err
@@ -254,16 +289,15 @@ func (r *BlockRunner) Run(x *tensor.Tensor) (*tensor.Tensor, *RunStats, error) {
 	// runs as three column groups, each fanned into its own quantization
 	// unit (hardware shares the accumulators; the cycle model charges
 	// each group's tile schedule).
-	qkvCols := 3 * dim
-	qWords, err := r.gemmQ(h1, r.rLN1, sliceCols(r.wQKV, dim, qkvCols, 0, dim), r.rWQKV, t, dim, dim, r.blk.QKV.B[:dim], 1, r.p.Q, stats)
+	qWords, err := r.gemmP(h1, r.rLN1, r.pQ, t, dim, r.blk.QKV.B[:dim], r.p.Q, stats)
 	if err != nil {
 		return nil, nil, err
 	}
-	kW, err := r.gemmQ(h1, r.rLN1, sliceCols(r.wQKV, dim, qkvCols, dim, 2*dim), r.rWQKV, t, dim, dim, r.blk.QKV.B[dim:2*dim], 1, r.p.K, stats)
+	kW, err := r.gemmP(h1, r.rLN1, r.pK, t, dim, r.blk.QKV.B[dim:2*dim], r.p.K, stats)
 	if err != nil {
 		return nil, nil, err
 	}
-	vW, err := r.gemmQ(h1, r.rLN1, sliceCols(r.wQKV, dim, qkvCols, 2*dim, 3*dim), r.rWQKV, t, dim, dim, r.blk.QKV.B[2*dim:], 1, r.p.V, stats)
+	vW, err := r.gemmP(h1, r.rLN1, r.pV, t, dim, r.blk.QKV.B[2*dim:], r.p.V, stats)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -294,7 +328,7 @@ func (r *BlockRunner) Run(x *tensor.Tensor) (*tensor.Tensor, *RunStats, error) {
 		}
 	}
 
-	projOut, err := r.gemmQ(ctx, r.rProjIn, r.wProj, r.rWProj, t, dim, dim, r.blk.Proj.B, 1, r.p.ProjOut, stats)
+	projOut, err := r.gemmP(ctx, r.rProjIn, r.pProj, t, dim, r.blk.Proj.B, r.p.ProjOut, stats)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -308,12 +342,12 @@ func (r *BlockRunner) Run(x *tensor.Tensor) (*tensor.Tensor, *RunStats, error) {
 		copy(h2[row*dim:(row+1)*dim], r.ln2.Row(x1[row*dim:(row+1)*dim]))
 	}
 	hidden := r.blk.FC1.Out()
-	hid, err := r.gemmQ(h2, r.rLN2, r.wFC1, r.rWFC1, t, dim, hidden, r.blk.FC1.B, 1, r.p.GeluIn, stats)
+	hid, err := r.gemmP(h2, r.rLN2, r.pFC1, t, dim, r.blk.FC1.B, r.p.GeluIn, stats)
 	if err != nil {
 		return nil, nil, err
 	}
 	act := r.gelu.GELU(hid)
-	mlpOut, err := r.gemmQ(act, r.rGeluOut, r.wFC2, r.rWFC2, t, hidden, dim, r.blk.FC2.B, 1, r.p.FC2Out, stats)
+	mlpOut, err := r.gemmP(act, r.rGeluOut, r.pFC2, t, hidden, r.blk.FC2.B, r.p.FC2Out, stats)
 	if err != nil {
 		return nil, nil, err
 	}

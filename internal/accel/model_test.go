@@ -1,8 +1,9 @@
-package accel
+package accel_test
 
 import (
 	"testing"
 
+	"quq/internal/accel"
 	"quq/internal/data"
 	"quq/internal/nn"
 	"quq/internal/ptq"
@@ -31,7 +32,7 @@ func TestModelRunnerClassifiesLikeQuantizedModel(t *testing.T) {
 		t.Skipf("reference model too weak (%v) for an accuracy comparison", fp32)
 	}
 
-	runner, err := NewModelRunner(m, calib, 8, DefaultArray(8))
+	runner, err := accel.NewModelRunner(m, calib, 8, accel.DefaultArray(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,11 +62,11 @@ func TestModelRunnerClassifiesLikeQuantizedModel(t *testing.T) {
 
 func TestModelRunnerRejectsUnsupported(t *testing.T) {
 	calib := data.CalibrationSet(vit.SwinTiny, 2, 1)
-	if _, err := NewModelRunner(vit.New(vit.SwinTiny, 1), calib, 8, DefaultArray(8)); err == nil {
+	if _, err := accel.NewModelRunner(vit.New(vit.SwinTiny, 1), calib, 8, accel.DefaultArray(8)); err == nil {
 		t.Fatal("accepted a Swin model")
 	}
 	m := vit.New(vit.ViTNano, 1)
-	if _, err := NewModelRunner(m, nil, 8, DefaultArray(8)); err == nil {
+	if _, err := accel.NewModelRunner(m, nil, 8, accel.DefaultArray(8)); err == nil {
 		t.Fatal("accepted empty calibration")
 	}
 }
@@ -76,11 +77,11 @@ func TestModelRunnerCycleAccountingScales(t *testing.T) {
 	calib := data.CalibrationSet(cfg, 4, 7)
 	img := data.Images(cfg, 1, 8)[0]
 
-	big, err := NewModelRunner(m, calib, 6, ArrayConfig{N: 16, Bits: 6})
+	big, err := accel.NewModelRunner(m, calib, 6, accel.ArrayConfig{N: 16, Bits: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	small, err := NewModelRunner(m, calib, 6, ArrayConfig{N: 4, Bits: 6})
+	small, err := accel.NewModelRunner(m, calib, 6, accel.ArrayConfig{N: 4, Bits: 6})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,11 @@ import (
 // and methods hotalloc polices.
 const tensorPkg = "quq/internal/tensor"
 
+// qubPkg is the packed-word package whose slice type hotalloc polices
+// in make calls: qub.Word scratch, like int64 scratch, must come from
+// the arena or a caller-provided buffer in steady-state code.
+const qubPkg = "quq/internal/qub"
+
 // tensorAllocFuncs are package-level tensor constructors that allocate a
 // fresh backing array on every call.
 var tensorAllocFuncs = map[string]bool{
@@ -31,17 +36,19 @@ var tensorAllocMethods = map[string]bool{
 // claim it makes.
 const hotpathToken = "hotpath"
 
-// HotAlloc flags fresh tensor allocations inside functions whose doc
+// HotAlloc flags fresh tensor allocations — and make([]int64, ...) /
+// make([]qub.Word, ...) scratch slices — inside functions whose doc
 // comment carries a //quq:hotpath directive. Hot functions run once per
 // forward pass (or per GEMM); their scratch must come from an Arena or a
 // caller-provided destination so the steady state allocates nothing —
 // that is the claim the //quq:hotpath marker makes, and this check keeps
-// the marker honest. Arena.New/NewUninit are the sanctioned scratch path
-// and are not flagged. A deliberate allocation (e.g. a tensor that
-// escapes to a tap) carries //quq:hotalloc-ok with its justification.
+// the marker honest. Arena.New/NewUninit/Int64 are the sanctioned
+// scratch paths and are not flagged. A deliberate allocation (e.g. a
+// tensor that escapes to a tap, or a slice retained in a resident
+// operand) carries //quq:hotalloc-ok with its justification.
 var HotAlloc = &Analyzer{
 	Name:      "hotalloc",
-	Doc:       "functions marked //quq:hotpath must not allocate tensors (arena scratch or destination passing only)",
+	Doc:       "functions marked //quq:hotpath must not allocate tensors or integer scratch slices (arena scratch or destination passing only)",
 	Directive: "hotalloc-ok",
 	Run:       runHotAlloc,
 }
@@ -58,6 +65,14 @@ func runHotAlloc(pass *Pass) {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
 					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+						if elem := hotMakeElem(pass.Info.TypeOf(call)); elem != "" {
+							pass.Reportf(call.Pos(), "integer scratch allocation make(%s) in //quq:hotpath function %s (use arena Int64 scratch or a caller-provided buffer)", elem, name)
+						}
+						return true
+					}
 				}
 				callee := calleeFunc(pass.Info, call)
 				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != tensorPkg {
@@ -92,6 +107,29 @@ func hasDirective(doc *ast.CommentGroup, token string) bool {
 		}
 	}
 	return false
+}
+
+// hotMakeElem classifies the result type of a make call hotalloc
+// polices: slices of int64 (GEMM accumulators) and of qub.Word (packed
+// quadruplet codes) are the integer hot path's two scratch currencies,
+// and both have pooled or caller-provided equivalents. Any other make
+// is outside this analyzer's remit.
+func hotMakeElem(t types.Type) string {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return ""
+	}
+	switch e := s.Elem().(type) {
+	case *types.Basic:
+		if e.Kind() == types.Int64 {
+			return "[]int64"
+		}
+	case *types.Named:
+		if e.Obj().Name() == "Word" && e.Obj().Pkg() != nil && e.Obj().Pkg().Path() == qubPkg {
+			return "[]qub.Word"
+		}
+	}
+	return ""
 }
 
 // recvNamed returns the name of a method receiver's named type,

@@ -1,10 +1,13 @@
 // Package hotalloc is the fixture corpus for the hotalloc analyzer:
 // functions whose doc comment carries //quq:hotpath must not allocate
-// tensors — scratch comes from an Arena or a caller-provided
-// destination.
+// tensors or integer scratch slices — scratch comes from an Arena or a
+// caller-provided destination.
 package hotalloc
 
-import "quq/internal/tensor"
+import (
+	"quq/internal/qub"
+	"quq/internal/tensor"
+)
 
 // hot is a marked steady-state kernel; every allocating tensor call in
 // its body is a finding.
@@ -36,8 +39,28 @@ func hotArena(a, b *tensor.Tensor) *tensor.Tensor {
 	return escapes
 }
 
+// hotInts allocates the integer hot path's two scratch currencies with
+// make; both are findings. Arena Int64 scratch, a suppressed retained
+// slice, and slices of other element types are not.
+//
+//quq:hotpath fixture: integer scratch slices
+func hotInts(n int) int64 {
+	acc := make([]int64, n)   // want `integer scratch allocation make\(\[\]int64\) in //quq:hotpath function hotInts`
+	ws := make([]qub.Word, n) // want `integer scratch allocation make\(\[\]qub\.Word\) in //quq:hotpath function hotInts`
+	_ = ws
+	ar := tensor.GetArena()
+	defer ar.Release()
+	pooled := ar.Int64(n) // arena scratch: not flagged
+	defer ar.PutInt64(pooled)
+	resident := make([]int64, n) //quq:hotalloc-ok fixture: retained in a resident operand
+	fs := make([]float64, n)     // other element types: not flagged
+	_ = fs
+	return acc[0] + resident[0] + pooled[0]
+}
+
 // cold has no hotpath marker and may allocate freely.
 func cold(a *tensor.Tensor) *tensor.Tensor {
+	_ = make([]int64, 4) // unmarked function: not flagged
 	return tensor.New(3, 3).Add(a.Clone())
 }
 

@@ -20,7 +20,10 @@
 //   - calibrate-at-most-R / replicas-identical: with replication on, a
 //     key's calibration runs on at most its R placement owners and the
 //     replicas answer byte-identically, so a failover never changes an
-//     answer;
+//     answer — including with one replica flipped to the integer weight
+//     path (-int-path), where the replicas must stay interchangeable
+//     for requantized outputs (identical argmax, logits byte-identical
+//     on the 2^-16 grid);
 //   - zero-lost-keys: killing one replica owner loses no calibrated
 //     key — the surviving replica serves warm, no rebuilds;
 //   - elastic-membership: admin join/drain/leave advance the epoch

@@ -34,8 +34,11 @@ func TestRunInvariantsHoldAndReplayIsByteIdentical(t *testing.T) {
 	if rep.Failed() {
 		t.Fatalf("invariants failed on the healthy stack:\n%s", text1)
 	}
-	if got := len(rep.Results); got != 10 {
-		t.Fatalf("checks = %d, want the 10 failure-domain invariants", got)
+	// 11 check entries for the 10 invariants: replica-divergence reports
+	// replicas-identical twice — float/float replicas, then again with
+	// one replica flipped to the integer weight path.
+	if got := len(rep.Results); got != 11 {
+		t.Fatalf("checks = %d, want 11 (10 invariants, replicas-identical twice)", got)
 	}
 	_, text2 := render(t, 7, Options{})
 	if text1 != text2 {

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"strings"
@@ -547,7 +548,75 @@ func scenarioReplicaDivergence(ctx context.Context, seed uint64, opts Options, r
 	}
 	rep.CheckCalibrateAtMostR(snapshot(), 2)
 	rep.CheckReplicasIdentical(len(owners), bytes.Equal(bodies[0], bodies[1]))
+
+	// Mixed-backend equivalence: flip the second owner's backend to the
+	// integer weight path — the in-process equivalent of restarting it
+	// with -int-path — and require the replicas to stay interchangeable
+	// for requantized outputs: identical argmax, and logits byte-identical
+	// after requantization onto the 2^-16 grid. Raw float64 logits
+	// legitimately differ at the ~1 ulp level between the backends (the
+	// int path sums exactly then scales once; the float path rounds per
+	// accumulation step), which is why this check requantizes instead of
+	// comparing response bodies.
+	intHost := hostOf(owners[1].Addr())
+	var intBackend *backendShard
+	for _, b := range f.backends {
+		if b.host == intHost {
+			intBackend = b
+		}
+	}
+	if intBackend == nil {
+		return fmt.Errorf("no backend matches owner host %s", intHost)
+	}
+	if n, err := intBackend.srv.SetIntPath(true); err != nil || n < 1 {
+		return fmt.Errorf("enabling int path on %s: toggled %d entries, err %v", intHost, n, err)
+	}
+	args := make([]int, len(owners))
+	logits := make([][]float64, len(owners))
+	for i, o := range owners {
+		status, raw, err := rawPost(ctx, o.Addr()+"/v1/classify", classifyBody(sel, img))
+		if err != nil {
+			return fmt.Errorf("mixed-backend classify on replica %d: %w", i, err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("mixed-backend classify on replica %d: status %d", i, status)
+		}
+		var out struct {
+			Results []struct {
+				ArgMax int       `json:"argmax"`
+				Logits []float64 `json:"logits"`
+			} `json:"results"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return fmt.Errorf("mixed-backend classify on replica %d: %w", i, err)
+		}
+		if len(out.Results) != 1 {
+			return fmt.Errorf("mixed-backend classify on replica %d: %d results, want 1", i, len(out.Results))
+		}
+		args[i] = out.Results[0].ArgMax
+		logits[i] = out.Results[0].Logits
+	}
+	identical := args[0] == args[1] && len(logits[0]) == len(logits[1]) && len(logits[0]) > 0
+	if identical {
+		for c := range logits[0] {
+			if math.Float64bits(requantGrid(logits[0][c])) != math.Float64bits(requantGrid(logits[1][c])) {
+				identical = false
+				break
+			}
+		}
+	}
+	rep.CheckReplicasIdentical(len(owners), identical)
 	return nil
+}
+
+// requantGrid snaps a logit onto the 2^-16 grid, normalizing signed zero
+// — the cross-backend contract requantized outputs are held to.
+func requantGrid(v float64) float64 {
+	q := math.RoundToEven(math.Ldexp(v, 16))
+	if q == 0 {
+		return 0
+	}
+	return math.Ldexp(q, -16)
 }
 
 // scenarioReplicaFailover checks that replication turns a worker death

@@ -14,7 +14,9 @@ package ptq
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
+	"quq/internal/quant"
 	"quq/internal/tensor"
 	"quq/internal/vit"
 )
@@ -65,6 +67,17 @@ type Method interface {
 	// QuantizeWeight fake-quantizes a weight tensor in place (the
 	// pipeline passes a cloned model's weights).
 	QuantizeWeight(site vit.Site, w *tensor.Tensor, bits int)
+}
+
+// WeightParamsRecorder is an optional Method extension: during Quantize,
+// the pipeline installs a callback through which the method reports the
+// exact quantizer parameter set used for each weight tensor. The
+// parameters land in QuantizedModel.WeightParams, which the integer
+// forward engine (NewIntEngine) needs to recover resident integer
+// operands from the fake-quantized weights. Installing nil removes the
+// callback.
+type WeightParamsRecorder interface {
+	RecordWeightParams(fn func(site vit.Site, p *quant.Params))
 }
 
 // InputAwareWeightQuantizer is an optional Method extension: when a
@@ -124,7 +137,10 @@ type CalibOptions struct {
 //   - Acts is written once during Quantize and only read afterwards.
 //
 // Callers must not mutate Model, Acts or quantizer internals after
-// sharing the model between goroutines.
+// sharing the model between goroutines. The one documented exception is
+// the integer-path engine: its pointer is atomic, so SetIntPath may
+// install or remove the engine while Forward calls are in flight, and
+// each forward pass uses whichever engine it loads at entry.
 type QuantizedModel struct {
 	Model  vit.Model
 	Bits   int
@@ -132,7 +148,37 @@ type QuantizedModel struct {
 	Method string
 	// Acts maps site keys to their activation quantizers.
 	Acts map[string]TensorQuantizer
+	// WeightParams maps weight-site keys to the exact quantizer
+	// parameters used to fake-quantize that weight tensor, for methods
+	// that report them (see WeightParamsRecorder); nil otherwise.
+	WeightParams map[string]*quant.Params
+
+	// engine is the optional integer forward engine; see SetIntPath.
+	engine atomic.Pointer[IntEngine]
 }
+
+// SetIntPath installs (on=true) or removes (on=false) the fully-integer
+// weight path: every weight GEMM runs on resident pre-shifted int64
+// operands through the tensor kernel layer instead of rehydrating
+// weights to float64. Enabling is all-or-nothing — it fails unless every
+// weight site can be prepared (QUQ method with recorded weight params,
+// QUQ activation quantizers on every GEMM input, accumulators within
+// bounds). The toggle is safe under concurrent Forward traffic.
+func (q *QuantizedModel) SetIntPath(on bool) error {
+	if !on {
+		q.engine.Store(nil)
+		return nil
+	}
+	e, err := NewIntEngine(q)
+	if err != nil {
+		return err
+	}
+	q.engine.Store(e)
+	return nil
+}
+
+// IntPath reports whether the integer forward engine is installed.
+func (q *QuantizedModel) IntPath() bool { return q.engine.Load() != nil }
 
 // Quantize calibrates method on m over the given images and returns the
 // quantized model. The input model is not modified.
@@ -157,6 +203,13 @@ func Quantize(m vit.Model, method Method, opts CalibOptions) (*QuantizedModel, e
 			continue
 		}
 		qm.Acts[key] = method.CalibrateActivation(st, opts.Bits)
+	}
+	if rec, ok := method.(WeightParamsRecorder); ok {
+		qm.WeightParams = make(map[string]*quant.Params)
+		rec.RecordWeightParams(func(site vit.Site, p *quant.Params) {
+			qm.WeightParams[site.Key()] = p
+		})
+		defer rec.RecordWeightParams(nil)
 	}
 	aware, isAware := method.(InputAwareWeightQuantizer)
 	qm.Model.ForEachWeight(func(site vit.Site, l *vit.Linear) {
@@ -184,6 +237,11 @@ func (q *QuantizedModel) Forward(img *tensor.Tensor) *tensor.Tensor {
 // attention sink for Figure 7). Any Tap in opts is applied after the
 // quantizer at each site.
 func (q *QuantizedModel) ForwardOpts(img *tensor.Tensor, opts vit.ForwardOpts) *tensor.Tensor {
+	if opts.Engine == nil {
+		if e := q.engine.Load(); e != nil {
+			opts.Engine = e
+		}
+	}
 	outer := opts.Tap
 	opts.Tap = func(site vit.Site, x *tensor.Tensor) *tensor.Tensor {
 		if tq, ok := q.Acts[site.Key()]; ok {

@@ -13,6 +13,15 @@ import (
 type QUQMethod struct {
 	PRA    quant.PRAOptions
 	Refine quant.RefineOptions
+
+	// record, when set via RecordWeightParams, receives the parameter set
+	// used for each weight tensor as it is quantized.
+	record func(site vit.Site, p *quant.Params)
+}
+
+// RecordWeightParams implements WeightParamsRecorder.
+func (m *QUQMethod) RecordWeightParams(fn func(site vit.Site, p *quant.Params)) {
+	m.record = fn
 }
 
 // NewQUQ returns the method with the paper's hyperparameters
@@ -47,9 +56,12 @@ func (m *QUQMethod) CalibrateActivation(stats *SiteStats, bits int) TensorQuanti
 }
 
 // QuantizeWeight implements Method: per-tensor QUQ on the weight matrix.
-func (m *QUQMethod) QuantizeWeight(_ vit.Site, w *tensor.Tensor, bits int) {
+func (m *QUQMethod) QuantizeWeight(site vit.Site, w *tensor.Tensor, bits int) {
 	p := quant.CalibrateRefined(w.Data(), bits, m.PRA, m.Refine)
 	p.QuantizeSlice(w.Data(), w.Data())
+	if m.record != nil {
+		m.record(site, p)
+	}
 }
 
 // QuantizeWeightAware implements InputAwareWeightQuantizer: the grid
@@ -58,11 +70,10 @@ func (m *QUQMethod) QuantizeWeight(_ vit.Site, w *tensor.Tensor, bits int) {
 // inputs, so the search minimizes the expected GEMM *output* error
 // rather than the raw weight error. This realizes the paper's layer-wise
 // Hessian-guided optimization.
-func (m *QUQMethod) QuantizeWeightAware(_ vit.Site, w *tensor.Tensor, bits int, inputSq []float64) {
+func (m *QUQMethod) QuantizeWeightAware(site vit.Site, w *tensor.Tensor, bits int, inputSq []float64) {
 	if w.Rank() != 2 || len(inputSq) != w.Dim(0) {
 		// No usable input statistics: fall back to the plain search.
-		p := quant.CalibrateRefined(w.Data(), bits, m.PRA, m.Refine)
-		p.QuantizeSlice(w.Data(), w.Data())
+		m.QuantizeWeight(site, w, bits)
 		return
 	}
 	in, out := w.Dim(0), w.Dim(1)
@@ -86,4 +97,7 @@ func (m *QUQMethod) QuantizeWeightAware(_ vit.Site, w *tensor.Tensor, bits int, 
 	}
 	p := quant.RefineScored(quant.Calibrate(d, bits, m.PRA), m.Refine, score)
 	p.QuantizeSlice(d, d)
+	if m.record != nil {
+		m.record(site, p)
+	}
 }

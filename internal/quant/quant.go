@@ -200,6 +200,25 @@ func (p *Params) Shift(s Slot) int {
 	return int(math.Round(math.Log2(sl.Delta / p.BaseDelta())))
 }
 
+// MaxCodeMag returns the largest pre-shifted integer magnitude any code
+// of this quantizer can decode to: max over enabled slots of
+// MaxMag << Shift(slot). Every fake-quantized value is m·BaseDelta() with
+// |m| ≤ MaxCodeMag, which bounds integer-GEMM accumulators: a depth-k dot
+// product of operands quantized with px and pw accumulates at most
+// k·px.MaxCodeMag()·pw.MaxCodeMag() in absolute value.
+func (p *Params) MaxCodeMag() int64 {
+	var max int64
+	for i, sl := range p.Slots {
+		if !sl.Enabled {
+			continue
+		}
+		if m := sl.MaxMag << uint(p.Shift(Slot(i))); m > max {
+			max = m
+		}
+	}
+	return max
+}
+
 // Validate checks the Eq. (4) invariant — every enabled scale factor is a
 // non-negative power-of-two multiple of the base Δ — plus basic sanity of
 // the slot layout. It returns nil for a usable quantizer.

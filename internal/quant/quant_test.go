@@ -175,6 +175,22 @@ func TestShift(t *testing.T) {
 	}
 }
 
+func TestMaxCodeMag(t *testing.T) {
+	p := &Params{Bits: 8, Mode: ModeA}
+	p.Slots[FNeg] = SlotParams{Enabled: true, Delta: 0.5, MaxMag: 64}
+	p.Slots[FPos] = SlotParams{Enabled: true, Delta: 0.5, MaxMag: 63}
+	p.Slots[CNeg] = SlotParams{Enabled: true, Delta: 4, MaxMag: 64}
+	p.Slots[CPos] = SlotParams{Enabled: true, Delta: 2, MaxMag: 63}
+	// CNeg: 64 << 3 = 512 dominates CPos's 63 << 2 = 252.
+	if got := p.MaxCodeMag(); got != 512 {
+		t.Fatalf("MaxCodeMag = %d, want 512", got)
+	}
+	// Uniform quantizer: no shifts, just the widest magnitude.
+	if got := ParamsForUniform(1, 4).MaxCodeMag(); got != 8 {
+		t.Fatalf("uniform MaxCodeMag = %d, want 8", got)
+	}
+}
+
 func TestQuantizeZero(t *testing.T) {
 	p := ParamsForUniform(0.3, 6)
 	c := p.Quantize(0)

@@ -207,6 +207,15 @@ type RegistryOptions struct {
 	// an error simulates a failing one (the entry is then evicted so a
 	// later request can retry). Not for production use.
 	BuildHook func(key Key) error
+	// IntPath enables the fully-integer weight path (-int-path flag) on
+	// every QUQ-method model the registry builds: weight GEMMs run on
+	// resident pre-shifted int64 operands through the tensor kernel
+	// layer instead of rehydrating float64 weights. Models quantized
+	// with other methods are unaffected — the path needs recorded QUQ
+	// weight params — and logits stay byte-identical across mixed
+	// float/int backends on the serving requantized grid. The setting
+	// can be changed at runtime with Registry.SetIntPath.
+	IntPath bool
 }
 
 func (o *RegistryOptions) defaults() {
@@ -254,6 +263,10 @@ type Registry struct {
 	bases   map[string]*baseEntry
 	entries map[Key]*entry
 	builds  sync.WaitGroup // joins detached buildEntry goroutines in Drain
+
+	// intPath is the live value of RegistryOptions.IntPath; reads happen
+	// at build completion, writes through SetIntPath.
+	intPath atomic.Bool
 }
 
 // NewRegistry builds a registry over the proxy zoo plus ViT-Nano.
@@ -272,6 +285,7 @@ func NewRegistry(opts RegistryOptions, met *Metrics) *Registry {
 		r.names = append(r.names, cfg.Name)
 	}
 	sort.Strings(r.names)
+	r.intPath.Store(opts.IntPath)
 	return r
 }
 
@@ -423,12 +437,53 @@ func (r *Registry) build(key Key) (*ptq.QuantizedModel, error) {
 		return nil, err
 	}
 	method, _ := newMethod(key.Method)
-	return ptq.Quantize(base, method, ptq.CalibOptions{
+	qm, err := ptq.Quantize(base, method, ptq.CalibOptions{
 		Bits:              key.Bits,
 		Regime:            key.Regime,
 		Images:            calib,
 		MaxSamplesPerSite: r.opts.MaxSamplesPerSite,
 	})
+	if err != nil {
+		return nil, err
+	}
+	if r.intPath.Load() && qm.WeightParams != nil {
+		if err := qm.SetIntPath(true); err != nil {
+			return nil, fmt.Errorf("serve: int path for %s: %w", key, err)
+		}
+	}
+	return qm, nil
+}
+
+// SetIntPath toggles the integer weight path at runtime: future builds
+// adopt the setting, and every cached model that supports the path
+// (recorded QUQ weight params) is toggled in place — safe under live
+// traffic, since the engine pointer is atomic per model. It returns the
+// number of cached models toggled. A build racing the toggle may finish
+// with the previous setting; re-issuing the call converges it.
+func (r *Registry) SetIntPath(on bool) (int, error) {
+	r.intPath.Store(on)
+	r.mu.Lock()
+	list := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		list = append(list, e)
+	}
+	r.mu.Unlock()
+	toggled := 0
+	for _, e := range list {
+		select {
+		case <-e.ready:
+		default:
+			continue // still building; adopts the stored setting on completion
+		}
+		if e.qm == nil || e.qm.WeightParams == nil {
+			continue
+		}
+		if err := e.qm.SetIntPath(on); err != nil {
+			return toggled, fmt.Errorf("serve: int path for %s: %w", e.key, err)
+		}
+		toggled++
+	}
+	return toggled, nil
 }
 
 // baseModel returns the FP32 base model and calibration set for a config,

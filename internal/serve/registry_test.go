@@ -263,3 +263,44 @@ func TestRegistryFailedBuildEvictedAndRetried(t *testing.T) {
 		t.Fatalf("calibrations = %d, want 2 (fail then retry)", got)
 	}
 }
+
+// TestRegistryIntPath: with RegistryOptions.IntPath set, QUQ-method
+// builds come out with the integer weight path installed, non-recording
+// methods are unaffected, and SetIntPath toggles cached models in place.
+func TestRegistryIntPath(t *testing.T) {
+	opts := testRegistryOptions()
+	opts.IntPath = true
+	r := NewRegistry(opts, nil)
+
+	quq, _, err := r.Get(context.Background(), nanoKey("QUQ", ptq.Partial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !quq.IntPath() {
+		t.Fatal("QUQ build did not enable the int path")
+	}
+	base, _, err := r.Get(context.Background(), nanoKey("BaseQ", ptq.Partial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.IntPath() {
+		t.Fatal("non-QUQ build enabled the int path")
+	}
+
+	n, err := r.SetIntPath(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("toggled %d cached models, want 1 (only the QUQ entry)", n)
+	}
+	if quq.IntPath() {
+		t.Fatal("runtime disable did not reach the cached model")
+	}
+	if n, err = r.SetIntPath(true); err != nil || n != 1 {
+		t.Fatalf("re-enable: n=%d err=%v", n, err)
+	}
+	if !quq.IntPath() {
+		t.Fatal("runtime enable did not reach the cached model")
+	}
+}

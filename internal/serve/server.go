@@ -99,6 +99,10 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // Registry exposes the model registry (introspection, warm-up, tests).
 func (s *Server) Registry() *Registry { return s.reg }
 
+// SetIntPath toggles the fully-integer weight path at runtime; see
+// Registry.SetIntPath.
+func (s *Server) SetIntPath(on bool) (int, error) { return s.reg.SetIntPath(on) }
+
 // Metrics exposes the instrument set.
 func (s *Server) Metrics() *Metrics { return s.met }
 

@@ -21,11 +21,17 @@ import (
 // caller) must not be used again. Tensors that outlive the pass (model
 // outputs, tap captures) should come from tensor.New, not the arena.
 type Arena struct {
-	free map[int][]*Tensor
+	free   map[int][]*Tensor
+	free64 map[int][][]int64
 }
 
 var arenaPool = sync.Pool{
-	New: func() any { return &Arena{free: make(map[int][]*Tensor)} },
+	New: func() any {
+		return &Arena{
+			free:   make(map[int][]*Tensor),
+			free64: make(map[int][][]int64),
+		}
+	},
 }
 
 // GetArena returns a scratch arena from the process-wide pool.
@@ -80,4 +86,29 @@ func (a *Arena) New(shape ...int) *Tensor {
 func (a *Arena) Put(t *Tensor) {
 	n := len(t.data)
 	a.free[n] = append(a.free[n], t)
+}
+
+// Int64 returns an n-element int64 scratch slice whose contents are
+// unspecified (a recycled slice keeps its stale values). It is the
+// integer datapath's counterpart of NewUninit: destinations and decode
+// buffers for the int64 GEMM kernels, recycled by exact length so the
+// steady state of a fixed-shape workload allocates nothing.
+func (a *Arena) Int64(n int) []int64 {
+	if n < 0 {
+		panic(check.Invariantf("tensor: negative int64 scratch length %d", n))
+	}
+	ss := a.free64[n]
+	if len(ss) == 0 {
+		return make([]int64, n)
+	}
+	s := ss[len(ss)-1]
+	a.free64[n] = ss[:len(ss)-1]
+	return s
+}
+
+// PutInt64 recycles s for a later Int64 of the same length. The caller
+// must not use s (or any slice sharing its storage) afterwards.
+func (a *Arena) PutInt64(s []int64) {
+	n := len(s)
+	a.free64[n] = append(a.free64[n], s)
 }

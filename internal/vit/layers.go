@@ -136,7 +136,7 @@ func (b *Block) Forward(x *tensor.Tensor, nSeq, blk int, opts ForwardOpts) *tens
 
 	h := b.LN1.Apply(x)
 	h = tap.apply(Site{blk, "ln1.out", KindGEMMIn}, h)
-	qkvOut := b.QKV.ApplyInto(ar.NewUninit(s, 3*dim), h)
+	qkvOut := applyLinear(opts, Site{blk, "attn.qkv.w", KindWeight}, b.QKV, ar.NewUninit(s, 3*dim), h)
 
 	// Split into Q, K, V tensors of shape [S, dim].
 	q, k, v := tensor.New(s, dim), tensor.New(s, dim), tensor.New(s, dim)
@@ -168,7 +168,7 @@ func (b *Block) Forward(x *tensor.Tensor, nSeq, blk int, opts ForwardOpts) *tens
 	ctx := tensor.New(s, dim)
 	attnContext(ar, ctx, scores, v, nSeq, heads, t, dh)
 	ctx = tap.apply(Site{blk, "attn.proj_in", KindGEMMIn}, ctx)
-	o := b.Proj.Apply(ctx)
+	o := applyLinear(opts, Site{blk, "attn.proj.w", KindWeight}, b.Proj, tensor.New(s, dim), ctx)
 	o = tap.apply(Site{blk, "attn.proj_out", KindActivation}, o)
 
 	x = x.Add(o)
@@ -176,11 +176,11 @@ func (b *Block) Forward(x *tensor.Tensor, nSeq, blk int, opts ForwardOpts) *tens
 
 	h = b.LN2.Apply(x)
 	h = tap.apply(Site{blk, "ln2.out", KindGEMMIn}, h)
-	h = b.FC1.Apply(h)
+	h = applyLinear(opts, Site{blk, "mlp.fc1.w", KindWeight}, b.FC1, tensor.New(s, b.FC1.Out()), h)
 	h = tap.apply(Site{blk, "mlp.gelu_in", KindActivation}, h)
 	h.Apply(mathx.Gelu)
 	h = tap.apply(Site{blk, "mlp.gelu_out", KindGEMMIn}, h)
-	h = b.FC2.Apply(h)
+	h = applyLinear(opts, Site{blk, "mlp.fc2.w", KindWeight}, b.FC2, tensor.New(s, dim), h)
 	h = tap.apply(Site{blk, "mlp.fc2_out", KindActivation}, h)
 
 	x = x.Add(h)

@@ -72,8 +72,34 @@ func (t Tap) apply(site Site, x *tensor.Tensor) *tensor.Tensor {
 // the Figure 7 experiment uses it to extract attention maps.
 type AttnSink func(block int, attn *tensor.Tensor)
 
+// GEMMEngine substitutes the computation of weight GEMMs during a
+// forward pass. Linear is offered every weight-layer application (the
+// same sites ForEachWeight enumerates, identified by their KindWeight
+// site): if the engine computes xW+b into dst and returns true, the
+// float path is skipped; returning false falls back to the layer's
+// ApplyInto. dst arrives with the correct shape [x rows, l.Out()] and
+// unspecified contents. The PTQ integer path implements this to run
+// weight GEMMs on resident integer operands without rehydrating weights
+// to float64.
+type GEMMEngine interface {
+	Linear(site Site, l *Linear, dst, x *tensor.Tensor) bool
+}
+
 // ForwardOpts bundles the optional instrumentation of a forward pass.
 type ForwardOpts struct {
 	Tap  Tap
 	Attn AttnSink
+	// Engine, when non-nil, substitutes weight-GEMM computation; see
+	// GEMMEngine.
+	Engine GEMMEngine
+}
+
+// applyLinear routes one weight-layer application through the engine
+// seam, falling back to the float ApplyInto when no engine is installed
+// or the engine declines the site.
+func applyLinear(opts ForwardOpts, site Site, l *Linear, dst, x *tensor.Tensor) *tensor.Tensor {
+	if opts.Engine != nil && opts.Engine.Linear(site, l, dst, x) {
+		return dst
+	}
+	return l.ApplyInto(dst, x)
 }

@@ -113,7 +113,7 @@ func (m *Swin) Forward(img *tensor.Tensor, opts ForwardOpts) *tensor.Tensor {
 	tap := opts.Tap
 	patches := Patchify(img, m.cfg.PatchSize)
 	patches = tap.apply(Site{-1, "patch.in", KindGEMMIn}, patches)
-	x := m.Patch.Apply(patches)
+	x := applyLinear(opts, Site{-1, "patch.w", KindWeight}, m.Patch, tensor.New(patches.Dim(0), m.cfg.StageDims[0]), patches)
 	x.AddInPlace(m.Pos)
 	x = tap.apply(Site{-1, "embed.out", KindActivation}, x)
 
@@ -137,7 +137,7 @@ func (m *Swin) Forward(img *tensor.Tensor, opts ForwardOpts) *tensor.Tensor {
 			x = mergePatches(x, grid)
 			x = stage.MergeLN.Apply(x)
 			x = tap.apply(Site{blk - 1, "merge.in", KindGEMMIn}, x)
-			x = stage.Merge.Apply(x)
+			x = applyLinear(opts, Site{blk - 1, "merge.w", KindWeight}, stage.Merge, tensor.New(x.Dim(0), stage.Merge.Out()), x)
 			grid /= 2
 			x = tap.apply(Site{blk - 1, "merge.out", KindActivation}, x)
 		}
@@ -160,7 +160,7 @@ func (m *Swin) Forward(img *tensor.Tensor, opts ForwardOpts) *tensor.Tensor {
 	for c := range prow {
 		prow[c] /= float64(x.Dim(0))
 	}
-	return m.Head.Apply(pooled).Reshape(m.cfg.Classes)
+	return applyLinear(opts, Site{-1, "head.w", KindWeight}, m.Head, tensor.New(1, m.cfg.Classes), pooled).Reshape(m.cfg.Classes)
 }
 
 // mergePatches concatenates each 2×2 neighbourhood of a row-major g×g

@@ -155,7 +155,7 @@ func (m *ViT) Forward(img *tensor.Tensor, opts ForwardOpts) *tensor.Tensor {
 	tap := opts.Tap
 	patches := Patchify(img, m.cfg.PatchSize)
 	patches = tap.apply(Site{-1, "patch.in", KindGEMMIn}, patches)
-	emb := m.Patch.Apply(patches)
+	emb := applyLinear(opts, Site{-1, "patch.w", KindWeight}, m.Patch, tensor.New(patches.Dim(0), m.cfg.Dim), patches)
 
 	extra := 1
 	if m.Dist != nil {
@@ -191,7 +191,7 @@ func (m *ViT) Forward(img *tensor.Tensor, opts ForwardOpts) *tensor.Tensor {
 		two := tensor.New(2, m.cfg.Dim)
 		copy(two.Row(0), x.Row(0))
 		copy(two.Row(1), x.Row(1))
-		logits := m.Head.Apply(two)
+		logits := applyLinear(opts, Site{-1, "head.w", KindWeight}, m.Head, tensor.New(2, m.cfg.Classes), two)
 		out := tensor.New(m.cfg.Classes)
 		for c := 0; c < m.cfg.Classes; c++ {
 			out.Data()[c] = (logits.At(0, c) + logits.At(1, c)) / 2
@@ -200,7 +200,7 @@ func (m *ViT) Forward(img *tensor.Tensor, opts ForwardOpts) *tensor.Tensor {
 	}
 	cls := tensor.New(1, m.cfg.Dim)
 	copy(cls.Row(0), x.Row(0))
-	return m.Head.Apply(cls).Reshape(m.cfg.Classes)
+	return applyLinear(opts, Site{-1, "head.w", KindWeight}, m.Head, tensor.New(1, m.cfg.Classes), cls).Reshape(m.cfg.Classes)
 }
 
 // ForEachWeight implements Model.
