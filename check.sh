@@ -39,6 +39,7 @@ go test -fuzz=FuzzPRA -fuzztime=5s -run=^$ ./internal/quant/
 go test -fuzz=FuzzQUBRoundtrip -fuzztime=5s -run=^$ ./internal/qub/
 go test -fuzz=FuzzGEMMEquivalence -fuzztime=5s -run=^$ ./internal/tensor/
 go test -fuzz=FuzzIntGEMMEquivalence -fuzztime=5s -run=^$ ./internal/tensor/
+go test -fuzz=FuzzSnapshotDecode -fuzztime=5s -run=^$ ./internal/snapstore/
 
 # Kernel-layer smoke: per-shape GEMM naive-vs-tiled plus the end-to-end
 # quantized forward against the in-run pre-kernel-layer replica;
@@ -71,10 +72,12 @@ go run ./cmd/quq-shard -smoke
 
 # Chaos gate: replay the seeded fault scripts (connection resets, 429
 # storms, failed calibrations, black-holed probes, drains under panic,
-# replica divergence/failover, elastic join/drain/leave membership)
+# replica divergence/failover, elastic join/drain/leave membership,
+# crash-restart with snapshot warm-load, on-disk snapshot corruption)
 # against an in-process fleet, twice; all failure-domain invariants —
-# including calibrate-at-most-R and byte-identical replicas — must hold
-# and the two invariant reports must be byte-identical.
+# including calibrate-at-most-R, byte-identical replicas, zero-rebuild
+# warm restarts, and anti-entropy convergence — must hold and the two
+# invariant reports must be byte-identical.
 go run ./cmd/quq-shard -chaos
 
 # Sharded throughput benchmark; regenerates artifacts/BENCH_shard.json

@@ -54,6 +54,7 @@ func main() {
 		maxBody  = flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 		smoke    = flag.Bool("smoke", false, "start on an ephemeral port, run a quantize+classify round trip, exit")
 		intPath  = flag.Bool("int-path", false, "run QUQ-method weight GEMMs on resident integer operands (no float64 weight rehydration); requantized outputs are byte-identical to the float path")
+		snapDir  = flag.String("snapshot-dir", "", "directory for checksummed calibration snapshots; every successful build is persisted atomically and a restart warm-loads verified snapshots instead of recalibrating (empty disables durability)")
 
 		latencyBudget  = flag.Duration("latency-budget", 0, "default per-request latency budget; estimated queue waits beyond it shed with 429 (0 disables; X-Quq-Latency-Budget overrides per request)")
 		governorWindow = flag.Duration("governor-window", 0, "occupancy window for the adaptive scheduler (0 disables adaptation: static linger and min-intraop workers)")
@@ -69,6 +70,7 @@ func main() {
 			CalibImages: *calib,
 			Checkpoint:  *ckpt,
 			IntPath:     *intPath,
+			SnapshotDir: *snapDir,
 		},
 		Batcher: serve.BatcherOptions{
 			MaxBatch:      *maxBatch,

@@ -69,6 +69,7 @@ func main() {
 		retries       = flag.Int("retries", 2, "connection-failure retries per backend (never retries HTTP responses)")
 		backoff       = flag.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per attempt, equal-jitter)")
 		seed          = flag.Uint64("seed", 1, "deterministic seed for retry-backoff jitter")
+		antiEntropy   = flag.Duration("anti-entropy-interval", 0, "period of the background anti-entropy sweep comparing snapshot digests across each key's R replica owners and repairing divergent or missing copies (0 disables; needs -replicas >= 2 and backends running with -snapshot-dir)")
 		timeout       = flag.Duration("timeout", 120*time.Second, "per-request timeout, including first-request calibration")
 		maxBody       = flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 		smoke         = flag.Bool("smoke", false, "spawn 3 in-process quq-serve shards and run the multi-key self-test")
@@ -98,6 +99,8 @@ func main() {
 		Seed:           *seed,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
+
+		AntiEntropyInterval: *antiEntropy,
 	}
 
 	backendCfg := serve.Config{

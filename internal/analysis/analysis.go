@@ -46,7 +46,7 @@ type Analyzer struct {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		IntOnly, Pow2, DetIter, ErrDrop, PanicAudit, HotAlloc, Sleepless, DocMissing,
-		LockCheck, CtxFlow, LeakCheck, AtomicMix, MetricLabel,
+		LockCheck, CtxFlow, LeakCheck, AtomicMix, MetricLabel, FsyncCheck,
 		Directives,
 	}
 }
@@ -270,7 +270,7 @@ var Directives = &Analyzer{
 		// initialization cycle.
 		for _, a := range []*Analyzer{
 			IntOnly, Pow2, DetIter, ErrDrop, PanicAudit, HotAlloc, Sleepless,
-			LockCheck, CtxFlow, LeakCheck, AtomicMix, MetricLabel,
+			LockCheck, CtxFlow, LeakCheck, AtomicMix, MetricLabel, FsyncCheck,
 		} {
 			if a.Directive != "" && !known[a.Directive] {
 				known[a.Directive] = true

@@ -311,7 +311,7 @@ func TestRegistry(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"intonly", "pow2", "detiter", "errdrop", "panicaudit", "hotalloc", "sleepless", "docmissing", "lockcheck", "ctxflow", "leakcheck", "atomicmix", "metriclabel", "directive"} {
+	for _, want := range []string{"intonly", "pow2", "detiter", "errdrop", "panicaudit", "hotalloc", "sleepless", "docmissing", "lockcheck", "ctxflow", "leakcheck", "atomicmix", "metriclabel", "fsynccheck", "directive"} {
 		if !names[want] {
 			t.Fatalf("registry missing %q", want)
 		}
@@ -344,13 +344,14 @@ var analyzerFixtures = map[string]struct{ failing, passing fixtureCorpus }{
 	"leakcheck":   {fixtureCorpus{"leakcheck", "quq/internal/leakcheckfixture"}, fixtureCorpus{"leakcheckok", "quq/internal/leakcheckok"}},
 	"atomicmix":   {fixtureCorpus{"atomicmix", "quq/internal/atomicmixfixture"}, fixtureCorpus{"atomicmixok", "quq/internal/atomicmixok"}},
 	"metriclabel": {fixtureCorpus{"metriclabel", "quq/internal/metricsfixture"}, fixtureCorpus{"metriclabelok", "quq/internal/metricsokfixture"}},
+	"fsynccheck":  {fixtureCorpus{"fsynccheck", "quq/internal/fsynccheckfixture"}, fixtureCorpus{"fsynccheckok", "quq/internal/fsynccheckok"}},
 	"directive":   {fixtureCorpus{"directive", "quq/internal/directivefixture"}, fixtureCorpus{"cleanok", "quq/internal/cleanok"}},
 }
 
 // suppressionProven lists the analyzers whose failing corpus must also
 // demonstrate a working opt-out: at least one finding silenced by the
 // analyzer's directive.
-var suppressionProven = []string{"lockcheck", "ctxflow", "leakcheck", "atomicmix", "metriclabel"}
+var suppressionProven = []string{"lockcheck", "ctxflow", "leakcheck", "atomicmix", "metriclabel", "fsynccheck"}
 
 // TestEveryAnalyzerHasFixtures is the registry meta-test: each analyzer
 // must prove at least one true positive and at least one silent

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FsyncCheck flags os.Rename calls in functions that never call
+// (*os.File).Sync. The module's durable-persistence idiom (the
+// internal/snapstore write path) is write-temp, fsync, close, rename:
+// the rename is the commit point, and renaming a file whose bytes may
+// still sit in the page cache publishes a name that a crash can leave
+// pointing at torn or empty content — exactly the corruption the
+// snapshot digests exist to catch. A rename that genuinely moves no
+// new data (quarantining an already-committed file, say) carries
+// //quq:fsync-ok with the reason.
+var FsyncCheck = &Analyzer{
+	Name:      "fsynccheck",
+	Doc:       "os.Rename on a write path needs an (*os.File).Sync in the same function",
+	Directive: "fsync-ok",
+	Run:       runFsyncCheck,
+}
+
+func runFsyncCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var renames []*ast.CallExpr
+			synced := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isPkgCall(pass.Info, call, "os", "Rename") {
+					renames = append(renames, call)
+				}
+				if isFileSync(pass.Info, call) {
+					synced = true
+				}
+				return true
+			})
+			if synced {
+				continue
+			}
+			for _, call := range renames {
+				pass.Reportf(call.Pos(), "os.Rename in %s with no (*os.File).Sync on the same path; fsync before the rename commits, so a crash cannot publish torn data (or annotate //quq:fsync-ok with the reason)", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// isFileSync reports whether call is (*os.File).Sync.
+func isFileSync(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Sync" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	rt := recv.Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	return rt.String() == "os.File"
+}

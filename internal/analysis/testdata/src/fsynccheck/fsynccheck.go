@@ -1,0 +1,38 @@
+// Package fsynccheck is the fixture corpus for the fsynccheck
+// analyzer: renames that commit unsynced data and must flag, plus a
+// documented //quq:fsync-ok suppression for a rename that moves no new
+// bytes.
+package fsynccheck
+
+import "os"
+
+// commitUnsynced publishes a temp file that was never fsynced: a crash
+// after the rename can leave the final name pointing at torn content.
+func commitUnsynced(tmp, final string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		//quq:errdrop-ok fixture keeps the failing shape minimal
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) // want `os.Rename in commitUnsynced`
+}
+
+// renameOnly has no write at all in scope; the analyzer still flags it
+// because the enclosing function gives no durability evidence.
+func renameOnly(tmp, final string) error {
+	return os.Rename(tmp, final) // want `os.Rename in renameOnly`
+}
+
+// quarantine renames an already-committed file aside; the suppression
+// documents why no Sync is needed.
+func quarantine(path string) error {
+	//quq:fsync-ok the source file was fsynced when it was committed; this rename moves no new data
+	return os.Rename(path, path+".quarantined")
+}

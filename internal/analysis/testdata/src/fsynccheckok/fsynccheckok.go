@@ -1,0 +1,29 @@
+// Package fsynccheckok is the conforming corpus for the fsynccheck
+// analyzer: the canonical write-temp, fsync, close, rename commit
+// sequence, which must stay silent.
+package fsynccheckok
+
+import "os"
+
+// commitDurable is the idiom the analyzer enforces: data reaches the
+// platter (Sync) before the rename makes it reachable by name.
+func commitDurable(tmp, final string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		//quq:errdrop-ok the write error is already being returned; close is cleanup
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		//quq:errdrop-ok the sync error is already being returned; close is cleanup
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}

@@ -33,7 +33,18 @@
 //     governor shrinks then restores the per-batch worker budget,
 //     admission control sheds impatient requests up front (429, no
 //     queue slot) while every admitted request meets its budget, and
-//     the shed counter surfaces in the merged /metrics view.
+//     the shed counter surfaces in the merged /metrics view;
+//   - warm-restart-zero-recalibration: a backend killed and restarted
+//     against its snapshot directory serves every previously-calibrated
+//     key warm — zero new calibration builds, identical digests, and a
+//     retryable 503 (never a wrong answer) while the warm load is still
+//     in flight;
+//   - corruption-quarantined / antientropy-converges: a snapshot whose
+//     bytes were flipped on disk is quarantined at restart (the backend
+//     stays healthy, never serves the corrupt payload), and one
+//     anti-entropy sweep re-pushes the surviving replica's snapshot so
+//     the fleet converges back to R identical copies without a single
+//     recalibration.
 //
 // Everything stochastic draws from the script seed via internal/rng and
 // every sleep goes through chaos.Clock, so a run's invariant report is
@@ -46,8 +57,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"quq/internal/chaos"
 	"quq/internal/serve"
@@ -85,6 +98,8 @@ func Run(ctx context.Context, seed uint64, opts Options) (*chaos.Report, error) 
 		{"replica-failover", scenarioReplicaFailover},
 		{"membership-elastic", scenarioMembershipElastic},
 		{"overload-shed", scenarioOverloadShed},
+		{"warm-restart", scenarioWarmRestart},
+		{"corruption-repair", scenarioCorruptionRepair},
 	} {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("chaos scenario %s: %w", sc.name, err)
@@ -113,7 +128,8 @@ type testFleet struct {
 type backendShard struct {
 	srv     *serve.Server
 	httpSrv *http.Server
-	host    string // "127.0.0.1:port" — the form chaos rules match on
+	host    string       // "127.0.0.1:port" — the form chaos rules match on
+	cfg     serve.Config // the exact config the backend booted with, kept for crash-restart
 }
 
 // boot starts nShards backends and the front-end. ctx roots the
@@ -131,7 +147,14 @@ func boot(ctx context.Context, nShards, replicas int, cfg serve.Config, script *
 		Clock:         f.clock,
 	}
 	for i := 0; i < nShards; i++ {
-		b, err := f.startBackend(cfg)
+		bcfg := cfg
+		if root := cfg.Registry.SnapshotDir; root != "" {
+			// The scenario hands boot one SnapshotDir as a fleet-wide
+			// root; each backend persists into its own subdirectory, the
+			// way real shards own disjoint disks.
+			bcfg.Registry.SnapshotDir = filepath.Join(root, fmt.Sprintf("shard-%d", i))
+		}
+		b, err := f.startBackend(bcfg)
 		if err != nil {
 			f.close()
 			return nil, fmt.Errorf("starting backend %d: %w", i, err)
@@ -175,7 +198,46 @@ func (f *testFleet) startBackend(cfg serve.Config) (*backendShard, error) {
 		defer f.serving.Done()
 		_ = httpSrv.Serve(ln)
 	}()
-	return &backendShard{srv: s, httpSrv: httpSrv, host: ln.Addr().String()}, nil
+	return &backendShard{srv: s, httpSrv: httpSrv, host: ln.Addr().String(), cfg: cfg}, nil
+}
+
+// crashBackend kills backend b abruptly: the listener closes and every
+// in-flight connection drops, with no drain — the process-kill fault.
+// The registry's state survives only through whatever it persisted to
+// its snapshot directory.
+func (f *testFleet) crashBackend(b *backendShard) {
+	_ = b.httpSrv.Close()
+}
+
+// restartBackend brings a crashed backend back on the SAME address with
+// a fresh serve.Server built from the config it originally booted with
+// — same snapshot directory, so the new registry warm-restarts from
+// disk. Rebinding an ephemeral port that just closed can transiently
+// fail, so the listen is retried through the fake clock.
+func (f *testFleet) restartBackend(ctx context.Context, b *backendShard) error {
+	s := serve.New(b.cfg)
+	var ln net.Listener
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		ln, err = net.Listen("tcp", b.host)
+		if err == nil {
+			break
+		}
+		if serr := f.clock.Sleep(ctx, 10*time.Millisecond); serr != nil {
+			return serr
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("rebinding %s: %w", b.host, err)
+	}
+	b.srv = s
+	b.httpSrv = &http.Server{Handler: s.Handler()}
+	f.serving.Add(1)
+	go func() {
+		defer f.serving.Done()
+		_ = b.httpSrv.Serve(ln)
+	}()
+	return nil
 }
 
 // close tears the fleet down and joins every Serve goroutine, so a

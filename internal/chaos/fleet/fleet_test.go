@@ -34,11 +34,11 @@ func TestRunInvariantsHoldAndReplayIsByteIdentical(t *testing.T) {
 	if rep.Failed() {
 		t.Fatalf("invariants failed on the healthy stack:\n%s", text1)
 	}
-	// 11 check entries for the 10 invariants: replica-divergence reports
+	// 14 check entries for the 13 invariants: replica-divergence reports
 	// replicas-identical twice — float/float replicas, then again with
 	// one replica flipped to the integer weight path.
-	if got := len(rep.Results); got != 11 {
-		t.Fatalf("checks = %d, want 11 (10 invariants, replicas-identical twice)", got)
+	if got := len(rep.Results); got != 14 {
+		t.Fatalf("checks = %d, want 14 (13 invariants, replicas-identical twice)", got)
 	}
 	_, text2 := render(t, 7, Options{})
 	if text1 != text2 {

@@ -242,3 +242,43 @@ func (r *Report) CheckElasticMembership(epochs []uint64, moved, lost int) {
 	r.Add("elastic-membership", pass,
 		"epochs=%v moved=%d lost=%d", epochs, moved, lost)
 }
+
+// CheckWarmRestart asserts the durability contract over a crash-restart
+// script: a worker killed and restarted against its snapshot dir comes
+// back holding every previously-calibrated key (restored counts the
+// snapshot entries it reloaded), requests that raced the warm-restart
+// window were told to retry (warming503 — the retryable 503 contract,
+// never a stale 404 or a spurious rebuild), every post-restart read of a
+// warm key succeeded, zero new calibration builds ran fleet-wide, and
+// the restored entries' digests are byte-identical to the pre-crash
+// ones.
+func (r *Report) CheckWarmRestart(restored, reads, readsOK, newBuilds int, warming503, digestsStable bool) {
+	pass := restored >= 1 && readsOK == reads && newBuilds == 0 && warming503 && digestsStable
+	r.Add("warm-restart-zero-recalibration", pass,
+		"restored=%d reads=%d reads-ok=%d new-builds=%d warming-503=%v digests-stable=%v",
+		restored, reads, readsOK, newBuilds, warming503, digestsStable)
+}
+
+// CheckCorruptionQuarantined asserts the verification contract over a
+// snapshot-corruption script: a worker restarted over a corrupted
+// snapshot file quarantines it (quarantined is its own count of
+// rejected files), stays alive (healthy), and never serves the corrupt
+// payload — the damaged key is simply absent from its registry
+// (servedCorrupt must be zero).
+func (r *Report) CheckCorruptionQuarantined(quarantined int, healthy bool, servedCorrupt int) {
+	pass := quarantined >= 1 && healthy && servedCorrupt == 0
+	r.Add("corruption-quarantined", pass,
+		"quarantined=%d healthy=%v served-corrupt=%d", quarantined, healthy, servedCorrupt)
+}
+
+// CheckAntiEntropyConverges asserts the self-healing contract: the
+// sweep saw the divergence (mismatches), repaired every divergent owner
+// (repairs, no failures), left all R owners of every key holding one
+// digest (converged), and did it all by copying state — zero new
+// calibration builds.
+func (r *Report) CheckAntiEntropyConverges(mismatches, repairs, failures, newBuilds int, converged bool) {
+	pass := mismatches >= 1 && repairs == mismatches && failures == 0 && newBuilds == 0 && converged
+	r.Add("antientropy-converges", pass,
+		"mismatches=%d repairs=%d failures=%d new-builds=%d converged=%v",
+		mismatches, repairs, failures, newBuilds, converged)
+}

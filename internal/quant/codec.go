@@ -1,0 +1,61 @@
+package quant
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// paramsWireBytes is the fixed encoded size of Params: Bits u32, Mode
+// u32, then four slots of {Enabled u8, Delta float64 bits, MaxMag u64}.
+const paramsWireBytes = 4 + 4 + 4*(1+8+8)
+
+// MarshalBinary encodes p in the fixed little-endian layout used by the
+// snapshot store. The encoding is canonical: equal Params always
+// produce identical bytes, which is what makes content-addressed
+// snapshot digests comparable across replicas.
+func (p *Params) MarshalBinary() ([]byte, error) {
+	if p == nil {
+		return nil, fmt.Errorf("quant: marshal nil Params")
+	}
+	buf := make([]byte, 0, paramsWireBytes)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Bits))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Mode))
+	for _, s := range p.Slots {
+		if s.Enabled {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.Delta))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.MaxMag))
+	}
+	return buf, nil
+}
+
+// UnmarshalParams decodes the layout written by Params.MarshalBinary.
+// It checks length and the Enabled byte strictly so corrupt snapshot
+// payloads fail loudly instead of yielding a half-plausible quantizer.
+func UnmarshalParams(data []byte) (*Params, error) {
+	if len(data) != paramsWireBytes {
+		return nil, fmt.Errorf("quant: params encoding is %d bytes, want %d", len(data), paramsWireBytes)
+	}
+	p := &Params{}
+	p.Bits = int(binary.LittleEndian.Uint32(data[0:4]))
+	p.Mode = Mode(binary.LittleEndian.Uint32(data[4:8]))
+	off := 8
+	for i := range p.Slots {
+		switch data[off] {
+		case 0:
+			p.Slots[i].Enabled = false
+		case 1:
+			p.Slots[i].Enabled = true
+		default:
+			return nil, fmt.Errorf("quant: slot %d enabled byte is %d, want 0 or 1", i, data[off])
+		}
+		p.Slots[i].Delta = math.Float64frombits(binary.LittleEndian.Uint64(data[off+1 : off+9]))
+		p.Slots[i].MaxMag = int64(binary.LittleEndian.Uint64(data[off+9 : off+17]))
+		off += 17
+	}
+	return p, nil
+}

@@ -13,6 +13,7 @@ import (
 	"quq/internal/baselines"
 	"quq/internal/data"
 	"quq/internal/ptq"
+	"quq/internal/snapstore"
 	"quq/internal/tensor"
 	"quq/internal/vit"
 )
@@ -185,6 +186,12 @@ var (
 	ErrUnknownMethod = fmt.Errorf("%w: unknown method", ErrBadRequest)
 )
 
+// ErrWarming is returned by lookups while the warm-restart pass is still
+// installing snapshot entries: the state the client wants may be seconds
+// from ready, so the HTTP layer maps this to a retryable 503 instead of
+// starting a redundant calibration (or serving a stale miss).
+var ErrWarming = errors.New("serve: warm restart in progress, retry shortly")
+
 // RegistryOptions configures model construction.
 type RegistryOptions struct {
 	// Seed drives synthetic weights and calibration images (default 2024,
@@ -207,6 +214,21 @@ type RegistryOptions struct {
 	// an error simulates a failing one (the entry is then evicted so a
 	// later request can retry). Not for production use.
 	BuildHook func(key Key) error
+	// SnapshotDir, when set, makes calibration durable: every successful
+	// build is committed there as a content-addressed snapshot file
+	// (write-temp, fsync, rename) and the registry warm-restarts from the
+	// directory on construction — previously-calibrated keys come back
+	// ready with zero recalibration. Files whose digest or payload fails
+	// verification are quarantined (renamed aside), never served and
+	// never fatal. Empty disables persistence.
+	SnapshotDir string
+	// SnapshotLoadHook, when set, runs on the warm-restart goroutine
+	// after the snapshot directory has been read, with the number of
+	// verified snapshots about to be installed. It is the chaos layer's
+	// restart seam: a hook that blocks holds the registry in its warming
+	// state (requests answer 503) for as long as the scenario needs. Not
+	// for production use.
+	SnapshotLoadHook func(n int)
 	// IntPath enables the fully-integer weight path (-int-path flag) on
 	// every QUQ-method model the registry builds: weight GEMMs run on
 	// resident pre-shifted int64 operands through the tensor kernel
@@ -238,6 +260,7 @@ type entry struct {
 	qm      *ptq.QuantizedModel
 	err     error
 	buildMS float64
+	digest  string       // hex content address of the entry's snapshot; "" if not snapshottable
 	replica atomic.Int32 // replica index stamped by the front-end; -1 until known
 }
 
@@ -264,6 +287,13 @@ type Registry struct {
 	entries map[Key]*entry
 	builds  sync.WaitGroup // joins detached buildEntry goroutines in Drain
 
+	// store is the durable snapshot store (nil when SnapshotDir is
+	// empty); warm closes once the warm-restart pass has finished
+	// installing on-disk entries — requests arriving earlier are told to
+	// retry (503) rather than being served a stale miss.
+	store *snapstore.Store
+	warm  chan struct{}
+
 	// intPath is the live value of RegistryOptions.IntPath; reads happen
 	// at build completion, writes through SetIntPath.
 	intPath atomic.Bool
@@ -286,7 +316,38 @@ func NewRegistry(opts RegistryOptions, met *Metrics) *Registry {
 	}
 	sort.Strings(r.names)
 	r.intPath.Store(opts.IntPath)
+	r.warm = make(chan struct{})
+	if opts.SnapshotDir == "" {
+		close(r.warm)
+		return r
+	}
+	store, _, err := snapstore.Open(opts.SnapshotDir)
+	if err != nil {
+		// A broken snapshot dir costs durability, never serving: run
+		// memory-only and surface the failure in metrics.
+		if met != nil {
+			met.SnapshotErrors.Inc()
+		}
+		close(r.warm)
+		return r
+	}
+	r.store = store
+	r.builds.Add(1)
+	go r.warmRestart()
 	return r
+}
+
+// Warming reports whether the warm-restart pass is still installing
+// snapshot entries. While true, lookups return ErrWarming so clients
+// retry instead of triggering recalibration of keys that are about to
+// come back from disk.
+func (r *Registry) Warming() bool {
+	select {
+	case <-r.warm:
+		return false
+	default:
+		return true
+	}
 }
 
 // Config returns the zoo configuration for a model name.
@@ -334,6 +395,9 @@ func (r *Registry) Get(ctx context.Context, key Key) (*ptq.QuantizedModel, bool,
 	if err := r.validate(key); err != nil {
 		return nil, false, err
 	}
+	if r.Warming() {
+		return nil, false, ErrWarming
+	}
 	r.mu.Lock()
 	e, cached := r.entries[key]
 	if !cached {
@@ -379,6 +443,11 @@ func (r *Registry) buildEntry(e *entry) {
 			delete(r.entries, e.key)
 		}
 		r.mu.Unlock()
+	} else {
+		// Commit the build to the snapshot store (and stamp the entry's
+		// digest) before publishing: a waiter that sees ready also sees
+		// the digest.
+		r.persist(e)
 	}
 	close(e.ready)
 }
@@ -537,6 +606,11 @@ type EntryInfo struct {
 	Error   string  `json:"error,omitempty"`
 	BuildMS float64 `json:"build_ms,omitempty"`
 	Replica int     `json:"replica"`
+	// Digest is the hex SHA-256 content address of the entry's snapshot
+	// payload — identical across replicas exactly when their calibrated
+	// state is byte-identical, which is what the anti-entropy sweeper
+	// compares. Empty for entries that are not snapshottable.
+	Digest string `json:"digest,omitempty"`
 }
 
 // Entries snapshots the registry in deterministic (key-string) order.
@@ -556,6 +630,7 @@ func (r *Registry) Entries() []EntryInfo {
 		case <-e.ready:
 			info.Ready = e.err == nil
 			info.BuildMS = e.buildMS
+			info.Digest = e.digest
 			if e.err != nil {
 				info.Error = e.err.Error()
 			}

@@ -61,6 +61,13 @@ type Metrics struct {
 	CacheHits    *metrics.Counter   // registry lookups that found an entry
 	CacheMisses  *metrics.Counter   // lookups that triggered a calibration
 	BuildSeconds *metrics.Histogram // calibration wall time, seconds
+
+	// Durable snapshot store (snapshot.go).
+	SnapshotLoads       *metrics.Counter // entries warm-restarted from disk
+	SnapshotWrites      *metrics.Counter // snapshots committed to disk
+	SnapshotErrors      *metrics.Counter // snapshot encode/write/load failures
+	SnapshotQuarantined *metrics.Counter // snapshot files quarantined (bad digest or payload)
+	SnapshotInstalls    *metrics.Counter // snapshots installed via POST /v1/snapshot (anti-entropy repair)
 }
 
 // NewMetrics builds the full instrument set on a fresh registry.
@@ -87,5 +94,11 @@ func NewMetrics() *Metrics {
 		CacheHits:    r.NewCounter("quq_serve_model_cache_hits_total", "registry lookups served from cache"),
 		CacheMisses:  r.NewCounter("quq_serve_model_cache_misses_total", "registry lookups that calibrated a model"),
 		BuildSeconds: r.NewHistogram("quq_serve_model_build_seconds", "model calibration wall time in seconds", metrics.LatencyBuckets()),
+
+		SnapshotLoads:       r.NewCounter("quq_serve_snapshot_loads_total", "registry entries warm-restarted from the snapshot dir"),
+		SnapshotWrites:      r.NewCounter("quq_serve_snapshot_writes_total", "snapshots committed to the snapshot dir"),
+		SnapshotErrors:      r.NewCounter("quq_serve_snapshot_errors_total", "snapshot encode, write or load failures"),
+		SnapshotQuarantined: r.NewCounter("quq_serve_snapshot_quarantined_total", "snapshot files quarantined after failing digest or payload verification"),
+		SnapshotInstalls:    r.NewCounter("quq_serve_snapshot_installs_total", "snapshots installed via POST /v1/snapshot"),
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -28,6 +29,14 @@ const ReplicaHeader = "X-Quq-Replica"
 // estimated queue wait already exceeds the budget; it overrides the
 // server-wide -latency-budget default for that request only.
 const LatencyBudgetHeader = "X-Quq-Latency-Budget"
+
+// DigestHeader names the response header classify/quantize/snapshot
+// responses stamp with the served entry's snapshot content address (hex
+// SHA-256 of the snapshot payload). Replicas built from byte-identical
+// calibrations carry identical digests, so the header lets any caller —
+// and the anti-entropy sweeper — check replica agreement without
+// downloading state. Absent when the entry is not snapshottable.
+const DigestHeader = "X-Quq-Digest"
 
 // Config assembles the server from its tunables.
 type Config struct {
@@ -86,6 +95,8 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	mux.HandleFunc("POST /v1/quantize", s.handleQuantize)
+	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshotGet)
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshotPost)
 	mux.HandleFunc("GET /models", s.handleModels)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -214,6 +225,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reg.NoteReplica(key, replicaFrom(r))
+	if d := s.reg.Digest(key); d != "" {
+		w.Header().Set(DigestHeader, d)
+	}
 	budget, err := latencyBudgetFrom(r)
 	if err != nil {
 		s.writeError(w, err)
@@ -264,11 +278,78 @@ func (s *Server) handleQuantize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reg.NoteReplica(key, replicaFrom(r))
+	if d := s.reg.Digest(key); d != "" {
+		w.Header().Set(DigestHeader, d)
+	}
 	s.writeJSON(w, http.StatusOK, quantizeResponse{
 		Key:     key.String(),
 		Cached:  cached,
 		BuildMS: float64(time.Since(start)) / float64(time.Millisecond),
 	})
+}
+
+// handleSnapshotGet serves a key's snapshot file image — the transfer
+// format anti-entropy repair re-pushes to a divergent replica. The key
+// comes URL-escaped in the ?key= query parameter.
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	keyStr := r.URL.Query().Get("key")
+	if keyStr == "" {
+		s.writeError(w, fmt.Errorf("%w: missing key query parameter", ErrBadRequest))
+		return
+	}
+	key, err := ParseKey(keyStr)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if s.reg.Warming() {
+		s.writeError(w, ErrWarming)
+		return
+	}
+	blob, digest, err := s.reg.Snapshot(key)
+	if err != nil {
+		if errors.Is(err, ErrSnapshotUnavailable) {
+			s.writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+			return
+		}
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(DigestHeader, digest)
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(blob); err != nil {
+		// The client hung up mid-transfer; the failure counter is the
+		// only remaining audience.
+		s.met.Failures.Inc()
+	}
+}
+
+type snapshotInstallResponse struct {
+	Key    string `json:"key"`
+	Digest string `json:"digest"`
+}
+
+// handleSnapshotPost verifies and installs a snapshot file image,
+// replacing the key's resident entry — the write half of the
+// anti-entropy repair path.
+func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
+	if s.reg.Warming() {
+		s.writeError(w, ErrWarming)
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadRequest, err))
+		return
+	}
+	key, digest, err := s.reg.InstallSnapshot(data)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set(DigestHeader, digest)
+	s.writeJSON(w, http.StatusOK, snapshotInstallResponse{Key: key, Digest: digest})
 }
 
 // latencyBudgetFrom reads the per-request latency budget header; zero
@@ -371,6 +452,11 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, ErrDraining):
 		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrWarming):
+		// Warm restart is about to finish; the state the client wants is
+		// seconds away, so tell it to retry rather than failing over.
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		code = http.StatusGatewayTimeout
 	}

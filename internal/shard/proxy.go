@@ -45,6 +45,12 @@ type Front struct {
 
 	rngMu  sync.Mutex
 	jitter *rng.Source // retry-backoff jitter stream, seeded by Options.Seed
+
+	// aeStop/aeDone bound the anti-entropy loop (antientropy.go): Close
+	// closes aeStop and waits on aeDone, mirroring the prober's
+	// stop/done protocol.
+	aeStop chan struct{}
+	aeDone chan struct{}
 }
 
 // New assembles a front-end over opts.Backends and starts its prober.
@@ -88,6 +94,13 @@ func New(opts Options) *Front {
 	mux.HandleFunc("GET /metrics", f.handleMetrics)
 	f.handler = f.middleware(mux)
 	f.prober.Start()
+	f.aeStop = make(chan struct{})
+	f.aeDone = make(chan struct{})
+	if opts.AntiEntropyInterval > 0 {
+		go f.antiEntropyLoop()
+	} else {
+		close(f.aeDone)
+	}
 	return f
 }
 
@@ -132,8 +145,16 @@ func (f *Front) Metrics() *Metrics { return f.met }
 // is bounded by ctx and the probe timeout.
 func (f *Front) ProbeNow(ctx context.Context) { f.prober.ProbeNow(ctx) }
 
-// Close stops the background prober.
-func (f *Front) Close() { f.prober.Stop() }
+// Close stops the background prober and the anti-entropy loop.
+func (f *Front) Close() {
+	f.prober.Stop()
+	select {
+	case <-f.aeStop:
+	default:
+		close(f.aeStop)
+	}
+	<-f.aeDone
+}
 
 // middleware wraps the mux with panic recovery, request accounting,
 // body limiting and the per-request timeout.

@@ -63,6 +63,14 @@ type Options struct {
 	// ProbeInterval is the /healthz probe period (default 2s; negative
 	// disables the background prober — ProbeNow still works).
 	ProbeInterval time.Duration
+	// AntiEntropyInterval is the period of the background anti-entropy
+	// sweep that compares snapshot digests across each key's R replica
+	// owners and repairs divergent or missing copies by re-pushing the
+	// healthy majority's snapshot (0 or negative disables the loop —
+	// SweepNow still works; it is also a no-op unless Replicas >= 2).
+	// The wait goes through Clock, so chaos replays drive sweeps from a
+	// fake clock.
+	AntiEntropyInterval time.Duration
 	// ProbeTimeout bounds one probe (default 1s).
 	ProbeTimeout time.Duration
 	// FailAfter is the consecutive probe failures before ejection
@@ -161,17 +169,22 @@ func (o *Options) defaults() {
 type Metrics struct {
 	Registry *metrics.Registry
 
-	Requests     *metrics.Counter   // requests accepted by any endpoint
-	Failures     *metrics.Counter   // responses with a 5xx status
-	Backpressure *metrics.Counter   // backend 429s propagated to clients
-	Retries      *metrics.Counter   // same-backend retries after connection failure
-	Failovers    *metrics.Counter   // requests re-routed to a ring successor
-	Ejections    *metrics.Counter   // backends marked unhealthy
-	Readmissions *metrics.Counter   // ejected backends readmitted by a probe
-	ScrapeErrors *metrics.Counter   // backend /metrics scrapes that failed
-	Joins        *metrics.Counter   // members admitted through /admin/join
-	Leaves       *metrics.Counter   // members removed (drain or leave)
-	Handoffs     *metrics.Counter   // registry keys re-homed by drains
+	Requests     *metrics.Counter // requests accepted by any endpoint
+	Failures     *metrics.Counter // responses with a 5xx status
+	Backpressure *metrics.Counter // backend 429s propagated to clients
+	Retries      *metrics.Counter // same-backend retries after connection failure
+	Failovers    *metrics.Counter // requests re-routed to a ring successor
+	Ejections    *metrics.Counter // backends marked unhealthy
+	Readmissions *metrics.Counter // ejected backends readmitted by a probe
+	ScrapeErrors *metrics.Counter // backend /metrics scrapes that failed
+	Joins        *metrics.Counter // members admitted through /admin/join
+	Leaves       *metrics.Counter // members removed (drain or leave)
+	Handoffs     *metrics.Counter // registry keys re-homed by drains
+
+	// Anti-entropy (antientropy.go).
+	DigestMismatch *metrics.Counter // replica owners whose snapshot digest diverged from the authority
+	Repairs        *metrics.Counter // divergent owners repaired by re-pushing the authority snapshot
+
 	Healthy      *metrics.Gauge     // healthy backends on the ring
 	Stale        *metrics.Gauge     // healthy backends missing from the last fleet view
 	RingBackends *metrics.Gauge     // ring members (healthy or not)
@@ -198,6 +211,10 @@ func NewShardMetrics() *Metrics {
 		Joins:        r.NewCounter("quq_shard_joins_total", "backends admitted to the ring through membership joins"),
 		Leaves:       r.NewCounter("quq_shard_leaves_total", "backends removed from the ring (drain or leave)"),
 		Handoffs:     r.NewCounter("quq_shard_handoff_keys_total", "registry keys re-homed onto new owners by drains"),
+
+		DigestMismatch: r.NewCounter("quq_shard_digest_mismatch_total", "replica owners whose snapshot digest diverged from the key's authority digest"),
+		Repairs:        r.NewCounter("quq_shard_antientropy_repairs_total", "divergent replica owners repaired by re-pushing the authority snapshot"),
+
 		Healthy:      r.NewGauge("quq_shard_healthy_backends", "healthy backends on the ring"),
 		Stale:        r.NewGauge("quq_shard_stale_shards", "healthy backends whose contribution to the last merged /metrics view is stale (scrape failed)"),
 		RingBackends: r.NewGauge("quq_shard_ring_backends", "backends on the ring, healthy or not"),

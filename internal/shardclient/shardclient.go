@@ -242,6 +242,19 @@ func (c *Client) Classify(ctx context.Context, model, method string, bits int, r
 			b.SetHealthy(false)
 			continue
 		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// The worker is alive but not serving yet — typically a
+			// restarted owner still warm-loading its snapshot dir. Its
+			// replica sibling (or the proxy) can answer now, so move on
+			// WITHOUT marking the owner unhealthy: it will be back in
+			// seconds and demoting it would steer reads away long after
+			// the warm restart completes.
+			//quq:errdrop-ok best-effort drain for connection reuse; the 503 status is the whole verdict
+			_, _ = io.Copy(io.Discard, resp.Body)
+			//quq:errdrop-ok response deliberately abandoned in favor of the next replica
+			_ = resp.Body.Close()
+			continue
+		}
 		var out ClassifyResult
 		if err := decodeBody(resp, &out); err != nil {
 			return nil, fmt.Errorf("classify on %s: %w", b.Addr(), err)

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"quq/internal/serve"
@@ -16,12 +17,16 @@ import (
 )
 
 // fakeWorker is a minimal quq-serve stand-in recording each classify
-// as "key@replica".
+// as "key@replica". Flipping warming on makes it answer 503 with
+// Retry-After — the warm-restart-in-progress signal a restarted
+// quq-serve emits while loading its snapshot directory.
 type fakeWorker struct {
-	srv *httptest.Server
+	srv     *httptest.Server
+	warming atomic.Bool
 
-	mu         sync.Mutex
-	classifies []string
+	mu          sync.Mutex
+	classifies  []string
+	warmingHits int
 }
 
 func newFakeWorker(t *testing.T) *fakeWorker {
@@ -29,6 +34,14 @@ func newFakeWorker(t *testing.T) *fakeWorker {
 	w := &fakeWorker{}
 	mux := http.NewServeMux()
 	handle := func(rw http.ResponseWriter, r *http.Request, quantize bool) {
+		if w.warming.Load() {
+			w.mu.Lock()
+			w.warmingHits++
+			w.mu.Unlock()
+			rw.Header().Set("Retry-After", "1")
+			rw.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
 		var sel struct {
 			Model  string `json:"model"`
 			Method string `json:"method"`
@@ -66,6 +79,12 @@ func (w *fakeWorker) seen() []string {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return append([]string(nil), w.classifies...)
+}
+
+func (w *fakeWorker) warmHits() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.warmingHits
 }
 
 // newFleet builds workers, a front over them (probing and retries off)
@@ -204,6 +223,47 @@ func TestClientFailsOverAcrossReplicaSlots(t *testing.T) {
 	got := byAddr[owners[1].Addr()].seen()
 	if len(got) != 2 || !strings.HasSuffix(got[0], "@1") || !strings.HasSuffix(got[1], "@1") {
 		t.Fatalf("replica saw %v, want two requests stamped @1", got)
+	}
+}
+
+// TestClientSkipsWarmingOwnerWithoutDemotion: a 503 from an owner that
+// is warm-loading its snapshot directory routes the read to the replica
+// sibling — retryable, never an error — and the warming owner is NOT
+// marked unhealthy: every subsequent classify probes it first, so
+// routing snaps back the moment the warm restart completes.
+func TestClientSkipsWarmingOwnerWithoutDemotion(t *testing.T) {
+	workers, f, _, c := newFleet(t, 2, 3)
+	byAddr := workerByAddr(workers)
+
+	const model = "ViT-L"
+	key, _ := serve.KeyFromWire(model, "QUQ", 6, "")
+	owners := f.Ring().OwnerN(key.String(), 2)
+	primary := byAddr[owners[0].Addr()]
+	primary.warming.Store(true)
+
+	for i := 0; i < 2; i++ {
+		res, err := c.Classify(context.Background(), model, "QUQ", 6, "", nil)
+		if err != nil {
+			t.Fatalf("classify %d during warm restart: %v", i, err)
+		}
+		if res.Via != owners[1].Addr() {
+			t.Fatalf("classify %d served via %q, want replica sibling %q while the primary warms", i, res.Via, owners[1].Addr())
+		}
+	}
+	if got := primary.warmHits(); got != 2 {
+		t.Fatalf("warming owner saw %d probes, want 2: a 503 must not demote the owner", got)
+	}
+
+	primary.warming.Store(false)
+	res, err := c.Classify(context.Background(), model, "QUQ", 6, "", nil)
+	if err != nil {
+		t.Fatalf("classify after warm restart: %v", err)
+	}
+	if res.Via != owners[0].Addr() {
+		t.Fatalf("served via %q, want recovered primary %q", res.Via, owners[0].Addr())
+	}
+	if seen := primary.seen(); len(seen) != 1 || !strings.HasSuffix(seen[0], "@0") {
+		t.Fatalf("recovered primary saw %v, want one request stamped @0", seen)
 	}
 }
 

@@ -1,0 +1,218 @@
+package snapstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"quq/internal/data"
+	"quq/internal/ptq"
+	"quq/internal/vit"
+)
+
+// testModel calibrates one cheap ViT-Nano QUQ model, the fixture every
+// codec test encodes.
+func testModel(t *testing.T) *ptq.QuantizedModel {
+	t.Helper()
+	cfg := vit.ViTNano
+	m := vit.New(cfg, 99)
+	calib := data.CalibrationSet(cfg, 2, 1)
+	qm, err := ptq.Quantize(m, ptq.NewQUQ(), ptq.CalibOptions{Bits: 6, Regime: ptq.Partial, Images: calib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qm
+}
+
+const testKey = "ViT-Nano/QUQ/w6a6/partial"
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	qm := testModel(t)
+	blob, digest, err := Encode(testKey, qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Key != testKey {
+		t.Fatalf("key %q, want %q", e.Key, testKey)
+	}
+	if e.Config != "ViT-Nano" {
+		t.Fatalf("config %q, want ViT-Nano", e.Config)
+	}
+	if e.Digest != digest {
+		t.Fatalf("decoded digest %s, want %s", e.Digest, digest)
+	}
+	got := e.Model
+	if got.Bits != qm.Bits || got.Regime != qm.Regime || got.Method != qm.Method {
+		t.Fatalf("metadata mismatch: got %d/%v/%s want %d/%v/%s",
+			got.Bits, got.Regime, got.Method, qm.Bits, qm.Regime, qm.Method)
+	}
+	if len(got.Acts) != len(qm.Acts) {
+		t.Fatalf("decoded %d activation quantizers, want %d", len(got.Acts), len(qm.Acts))
+	}
+	if (got.WeightParams == nil) != (qm.WeightParams == nil) {
+		t.Fatalf("weight-params presence diverged")
+	}
+
+	// The decoded model must answer byte-identically to the original.
+	img := data.Images(vit.ViTNano, 1, 7)[0]
+	want := qm.Forward(img).Data()
+	have := got.Forward(img).Data()
+	if len(want) != len(have) {
+		t.Fatalf("logit length %d, want %d", len(have), len(want))
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("logit %d diverged: %v vs %v", i, have[i], want[i])
+		}
+	}
+
+	// Canonical encoding: re-encoding the decoded model reproduces the
+	// file image bit-for-bit — the property anti-entropy digest
+	// comparison rests on.
+	blob2, digest2, err := Encode(testKey, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest2 != digest || !bytes.Equal(blob, blob2) {
+		t.Fatalf("re-encode is not canonical: digest %s vs %s", digest2, digest)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	qm := testModel(t)
+	blob, _, err := Encode(testKey, qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := append([]byte(nil), blob...)
+	flip[len(flip)-1] ^= 0x40 // payload bit flip
+	if _, err := Decode(flip); err == nil {
+		t.Fatal("decode accepted a bit-flipped payload")
+	}
+	if _, err := Decode(blob[:len(blob)/2]); err == nil {
+		t.Fatal("decode accepted a truncated file")
+	}
+	short := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint64(short[44:52], uint64(len(blob))) // lie about payload length
+	if _, err := Decode(short); err == nil {
+		t.Fatal("decode accepted a payload-length mismatch")
+	}
+	badVersion := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint32(badVersion[8:12], 9)
+	if _, err := Decode(badVersion); err == nil {
+		t.Fatal("decode accepted an unknown version")
+	}
+}
+
+func TestStoreWriteLoadQuarantine(t *testing.T) {
+	qm := testModel(t)
+	blob, digest, err := Encode(testKey, qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s, swept, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swept != 0 {
+		t.Fatalf("fresh dir swept %d temp files", swept)
+	}
+	if err := s.WriteBlob(testKey, blob); err != nil {
+		t.Fatal(err)
+	}
+	loaded, quarantined, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quarantined != 0 || len(loaded) != 1 {
+		t.Fatalf("load: %d entries, %d quarantined; want 1, 0", len(loaded), quarantined)
+	}
+	if loaded[0].Entry.Digest != digest || loaded[0].Entry.Key != testKey {
+		t.Fatalf("loaded %s (%s), want %s (%s)", loaded[0].Entry.Key, loaded[0].Entry.Digest, testKey, digest)
+	}
+
+	// Corrupt the file on disk: the next load must quarantine it, not
+	// serve it and not fail the whole load.
+	path := PathFor(dir, testKey)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, quarantined, err = s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quarantined != 1 || len(loaded) != 0 {
+		t.Fatalf("corrupt load: %d entries, %d quarantined; want 0, 1", len(loaded), quarantined)
+	}
+	if _, err := os.Stat(path + ".quarantined"); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+
+	// A crash mid-write leaves *.tmp litter; reopening sweeps it.
+	if err := os.WriteFile(filepath.Join(dir, "half-written.qsnap.tmp"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, swept, err = Open(dir); err != nil || swept != 1 {
+		t.Fatalf("reopen swept %d temp files (err %v), want 1", swept, err)
+	}
+}
+
+// FuzzSnapshotDecode drives the decoder with truncated, bit-flipped and
+// arbitrary inputs. Two properties must hold on every input: Decode
+// never panics, and it never returns a payload whose embedded digest
+// does not match the payload bytes — corruption is rejected by the hash
+// check, not by luck in the parser.
+func FuzzSnapshotDecode(f *testing.F) {
+	cfg := vit.ViTNano
+	m := vit.New(cfg, 99)
+	calib := data.CalibrationSet(cfg, 2, 1)
+	qm, err := ptq.Quantize(m, ptq.NewQUQ(), ptq.CalibOptions{Bits: 6, Regime: ptq.Partial, Images: calib})
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, _, err := Encode(testKey, qm)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add(blob[:headerBytes])
+	flip := append([]byte(nil), blob...)
+	flip[headerBytes+4] ^= 0x80
+	f.Add(flip)
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Decode(data) // must never panic
+		if err != nil {
+			return
+		}
+		if e == nil || e.Model == nil {
+			t.Fatal("nil entry without error")
+		}
+		payload := data[headerBytes:]
+		sum := sha256.Sum256(payload)
+		if hex.EncodeToString(sum[:]) != e.Digest {
+			t.Fatalf("decoder accepted digest %s but payload hashes to %x", e.Digest, sum)
+		}
+		var want [32]byte
+		copy(want[:], data[12:44])
+		if want != sum {
+			t.Fatal("decoder accepted a payload whose embedded digest does not match")
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package snapstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+const (
+	// snapExt is the extension of a committed snapshot file.
+	snapExt = ".qsnap"
+	// tmpExt marks an in-progress write; anything carrying it at store
+	// open time is a crash leftover and is swept.
+	tmpExt = ".tmp"
+	// quarantineExt marks a snapshot whose digest or payload failed
+	// verification. Quarantined files are kept for post-mortem but never
+	// loaded again.
+	quarantineExt = ".quarantined"
+)
+
+// Store is a directory of snapshot files, one per registry key, named by
+// the key's content address so any key maps to exactly one path.
+type Store struct {
+	dir string
+}
+
+// Open prepares dir (creating it if needed) and sweeps temp files left
+// behind by crashed writes, so repeated crash loops cannot fill the
+// disk. It returns the number of temp files removed.
+func Open(dir string) (*Store, int, error) {
+	if dir == "" {
+		return nil, 0, fmt.Errorf("snapstore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, 0, fmt.Errorf("snapstore: creating %s: %w", dir, err)
+	}
+	names, err := listDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	swept := 0
+	for _, name := range names {
+		if !strings.HasSuffix(name, tmpExt) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return nil, swept, fmt.Errorf("snapstore: sweeping %s: %w", name, err)
+		}
+		swept++
+	}
+	return &Store{dir: dir}, swept, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// PathFor returns the committed snapshot path a key maps to under dir.
+// Exported as a function (not just a method) so the chaos harness can
+// target a specific key's file for corruption without opening the store.
+func PathFor(dir, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(dir, hex.EncodeToString(sum[:8])+snapExt)
+}
+
+// WriteBlob atomically commits an encoded snapshot for key: write to a
+// temp file, fsync, close, then rename over the final path. A crash at
+// any point leaves either the old committed file or a swept-at-open temp
+// file — never a torn snapshot.
+func (s *Store) WriteBlob(key string, blob []byte) error {
+	final := PathFor(s.dir, key)
+	tmp := final + tmpExt
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("snapstore: creating %s: %w", tmp, err)
+	}
+	if _, err := f.Write(blob); err != nil {
+		//quq:errdrop-ok already on the write error path; the write error is the one worth reporting
+		f.Close()
+		//quq:errdrop-ok best-effort cleanup of a failed temp; Open's sweep is the backstop
+		os.Remove(tmp)
+		return fmt.Errorf("snapstore: writing %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		//quq:errdrop-ok already on the sync error path
+		f.Close()
+		//quq:errdrop-ok best-effort cleanup of a failed temp; Open's sweep is the backstop
+		os.Remove(tmp)
+		return fmt.Errorf("snapstore: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		//quq:errdrop-ok best-effort cleanup of a failed temp; Open's sweep is the backstop
+		os.Remove(tmp)
+		return fmt.Errorf("snapstore: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		//quq:errdrop-ok best-effort cleanup of a failed temp; Open's sweep is the backstop
+		os.Remove(tmp)
+		return fmt.Errorf("snapstore: committing %s: %w", final, err)
+	}
+	return nil
+}
+
+// Loaded is one successfully verified and decoded snapshot.
+type Loaded struct {
+	Path  string
+	Entry *Entry
+}
+
+// Load reads every committed snapshot in the store in sorted filename
+// order. Files that fail verification or decoding are quarantined in
+// place (renamed, kept for post-mortem) and counted — a corrupt snapshot
+// costs a recalibration, never a crash.
+func (s *Store) Load() (loaded []Loaded, quarantined int, err error) {
+	names, err := listDir(s.dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, name := range names {
+		if !strings.HasSuffix(name, snapExt) {
+			continue
+		}
+		path := filepath.Join(s.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return loaded, quarantined, fmt.Errorf("snapstore: reading %s: %w", name, err)
+		}
+		e, err := Decode(data)
+		if err != nil {
+			if qerr := s.Quarantine(path); qerr != nil {
+				return loaded, quarantined, qerr
+			}
+			quarantined++
+			continue
+		}
+		loaded = append(loaded, Loaded{Path: path, Entry: e})
+	}
+	return loaded, quarantined, nil
+}
+
+// Quarantine renames a failed snapshot aside so it is never loaded
+// again but stays on disk for inspection.
+func (s *Store) Quarantine(path string) error {
+	//quq:fsync-ok quarantine moves an already-committed (or already-corrupt) file aside; the rename carries no new data to sync
+	if err := os.Rename(path, path+quarantineExt); err != nil {
+		return fmt.Errorf("snapstore: quarantining %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// listDir returns dir's entry names sorted, so every pass over the
+// store is deterministic.
+func listDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("snapstore: reading %s: %w", dir, err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
